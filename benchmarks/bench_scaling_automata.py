@@ -1,0 +1,63 @@
+"""Ablation — the automata pipeline (regex → NFA → DFA → minimal DFA).
+
+Sweeps the inferred-regex size and times each stage plus the language
+round trip of Corollary 1 (DFA → regex → language equality).
+"""
+
+import random
+
+import pytest
+
+from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
+from repro.automata.thompson import thompson
+from repro.automata.to_regex import nfa_to_regex
+from repro.lang.generator import random_program_of_size
+from repro.lang.inference import infer
+from repro.regex.ast import size as regex_size
+
+SIZES = [20, 100, 400]
+
+
+def _regex_of_size(target: int):
+    rng = random.Random(target)
+    program = random_program_of_size(rng, target)
+    return infer(program)
+
+
+@pytest.mark.parametrize("target", SIZES)
+def test_thompson_scaling(benchmark, target):
+    regex = _regex_of_size(target)
+    nfa = benchmark(thompson, regex)
+    assert len(nfa.states) >= 2
+    print(f"\nregex size {regex_size(regex)} -> NFA states {len(nfa.states)}")
+
+
+@pytest.mark.parametrize("target", SIZES)
+def test_determinize_scaling(benchmark, target):
+    nfa = thompson(_regex_of_size(target))
+    dfa = benchmark(determinize, nfa)
+    assert dfa.states
+    print(f"\nNFA {len(nfa.states)} states -> DFA {len(dfa.states)} states")
+
+
+@pytest.mark.parametrize("target", SIZES)
+def test_minimize_scaling(benchmark, target):
+    dfa = determinize(thompson(_regex_of_size(target)))
+    minimal = benchmark(minimize, dfa)
+    assert len(minimal.states) <= len(dfa.states) + 1  # +1 for completion
+    print(f"\nDFA {len(dfa.states)} -> minimal {len(minimal.states)} states")
+
+
+@pytest.mark.parametrize("target", [20, 100])
+def test_corollary1_round_trip_scaling(benchmark, target):
+    regex = _regex_of_size(target)
+
+    def round_trip():
+        dfa = minimize(determinize(thompson(regex)))
+        return nfa_to_regex(dfa.to_nfa())
+
+    recovered = benchmark(round_trip)
+    from repro.regex.equivalence import equivalent
+
+    assert equivalent(recovered, regex)

@@ -1,0 +1,58 @@
+"""Ablation — end-to-end checking cost on synthetic class hierarchies.
+
+Two sweeps over generated modules (see ``repro.workloads.hierarchy``):
+operations per base class, and number of subsystem fields.  Both the
+clean-verdict direction (prove absence of violations) and the
+counterexample direction (find and render one) are measured.
+"""
+
+import pytest
+
+from repro.core.checker import check_source
+from repro.workloads.hierarchy import HierarchyShape, lifecycle_claim, module_source
+
+OPERATION_SWEEP = [3, 6, 10]
+SUBSYSTEM_SWEEP = [1, 4, 8]
+
+
+@pytest.mark.parametrize("operations", OPERATION_SWEEP)
+def test_checker_scaling_operations_clean(benchmark, operations):
+    shape = HierarchyShape(base_operations=operations, subsystems=2, seed=3)
+    source = module_source(shape, correct=True, claim=lifecycle_claim(shape))
+    result = benchmark(check_source, source)
+    assert result.ok
+    print(f"\n{operations} ops/base, 2 subsystems: clean verdict")
+
+
+@pytest.mark.parametrize("subsystems", SUBSYSTEM_SWEEP)
+def test_checker_scaling_subsystems_clean(benchmark, subsystems):
+    shape = HierarchyShape(
+        base_operations=4,
+        subsystems=subsystems,
+        composite_operations=max(1, subsystems // 2),
+        seed=5,
+    )
+    source = module_source(shape, correct=True)
+    result = benchmark(check_source, source)
+    assert result.ok
+    print(f"\n4 ops/base, {subsystems} subsystems: clean verdict")
+
+
+@pytest.mark.parametrize("subsystems", SUBSYSTEM_SWEEP)
+def test_checker_scaling_counterexample(benchmark, subsystems):
+    shape = HierarchyShape(
+        base_operations=4,
+        subsystems=subsystems,
+        composite_operations=max(1, subsystems // 2),
+        seed=5,
+    )
+    source = module_source(shape, correct=False)
+    result = benchmark(check_source, source)
+    assert not result.ok
+    usage = result.by_code("invalid-subsystem-usage")
+    assert len(usage) == 1
+    assert usage[0].counterexample
+    print(
+        f"\n{subsystems} subsystems, planted bug: counterexample of "
+        f"{len(usage[0].counterexample)} events found"
+    )

@@ -1,0 +1,61 @@
+"""Ablation — model-based test-suite generation and execution cost.
+
+Sweeps the specification size (operations per class) and measures suite
+generation (path computation over the spec DFA) and suite execution
+under the runtime monitor against a trivially faithful implementation.
+"""
+
+import pytest
+
+from repro.core.spec import ClassSpec
+from repro.frontend.parse import parse_module
+from repro.testing.conformance import check_conformance, generate_suite
+from repro.workloads.hierarchy import base_class_source
+
+SIZES = [3, 6, 12]
+
+
+def spec_of_size(operations: int) -> ClassSpec:
+    module, violations = parse_module(base_class_source("Device", operations))
+    assert not violations
+    return ClassSpec.of(module.get_class("Device"))
+
+
+def faithful_class(spec: ClassSpec) -> type:
+    methods = {}
+    for operation in spec.operations:
+        first_exit = operation.returns[0]
+        methods[operation.name] = (
+            lambda self, _next=list(first_exit.next_methods): list(_next)
+        )
+    return type("FaithfulDevice", (), methods)
+
+
+@pytest.mark.parametrize("operations", SIZES)
+def test_suite_generation_scaling(benchmark, operations):
+    spec = spec_of_size(operations)
+    suite = benchmark(generate_suite, spec)
+    assert suite
+    assert () in suite
+    print(f"\n{operations} operations -> {len(suite)} sequences")
+
+
+@pytest.mark.parametrize("operations", SIZES)
+def test_conformance_run_scaling(benchmark, operations):
+    spec = spec_of_size(operations)
+
+    def run():
+        # A fresh implementation class per round: the monitor wraps the
+        # class in place, and wrapping twice would nest the guards.
+        report = check_conformance(faithful_class(spec), spec)
+        assert report.conformant, report.format()
+        return report
+
+    from repro.testing.conformance import Outcome
+
+    report = benchmark(run)
+    print(
+        f"\n{operations} operations: {len(report.results)} sequences, "
+        f"{report.count(Outcome.PASSED)} passed, "
+        f"{report.count(Outcome.INFEASIBLE)} infeasible"
+    )

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark asserts the reproduced artifact *inside* the timed or
+setup code, so a drifting implementation fails the harness rather than
+silently timing the wrong thing.  ``pytest benchmarks/ --benchmark-only``
+regenerates every table and figure of the paper; EXPERIMENTS.md records
+the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.parse import parse_module
+from repro.paper import SECTION_2_MODULE, SECTOR_MODULE
+
+
+@pytest.fixture(scope="session")
+def section2_module():
+    module, violations = parse_module(SECTION_2_MODULE)
+    assert not violations
+    return module
+
+
+@pytest.fixture(scope="session")
+def sector_module():
+    module, violations = parse_module(SECTOR_MODULE)
+    assert not violations
+    return module

@@ -1,0 +1,209 @@
+"""A greenhouse climate controller: a three-level class hierarchy with
+temporal claims, sensor-driven branching, and a deliberately buggy
+variant that the checker rejects.
+
+The hierarchy (each level is a constrained ``@sys`` class):
+
+    Heater, Fan          base classes over simulated pins/PWM
+    ClimateZone          composite: one heater + one fan per zone
+    Greenhouse           composite of composites: two zones
+
+Demonstrated features beyond the quickstart:
+
+* hierarchical composition (a composite used as a subsystem);
+* ``@claim`` with response (``G (x -> F y)``) and ordering (``W``) shapes;
+* the ``match``-exhaustiveness analysis (ClimateZone handles every exit
+  of ``Heater.check``);
+* a buggy sibling (``LeakyZone``) whose verdict shows the counterexample.
+
+Run with::
+
+    python examples/greenhouse_monitor.py
+"""
+
+from repro.frontend.decorators import claim, op, op_final, op_initial, op_initial_final, sys
+from repro.micropython.machine import ADC, OUT, PWM, Pin
+
+
+@sys
+class Heater:
+    """A heating element: arm, then fire or stand down, then disarm."""
+
+    def __init__(self, pin_id: int, sense_pin: int):
+        self.element = Pin(pin_id, OUT)
+        self.sensor = ADC(sense_pin)
+
+    @op_initial
+    def check(self):
+        if self.sensor.read_u16() < 20_000:
+            return ["heat"]
+        else:
+            return ["standby"]
+
+    @op
+    def heat(self):
+        self.element.on()
+        return ["stop"]
+
+    @op_final
+    def stop(self):
+        self.element.off()
+        return ["check"]
+
+    @op_final
+    def standby(self):
+        return ["check"]
+
+
+@sys
+class Fan:
+    """A PWM fan: spin up, run, spin down."""
+
+    def __init__(self, pin_id: int):
+        self.pwm = PWM(Pin(pin_id, OUT))
+
+    @op_initial
+    def spin_up(self):
+        self.pwm.freq(25_000)
+        self.pwm.duty_u16(40_000)
+        return ["spin_down"]
+
+    @op_final
+    def spin_down(self):
+        self.pwm.duty_u16(0)
+        return ["spin_up"]
+
+
+@claim("G (h.heat -> F h.stop)")
+@claim("(!h.heat) W f.spin_up")
+@sys(["h", "f"])
+class ClimateZone:
+    """One zone: the fan must run before and while the heater fires."""
+
+    def __init__(self, heater_pin: int, sense_pin: int, fan_pin: int):
+        self.h = Heater(heater_pin, sense_pin)
+        self.f = Fan(fan_pin)
+
+    @op_initial_final
+    def regulate(self):
+        self.f.spin_up()
+        match self.h.check():
+            case ["heat"]:
+                self.h.heat()
+                self.h.stop()
+                self.f.spin_down()
+                return ["regulate"], True
+            case ["standby"]:
+                self.h.standby()
+                self.f.spin_down()
+                return ["regulate"], False
+
+
+@claim("G (north.regulate -> F south.regulate)")
+@sys(["north", "south"])
+class Greenhouse:
+    """Two zones regulated in tandem; a composite of composites."""
+
+    def __init__(self):
+        self.north = ClimateZone(5, 26, 6)
+        self.south = ClimateZone(7, 27, 8)
+
+    @op_initial_final
+    def cycle(self):
+        self.north.regulate()
+        self.south.regulate()
+        return ["cycle"]
+
+
+#: The buggy sibling, kept in a separate source string so the healthy
+#: module above verifies clean.  The fan is never spun down on the
+#: standby path — the checker pinpoints it.
+LEAKY_ZONE = '''
+@sys
+class Heater:
+    @op_initial
+    def check(self):
+        if low:
+            return ["heat"]
+        else:
+            return ["standby"]
+    @op
+    def heat(self):
+        return ["stop"]
+    @op_final
+    def stop(self):
+        return ["check"]
+    @op_final
+    def standby(self):
+        return ["check"]
+
+@sys
+class Fan:
+    @op_initial
+    def spin_up(self):
+        return ["spin_down"]
+    @op_final
+    def spin_down(self):
+        return ["spin_up"]
+
+@sys(["h", "f"])
+class LeakyZone:
+    def __init__(self):
+        self.h = Heater()
+        self.f = Fan()
+
+    @op_initial_final
+    def regulate(self):
+        self.f.spin_up()
+        match self.h.check():
+            case ["heat"]:
+                self.h.heat()
+                self.h.stop()
+                self.f.spin_down()
+                return []
+            case ["standby"]:
+                self.h.standby()
+                return []
+'''
+
+
+def main() -> int:
+    from repro.core.checker import check_path, check_source
+
+    print("=" * 72)
+    print("1. Verifying the greenhouse hierarchy (this file)")
+    print("=" * 72)
+    result = check_path(__file__)
+    print(result.format())
+    if not result.ok:
+        return 1
+
+    print()
+    print("=" * 72)
+    print("2. Verifying the buggy variant (fan left spinning)")
+    print("=" * 72)
+    leaky = check_source(LEAKY_ZONE)
+    print(leaky.format())
+    if leaky.ok:
+        return 1
+
+    print()
+    print("=" * 72)
+    print("3. One simulated regulation cycle")
+    print("=" * 72)
+    from repro.micropython.machine import default_board, reset_board
+
+    reset_board()
+    greenhouse = Greenhouse()
+    # North is cold (needs heat), south is warm.
+    greenhouse.north.h.sensor.set_source(lambda: 5_000)
+    greenhouse.south.h.sensor.set_source(lambda: 30_000)
+    greenhouse.cycle()
+    print("pin event log:")
+    for line in default_board().log():
+        print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,161 @@
+"""The paper's industrial use case: a battery-operated wireless
+controller that switches water valves according to a scheduled
+irrigation plan.
+
+The example exercises the full toolchain on one file — this file:
+
+1. **static verification** — the annotated classes below are parsed from
+   this very file and model-checked (usage + claims);
+2. **runtime monitoring** — the same classes are wrapped by the dynamic
+   monitor and the irrigation plan is executed against the simulated
+   MicroPython board with a virtual clock;
+3. **cross-validation** — the recorded execution trace is replayed
+   against the extracted specification automaton.
+
+Run with::
+
+    python examples/irrigation_controller.py
+"""
+
+from repro.frontend.decorators import claim, op, op_final, op_initial, op_initial_final, sys
+from repro.micropython.machine import IN, OUT, Pin, default_board, reset_board
+from repro.micropython.timer import default_clock, reset_clock, sleep_ms
+
+
+@sys
+class Valve:
+    """Listing 2.1's valve, driving simulated GPIO pins."""
+
+    def __init__(self, control_pin: int, clean_pin: int, status_pin: int):
+        self.control = Pin(control_pin, OUT)
+        self.cleaner = Pin(clean_pin, OUT)
+        self.status = Pin(status_pin, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.cleaner.on()
+        self.cleaner.off()
+        return ["test"]
+
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class Sector:
+    """A repaired two-valve sector: valve b (the master) opens first,
+    and every path closes what it opened — the claim and the valve
+    specifications all verify."""
+
+    def __init__(self):
+        self.a = Valve(27, 28, 29)
+        self.b = Valve(17, 18, 19)
+
+    @op_initial_final
+    def irrigate(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                match self.a.test():
+                    case ["open"]:
+                        self.a.open()
+                        self.a.close()
+                    case ["clean"]:
+                        self.a.clean()
+                self.b.close()
+                return ["irrigate"], True
+            case ["clean"]:
+                self.b.clean()
+                return ["irrigate"], False
+
+
+def run_schedule(plan: list[int]):
+    """Execute the plan (sleep offsets in minutes) with runtime
+    monitoring; returns (completed slots, global trace, per-valve
+    histories)."""
+    from repro.runtime.monitor import finalize, history_of, monitored
+    from repro.runtime.trace import TraceRecorder
+
+    reset_board()
+    reset_clock()
+    board = default_board()
+    # Both valve status pins read "ready to open".
+    board.input_sources[29] = lambda: 1
+    board.input_sources[19] = lambda: 1
+
+    recorder = TraceRecorder()
+    monitored(Valve, recorder=recorder)  # monitor the class in place
+    sector = Sector()
+
+    completed = 0
+    for offset_minutes in plan:
+        sleep_ms(offset_minutes * 60_000)
+        _follow, watered = sector.irrigate()
+        completed += 1 if watered else 0
+    histories = {
+        "a": history_of(sector.a),
+        "b": history_of(sector.b),
+    }
+    for valve in (sector.a, sector.b):
+        finalize(valve)
+    return completed, recorder.as_trace(), histories
+
+
+def main() -> int:
+    from repro.core.checker import check_path
+    from repro.core.spec import ClassSpec
+    from repro.frontend.parse import parse_file
+
+    print("=" * 72)
+    print("1. Static verification of this file")
+    print("=" * 72)
+    result = check_path(__file__)
+    print(result.format())
+    if not result.ok:
+        return 1
+
+    print()
+    print("=" * 72)
+    print("2. Executing the irrigation plan under the runtime monitor")
+    print("=" * 72)
+    completed, trace, histories = run_schedule([0, 30, 30])
+    print(f"slots completed : {completed}")
+    print(f"virtual time    : {default_clock().ticks_ms() // 60000} minutes")
+    print(f"global trace    : {', '.join(trace)}")
+    print("pin event log   :")
+    for line in default_board().log():
+        print(f"  {line}")
+
+    print()
+    print("=" * 72)
+    print("3. Replaying each valve's history against the extracted model")
+    print("=" * 72)
+    module, _violations = parse_file(__file__)
+    spec = ClassSpec.of(module.get_class("Valve"))
+    dfa = spec.dfa()
+    all_ok = True
+    for field, history in histories.items():
+        accepted = dfa.accepts(history)
+        all_ok = all_ok and accepted
+        print(f"valve '{field}': {', '.join(history)}  ->  "
+              f"{'accepted' if accepted else 'REJECTED'}")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Reproduction of *Formalizing Model Inference of MicroPython* (DSN-W 2023).
+
+A Shelley-style model-extraction and call-ordering model-checking
+framework for an annotated MicroPython subset, with the paper's
+formal core (Figure 4's calculus, trace semantics and behavior
+inference) implemented verbatim and its metatheory checked executably.
+
+Quickstart::
+
+    from repro import check_source
+    result = check_source(source_code)
+    if not result.ok:
+        print(result.format())
+
+Package map (details in DESIGN.md):
+
+* :mod:`repro.lang` -- the paper's imperative calculus (Figure 4),
+* :mod:`repro.regex` / :mod:`repro.automata` -- regular-language engine,
+* :mod:`repro.ltlf` -- temporal claims on finite traces,
+* :mod:`repro.frontend` -- annotations and MicroPython parsing,
+* :mod:`repro.core` -- extraction + verification pipeline,
+* :mod:`repro.micropython` -- simulated ``machine`` substrate,
+* :mod:`repro.runtime` -- dynamic monitoring of the same models,
+* :mod:`repro.nusmv` -- NuSMV emission, :mod:`repro.viz` -- diagrams,
+* :mod:`repro.paper` -- the paper's listings as reusable fixtures.
+"""
+
+from repro.core.checker import Checker, check_path, check_source
+from repro.core.dependency import extract_dependency_graph
+from repro.core.diagnostics import CheckResult, Diagnostic, Severity
+from repro.core.spec import ClassSpec
+from repro.frontend.decorators import (
+    claim,
+    op,
+    op_final,
+    op_initial,
+    op_initial_final,
+    sys,
+)
+from repro.frontend.parse import parse_file, parse_module
+from repro.lang.inference import behavior, infer
+from repro.lang.metatheory import check_all_theorems
+from repro.ltlf.parser import parse_claim
+from repro.regex.ast import format_regex
+from repro.runtime.monitor import finalize, lifecycle, monitored
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Checker",
+    "CheckResult",
+    "ClassSpec",
+    "Diagnostic",
+    "Severity",
+    "__version__",
+    "behavior",
+    "check_all_theorems",
+    "check_path",
+    "check_source",
+    "claim",
+    "extract_dependency_graph",
+    "finalize",
+    "format_regex",
+    "infer",
+    "lifecycle",
+    "monitored",
+    "op",
+    "op_final",
+    "op_initial",
+    "op_initial_final",
+    "parse_claim",
+    "parse_file",
+    "parse_module",
+    "sys",
+]

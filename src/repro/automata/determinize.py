@@ -1,0 +1,44 @@
+"""Subset construction: NFA → DFA.
+
+The produced DFA is partial — the empty subset is simply not a state, so
+missing transitions encode rejection.  States are frozensets of NFA
+states, preserved so diagnostics can map DFA states back to the model's
+entry/exit points; call :meth:`repro.automata.dfa.DFA.renumbered` when
+opaque integer states are preferable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Determinize ``nfa`` by the subset construction."""
+    initial = nfa.epsilon_closure(nfa.initial_states)
+    states: set[frozenset] = {initial}
+    transitions: dict[tuple[frozenset, str], frozenset] = {}
+    accepting: set[frozenset] = set()
+    queue: deque[frozenset] = deque([initial])
+    ordered_alphabet = sorted(nfa.alphabet)
+    while queue:
+        subset = queue.popleft()
+        if subset & nfa.accepting_states:
+            accepting.add(subset)
+        for symbol in ordered_alphabet:
+            successor = nfa.step(subset, symbol)
+            if not successor:
+                continue
+            transitions[(subset, symbol)] = successor
+            if successor not in states:
+                states.add(successor)
+                queue.append(successor)
+    return DFA(
+        states=frozenset(states),
+        alphabet=nfa.alphabet,
+        transitions=transitions,
+        initial_state=initial,
+        accepting_states=frozenset(accepting),
+    )

@@ -1,0 +1,187 @@
+"""Deterministic finite automata.
+
+DFAs are the workhorse of the verdict computations: inclusion checks,
+complements and counterexample extraction all happen on DFAs produced by
+:mod:`repro.automata.determinize`.  A DFA here may be *partial* (missing
+transitions mean the word is rejected); :meth:`DFA.completed` adds an
+explicit dead state when a total transition function is needed (for
+complementation and for NuSMV emission).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+State = Hashable
+
+#: Name of the sink state introduced by :meth:`DFA.completed`.
+DEAD_STATE = "__dead__"
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A (possibly partial) DFA ``(Q, Σ, δ, q0, F)``."""
+
+    states: frozenset[State]
+    alphabet: frozenset[str]
+    transitions: Mapping[tuple[State, str], State]
+    initial_state: State
+    accepting_states: frozenset[State]
+
+    def __post_init__(self) -> None:
+        if self.initial_state not in self.states:
+            raise ValueError("initial state not in state set")
+        unknown_accepting = self.accepting_states - self.states
+        if unknown_accepting:
+            raise ValueError(f"accepting states not in state set: {unknown_accepting}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def successor(self, state: State, symbol: str) -> State | None:
+        """The unique successor, or ``None`` when the move is undefined."""
+        return self.transitions.get((state, symbol))
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Does the automaton accept ``word``?"""
+        state = self.initial_state
+        for symbol in word:
+            state = self.successor(state, symbol)
+            if state is None:
+                return False
+        return state in self.accepting_states
+
+    def run(self, word: Iterable[str]) -> list[State | None]:
+        """The state sequence visited on ``word`` (``None`` once stuck).
+
+        The returned list has one entry per prefix of ``word`` including
+        the empty prefix, so ``run(w)[0]`` is the initial state and
+        ``run(w)[-1]`` the state after the full word.
+        """
+        trace: list[State | None] = [self.initial_state]
+        state: State | None = self.initial_state
+        for symbol in word:
+            state = None if state is None else self.successor(state, symbol)
+            trace.append(state)
+        return trace
+
+    def is_total(self) -> bool:
+        """Is the transition function defined for every (state, symbol)?"""
+        return all(
+            (state, symbol) in self.transitions
+            for state in self.states
+            for symbol in self.alphabet
+        )
+
+    def iter_transitions(self) -> Iterator[tuple[State, str, State]]:
+        """Yield transitions in a deterministic order."""
+        for (source, symbol), target in sorted(
+            self.transitions.items(), key=lambda item: (str(item[0][0]), item[0][1])
+        ):
+            yield source, symbol, target
+
+    # ------------------------------------------------------------------
+    # Simple transformations
+    # ------------------------------------------------------------------
+
+    def completed(self, dead_state: State = DEAD_STATE) -> "DFA":
+        """A total DFA accepting the same language.
+
+        Missing moves are routed to a fresh non-accepting sink; if the
+        DFA is already total it is returned unchanged.
+        """
+        if self.is_total():
+            return self
+        if dead_state in self.states:
+            raise ValueError(f"dead state name {dead_state!r} already in use")
+        transitions = dict(self.transitions)
+        for state in list(self.states) + [dead_state]:
+            for symbol in self.alphabet:
+                transitions.setdefault((state, symbol), dead_state)
+        return DFA(
+            states=self.states | {dead_state},
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial_state=self.initial_state,
+            accepting_states=self.accepting_states,
+        )
+
+    def complemented(self) -> "DFA":
+        """A DFA for the complement language (over the same alphabet)."""
+        total = self.completed()
+        return DFA(
+            states=total.states,
+            alphabet=total.alphabet,
+            transitions=total.transitions,
+            initial_state=total.initial_state,
+            accepting_states=total.states - total.accepting_states,
+        )
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial state."""
+        reached = {self.initial_state}
+        frontier = [self.initial_state]
+        while frontier:
+            state = frontier.pop()
+            for symbol in self.alphabet:
+                successor = self.successor(state, symbol)
+                if successor is not None and successor not in reached:
+                    reached.add(successor)
+                    frontier.append(successor)
+        return frozenset(reached)
+
+    def trim(self) -> "DFA":
+        """Drop unreachable states."""
+        reachable = self.reachable_states()
+        return DFA(
+            states=reachable,
+            alphabet=self.alphabet,
+            transitions={
+                key: target
+                for key, target in self.transitions.items()
+                if key[0] in reachable and target in reachable
+            },
+            initial_state=self.initial_state,
+            accepting_states=self.accepting_states & reachable,
+        )
+
+    def renumbered(self) -> "DFA":
+        """Deterministically rename states to ``0..n-1`` (BFS order)."""
+        order: dict[State, int] = {self.initial_state: 0}
+        queue = [self.initial_state]
+        while queue:
+            state = queue.pop(0)
+            for symbol in sorted(self.alphabet):
+                successor = self.successor(state, symbol)
+                if successor is not None and successor not in order:
+                    order[successor] = len(order)
+                    queue.append(successor)
+        for state in sorted(self.states - order.keys(), key=str):
+            order[state] = len(order)
+        return DFA(
+            states=frozenset(order.values()),
+            alphabet=self.alphabet,
+            transitions={
+                (order[source], symbol): order[target]
+                for (source, symbol), target in self.transitions.items()
+            },
+            initial_state=0,
+            accepting_states=frozenset(order[s] for s in self.accepting_states),
+        )
+
+    def to_nfa(self) -> "NFA":
+        """View this DFA as an NFA (for constructions that expect NFAs)."""
+        from repro.automata.nfa import NFA
+
+        return NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions={
+                key: frozenset({target}) for key, target in self.transitions.items()
+            },
+            epsilon_moves={},
+            initial_states=frozenset({self.initial_state}),
+            accepting_states=self.accepting_states,
+        )

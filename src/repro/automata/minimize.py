@@ -1,0 +1,101 @@
+"""DFA minimization (Hopcroft's partition-refinement algorithm).
+
+Minimization serves two purposes here: it keeps the automata produced by
+regex translation small before expensive products, and it gives a
+*canonical* automaton per language (after :meth:`DFA.renumbered`), which
+the equivalence check in :mod:`repro.automata.operations` and several
+golden tests rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.automata.dfa import DFA, State
+
+
+def minimize(dfa: DFA) -> DFA:
+    """The minimal total DFA for ``dfa``'s language.
+
+    The input is completed and trimmed first; the result is renumbered to
+    integer states in BFS order, so two language-equal DFAs minimize to
+    structurally identical automata.
+    """
+    total = dfa.trim().completed()
+    states = sorted(total.states, key=str)
+    alphabet = sorted(total.alphabet)
+
+    accepting = total.accepting_states
+    partition_of: dict[State, int] = {
+        state: (1 if state in accepting else 0) for state in states
+    }
+    blocks: dict[int, set[State]] = defaultdict(set)
+    for state, block in partition_of.items():
+        blocks[block].add(state)
+    # Degenerate case: everything accepting or nothing accepting.
+    blocks = {k: v for k, v in blocks.items() if v}
+
+    # Hopcroft refinement with a worklist of (block id, symbol) splitters.
+    # Predecessor index: symbol -> target -> set of sources.
+    predecessors: dict[str, dict[State, set[State]]] = {
+        symbol: defaultdict(set) for symbol in alphabet
+    }
+    for (source, symbol), target in total.transitions.items():
+        predecessors[symbol][target].add(source)
+
+    worklist: list[tuple[int, str]] = [
+        (block_id, symbol) for block_id in blocks for symbol in alphabet
+    ]
+    next_block_id = max(blocks, default=-1) + 1
+
+    while worklist:
+        splitter_id, symbol = worklist.pop()
+        splitter = blocks.get(splitter_id)
+        if not splitter:
+            continue
+        # States with a `symbol` move into the splitter block.
+        movers: set[State] = set()
+        for target in splitter:
+            movers.update(predecessors[symbol].get(target, ()))
+        # Group movers by their current block and split those blocks.
+        touched: dict[int, set[State]] = defaultdict(set)
+        for state in movers:
+            touched[partition_of[state]].add(state)
+        for block_id, inside in touched.items():
+            block = blocks[block_id]
+            if len(inside) == len(block):
+                continue
+            outside = block - inside
+            # Keep the smaller part as the new block (Hopcroft's trick).
+            new_part = inside if len(inside) <= len(outside) else outside
+            block -= new_part
+            new_id = next_block_id
+            next_block_id += 1
+            blocks[new_id] = set(new_part)
+            for state in new_part:
+                partition_of[state] = new_id
+            for other_symbol in alphabet:
+                worklist.append((new_id, other_symbol))
+
+    # Build the quotient automaton.
+    representative: dict[int, State] = {
+        block_id: min(members, key=str) for block_id, members in blocks.items()
+    }
+    quotient_transitions = {}
+    for block_id, rep in representative.items():
+        for symbol in alphabet:
+            target = total.successor(rep, symbol)
+            assert target is not None  # total DFA
+            quotient_transitions[(block_id, symbol)] = partition_of[target]
+    quotient = DFA(
+        states=frozenset(blocks),
+        alphabet=total.alphabet,
+        transitions=quotient_transitions,
+        initial_state=partition_of[total.initial_state],
+        accepting_states=frozenset(
+            block_id
+            for block_id, members in blocks.items()
+            if next(iter(members)) in accepting
+        ),
+    )
+    return quotient.trim().renumbered()

@@ -1,0 +1,247 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+The checker represents every extracted model — class specifications
+(§3.1's dependency graph read as an automaton) and composite behaviors —
+as an :class:`NFA` before analysis.  States may be arbitrary hashable
+objects so constructions can carry meaningful state names (method entry
+and exit points) all the way into diagnostics and diagrams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Mapping
+
+State = Hashable
+#: Pseudo-symbol used for epsilon moves in transition listings.
+EPSILON_MOVE = None
+
+
+@dataclass(frozen=True)
+class NFA:
+    """An NFA ``(Q, Σ, δ, I, F)`` with epsilon moves.
+
+    ``transitions`` maps ``(state, symbol)`` to a frozenset of successor
+    states; epsilon moves live under ``epsilon_moves``.  The structure is
+    immutable; the builder below or the functions in
+    :mod:`repro.automata.operations` produce modified copies.
+    """
+
+    states: frozenset[State]
+    alphabet: frozenset[str]
+    transitions: Mapping[tuple[State, str], frozenset[State]]
+    epsilon_moves: Mapping[State, frozenset[State]]
+    initial_states: frozenset[State]
+    accepting_states: frozenset[State]
+
+    def __post_init__(self) -> None:
+        unknown_initials = self.initial_states - self.states
+        if unknown_initials:
+            raise ValueError(f"initial states not in state set: {unknown_initials}")
+        unknown_accepting = self.accepting_states - self.states
+        if unknown_accepting:
+            raise ValueError(f"accepting states not in state set: {unknown_accepting}")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def successors(self, state: State, symbol: str) -> frozenset[State]:
+        """States reachable from ``state`` by one ``symbol`` move."""
+        return self.transitions.get((state, symbol), frozenset())
+
+    def epsilon_closure(self, states: Iterable[State]) -> frozenset[State]:
+        """All states reachable from ``states`` by epsilon moves."""
+        closure = set(states)
+        frontier = list(closure)
+        while frontier:
+            state = frontier.pop()
+            for successor in self.epsilon_moves.get(state, frozenset()):
+                if successor not in closure:
+                    closure.add(successor)
+                    frontier.append(successor)
+        return frozenset(closure)
+
+    def step(self, states: frozenset[State], symbol: str) -> frozenset[State]:
+        """One macro-step: symbol move from ``states`` then epsilon closure."""
+        moved: set[State] = set()
+        for state in states:
+            moved.update(self.successors(state, symbol))
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Does the automaton accept ``word``?"""
+        current = self.epsilon_closure(self.initial_states)
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting_states)
+
+    def iter_transitions(self) -> Iterator[tuple[State, str | None, State]]:
+        """Yield every transition, including epsilon moves (symbol ``None``)."""
+        for (source, symbol), targets in sorted(
+            self.transitions.items(), key=lambda item: (str(item[0][0]), item[0][1])
+        ):
+            for target in sorted(targets, key=str):
+                yield source, symbol, target
+        for source, targets in sorted(self.epsilon_moves.items(), key=lambda i: str(i[0])):
+            for target in sorted(targets, key=str):
+                yield source, EPSILON_MOVE, target
+
+    def reachable_states(self) -> frozenset[State]:
+        """States reachable from the initial states."""
+        reached = set(self.epsilon_closure(self.initial_states))
+        frontier = deque(reached)
+        while frontier:
+            state = frontier.popleft()
+            for symbol in self.alphabet:
+                for successor in self.successors(state, symbol):
+                    for closed in self.epsilon_closure([successor]):
+                        if closed not in reached:
+                            reached.add(closed)
+                            frontier.append(closed)
+        return frozenset(reached)
+
+    def trim(self) -> "NFA":
+        """Restrict to reachable states (dead states are kept; only
+        unreachable ones are dropped)."""
+        reachable = self.reachable_states()
+        transitions = {
+            key: targets & reachable
+            for key, targets in self.transitions.items()
+            if key[0] in reachable and targets & reachable
+        }
+        epsilon_moves = {
+            state: targets & reachable
+            for state, targets in self.epsilon_moves.items()
+            if state in reachable and targets & reachable
+        }
+        return NFA(
+            states=reachable,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            epsilon_moves=epsilon_moves,
+            initial_states=self.initial_states & reachable,
+            accepting_states=self.accepting_states & reachable,
+        )
+
+    def renumbered(self) -> "NFA":
+        """Deterministically rename states to ``0..n-1`` (BFS order).
+
+        Renumbering gives structurally identical automata for identical
+        constructions regardless of the original state names, which keeps
+        golden tests and emitted NuSMV models stable.
+        """
+        order: dict[State, int] = {}
+        queue = deque(sorted(self.initial_states, key=str))
+        while queue:
+            state = queue.popleft()
+            if state in order:
+                continue
+            order[state] = len(order)
+            neighbours: list[State] = []
+            for target in sorted(self.epsilon_moves.get(state, frozenset()), key=str):
+                neighbours.append(target)
+            for symbol in sorted(self.alphabet):
+                for target in sorted(self.successors(state, symbol), key=str):
+                    neighbours.append(target)
+            queue.extend(neighbours)
+        for state in sorted(self.states - order.keys(), key=str):
+            order[state] = len(order)
+        transitions = {
+            (order[source], symbol): frozenset(order[t] for t in targets)
+            for (source, symbol), targets in self.transitions.items()
+        }
+        epsilon_moves = {
+            order[source]: frozenset(order[t] for t in targets)
+            for source, targets in self.epsilon_moves.items()
+        }
+        return NFA(
+            states=frozenset(order.values()),
+            alphabet=self.alphabet,
+            transitions=transitions,
+            epsilon_moves=epsilon_moves,
+            initial_states=frozenset(order[s] for s in self.initial_states),
+            accepting_states=frozenset(order[s] for s in self.accepting_states),
+        )
+
+
+@dataclass
+class NFABuilder:
+    """Mutable helper to assemble an :class:`NFA` incrementally."""
+
+    alphabet: set[str] = field(default_factory=set)
+    _states: set[State] = field(default_factory=set)
+    _transitions: dict[tuple[State, str], set[State]] = field(default_factory=dict)
+    _epsilon_moves: dict[State, set[State]] = field(default_factory=dict)
+    _initial_states: set[State] = field(default_factory=set)
+    _accepting_states: set[State] = field(default_factory=set)
+
+    def add_state(self, state: State) -> State:
+        self._states.add(state)
+        return state
+
+    def add_states(self, states: Iterable[State]) -> None:
+        self._states.update(states)
+
+    def mark_initial(self, state: State) -> None:
+        self.add_state(state)
+        self._initial_states.add(state)
+
+    def mark_accepting(self, state: State) -> None:
+        self.add_state(state)
+        self._accepting_states.add(state)
+
+    def add_transition(self, source: State, symbol: str, target: State) -> None:
+        if symbol is EPSILON_MOVE:
+            raise ValueError("use add_epsilon for epsilon moves")
+        self.add_state(source)
+        self.add_state(target)
+        self.alphabet.add(symbol)
+        self._transitions.setdefault((source, symbol), set()).add(target)
+
+    def add_epsilon(self, source: State, target: State) -> None:
+        self.add_state(source)
+        self.add_state(target)
+        self._epsilon_moves.setdefault(source, set()).add(target)
+
+    def build(self) -> NFA:
+        return NFA(
+            states=frozenset(self._states),
+            alphabet=frozenset(self.alphabet),
+            transitions={
+                key: frozenset(targets) for key, targets in self._transitions.items()
+            },
+            epsilon_moves={
+                state: frozenset(targets)
+                for state, targets in self._epsilon_moves.items()
+            },
+            initial_states=frozenset(self._initial_states),
+            accepting_states=frozenset(self._accepting_states),
+        )
+
+
+def empty_language_nfa(alphabet: Iterable[str] = ()) -> NFA:
+    """An NFA accepting nothing."""
+    return NFA(
+        states=frozenset({0}),
+        alphabet=frozenset(alphabet),
+        transitions={},
+        epsilon_moves={},
+        initial_states=frozenset({0}),
+        accepting_states=frozenset(),
+    )
+
+
+def epsilon_language_nfa(alphabet: Iterable[str] = ()) -> NFA:
+    """An NFA accepting exactly the empty word."""
+    return NFA(
+        states=frozenset({0}),
+        alphabet=frozenset(alphabet),
+        transitions={},
+        epsilon_moves={},
+        initial_states=frozenset({0}),
+        accepting_states=frozenset({0}),
+    )

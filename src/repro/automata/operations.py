@@ -1,0 +1,176 @@
+"""Language-level operations and decision procedures on automata.
+
+These are the verdict primitives of the checker:
+
+* :func:`is_empty` / :func:`included` / :func:`equivalent` decide language
+  questions,
+* :func:`inclusion_counterexample` produces the witness trace that the
+  diagnostics of :mod:`repro.core.diagnostics` print,
+* :func:`lift_alphabet` implements the projection trick used by the
+  subsystem-usage check: a spec over ``a.*`` events is lifted to the full
+  composite alphabet by self-looping on all foreign symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, NFABuilder
+from repro.automata.product import difference, symmetric_difference
+from repro.automata.shortest import shortest_accepted_word
+
+
+def is_empty(dfa: DFA) -> bool:
+    """Is the accepted language empty?"""
+    return not (dfa.reachable_states() & dfa.accepting_states)
+
+
+def with_alphabet(dfa: DFA, alphabet: Iterable[str]) -> DFA:
+    """Reinterpret ``dfa`` over a larger alphabet.
+
+    Symbols not previously in the alphabet have no transitions, i.e. any
+    word using them is rejected — the right reading when growing a
+    behavior automaton's alphabet to match a partner's before a product.
+    """
+    new_alphabet = frozenset(alphabet)
+    if not new_alphabet >= dfa.alphabet:
+        missing = dfa.alphabet - new_alphabet
+        raise ValueError(f"new alphabet must be a superset; missing {sorted(missing)}")
+    return DFA(
+        states=dfa.states,
+        alphabet=new_alphabet,
+        transitions=dict(dfa.transitions),
+        initial_state=dfa.initial_state,
+        accepting_states=dfa.accepting_states,
+    )
+
+
+def lift_alphabet(dfa: DFA, alphabet: Iterable[str]) -> DFA:
+    """Lift ``dfa`` to a larger alphabet by *ignoring* foreign symbols.
+
+    Every state gets a self-loop on each new symbol, so the lifted
+    automaton accepts exactly the words whose projection onto the old
+    alphabet is accepted by ``dfa``.  This is the inverse-projection used
+    to check a subsystem spec against a composite behavior.
+    """
+    new_alphabet = frozenset(alphabet)
+    if not new_alphabet >= dfa.alphabet:
+        missing = dfa.alphabet - new_alphabet
+        raise ValueError(f"lifted alphabet must be a superset; missing {sorted(missing)}")
+    transitions = dict(dfa.transitions)
+    for state in dfa.states:
+        for symbol in new_alphabet - dfa.alphabet:
+            transitions[(state, symbol)] = state
+    return DFA(
+        states=dfa.states,
+        alphabet=new_alphabet,
+        transitions=transitions,
+        initial_state=dfa.initial_state,
+        accepting_states=dfa.accepting_states,
+    )
+
+
+def project_nfa(nfa: NFA, keep: Iterable[str]) -> NFA:
+    """Project an NFA onto a sub-alphabet.
+
+    Transitions on symbols outside ``keep`` become epsilon moves, so the
+    projected automaton accepts exactly the projections of accepted
+    words.  Used to restrict a composite behavior to one subsystem's
+    events before an inclusion check.
+    """
+    kept = frozenset(keep)
+    builder = NFABuilder()
+    builder.alphabet.update(kept)
+    builder.add_states(nfa.states)
+    for state in nfa.initial_states:
+        builder.mark_initial(state)
+    for state in nfa.accepting_states:
+        builder.mark_accepting(state)
+    for source, symbol, target in nfa.iter_transitions():
+        if symbol is None or symbol not in kept:
+            builder.add_epsilon(source, target)
+        else:
+            builder.add_transition(source, symbol, target)
+    return builder.build()
+
+
+def _aligned(left: DFA, right: DFA) -> tuple[DFA, DFA]:
+    """Grow both alphabets to their union (reject-on-foreign semantics)."""
+    joint = left.alphabet | right.alphabet
+    return with_alphabet(left, joint), with_alphabet(right, joint)
+
+
+def included(left: DFA, right: DFA) -> bool:
+    """Is ``L(left) ⊆ L(right)``?"""
+    left_aligned, right_aligned = _aligned(left, right)
+    return is_empty(difference(left_aligned, right_aligned))
+
+
+def inclusion_counterexample(left: DFA, right: DFA) -> tuple[str, ...] | None:
+    """The shortest word of ``L(left) \\ L(right)``, or ``None`` if included."""
+    left_aligned, right_aligned = _aligned(left, right)
+    return shortest_accepted_word(difference(left_aligned, right_aligned))
+
+
+def equivalent(left: DFA, right: DFA) -> bool:
+    """Do the two DFAs accept the same language?"""
+    left_aligned, right_aligned = _aligned(left, right)
+    return is_empty(symmetric_difference(left_aligned, right_aligned))
+
+
+def equivalence_counterexample(left: DFA, right: DFA) -> tuple[str, ...] | None:
+    """Shortest word accepted by exactly one operand, if any."""
+    left_aligned, right_aligned = _aligned(left, right)
+    return shortest_accepted_word(symmetric_difference(left_aligned, right_aligned))
+
+
+def nfa_included(left: NFA, right: NFA) -> bool:
+    """Language inclusion between NFAs (determinize then check)."""
+    return included(determinize(left), determinize(right))
+
+
+def union_nfa(automata: Iterable[NFA]) -> NFA:
+    """NFA for the union of the operand languages (fresh shared start)."""
+    builder = NFABuilder()
+    start = ("union", "start")
+    builder.mark_initial(start)
+    for index, nfa in enumerate(automata):
+        builder.alphabet.update(nfa.alphabet)
+        rename = {state: ("union", index, state) for state in nfa.states}
+        builder.add_states(rename.values())
+        for state in nfa.initial_states:
+            builder.add_epsilon(start, rename[state])
+        for state in nfa.accepting_states:
+            builder.mark_accepting(rename[state])
+        for source, symbol, target in nfa.iter_transitions():
+            if symbol is None:
+                builder.add_epsilon(rename[source], rename[target])
+            else:
+                builder.add_transition(rename[source], symbol, rename[target])
+    return builder.build()
+
+
+def concat_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA for the concatenation ``L(first) . L(second)``."""
+    builder = NFABuilder()
+    builder.alphabet.update(first.alphabet | second.alphabet)
+    rename_first = {state: ("cat", 0, state) for state in first.states}
+    rename_second = {state: ("cat", 1, state) for state in second.states}
+    builder.add_states(rename_first.values())
+    builder.add_states(rename_second.values())
+    for state in first.initial_states:
+        builder.mark_initial(rename_first[state])
+    for state in second.accepting_states:
+        builder.mark_accepting(rename_second[state])
+    for nfa, rename in ((first, rename_first), (second, rename_second)):
+        for source, symbol, target in nfa.iter_transitions():
+            if symbol is None:
+                builder.add_epsilon(rename[source], rename[target])
+            else:
+                builder.add_transition(rename[source], symbol, rename[target])
+    for state in first.accepting_states:
+        for target in second.initial_states:
+            builder.add_epsilon(rename_first[state], rename_second[target])
+    return builder.build()

@@ -1,0 +1,103 @@
+"""Product constructions on DFAs (intersection and difference).
+
+The usage check of §2.2 reduces to *difference*: a violation exists iff
+``L(behavior) \\ L(lifted spec)`` is non-empty, and the shortest word of
+the difference automaton is exactly the counterexample Shelley prints.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.dfa import DFA
+
+
+def _product(left: DFA, right: DFA, accept_left: bool, accept_right: bool) -> DFA:
+    """Reachable product of two *total* DFAs over the same alphabet.
+
+    ``accept_left``/``accept_right`` pick the acceptance condition:
+    both ``True`` gives intersection, ``True``/``False`` gives difference
+    (left minus right).
+    """
+    if left.alphabet != right.alphabet:
+        raise ValueError(
+            "product requires equal alphabets; "
+            f"got {sorted(left.alphabet)} vs {sorted(right.alphabet)}"
+        )
+    left_total = left.completed()
+    right_total = right.completed()
+    initial = (left_total.initial_state, right_total.initial_state)
+    states = {initial}
+    transitions: dict[tuple[tuple, str], tuple] = {}
+    accepting: set[tuple] = set()
+    queue = deque([initial])
+    ordered_alphabet = sorted(left.alphabet)
+    while queue:
+        pair = queue.popleft()
+        left_state, right_state = pair
+        left_ok = left_state in left_total.accepting_states
+        right_ok = right_state in right_total.accepting_states
+        if (left_ok == accept_left) and (right_ok == accept_right):
+            accepting.add(pair)
+        for symbol in ordered_alphabet:
+            successor = (
+                left_total.successor(left_state, symbol),
+                right_total.successor(right_state, symbol),
+            )
+            transitions[(pair, symbol)] = successor
+            if successor not in states:
+                states.add(successor)
+                queue.append(successor)
+    return DFA(
+        states=frozenset(states),
+        alphabet=left.alphabet,
+        transitions=transitions,
+        initial_state=initial,
+        accepting_states=frozenset(accepting),
+    )
+
+
+def intersection(left: DFA, right: DFA) -> DFA:
+    """A DFA for ``L(left) ∩ L(right)``."""
+    return _product(left, right, accept_left=True, accept_right=True)
+
+
+def difference(left: DFA, right: DFA) -> DFA:
+    """A DFA for ``L(left) \\ L(right)``."""
+    return _product(left, right, accept_left=True, accept_right=False)
+
+
+def symmetric_difference(left: DFA, right: DFA) -> DFA:
+    """A DFA accepting when exactly one operand accepts (for equivalence)."""
+    if left.alphabet != right.alphabet:
+        raise ValueError("symmetric difference requires equal alphabets")
+    left_total = left.completed()
+    right_total = right.completed()
+    initial = (left_total.initial_state, right_total.initial_state)
+    states = {initial}
+    transitions: dict[tuple[tuple, str], tuple] = {}
+    accepting: set[tuple] = set()
+    queue = deque([initial])
+    while queue:
+        pair = queue.popleft()
+        left_state, right_state = pair
+        if (left_state in left_total.accepting_states) != (
+            right_state in right_total.accepting_states
+        ):
+            accepting.add(pair)
+        for symbol in sorted(left.alphabet):
+            successor = (
+                left_total.successor(left_state, symbol),
+                right_total.successor(right_state, symbol),
+            )
+            transitions[(pair, symbol)] = successor
+            if successor not in states:
+                states.add(successor)
+                queue.append(successor)
+    return DFA(
+        states=frozenset(states),
+        alphabet=left.alphabet,
+        transitions=transitions,
+        initial_state=initial,
+        accepting_states=frozenset(accepting),
+    )

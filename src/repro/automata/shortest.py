@@ -1,0 +1,85 @@
+"""Shortest accepted words — the counterexamples Shelley prints.
+
+Both error reports in §2.2 of the paper end with a ``Counter example:``
+line; that line is the shortest word of a product automaton, extracted
+here by breadth-first search with alphabetical tie-breaking so reports
+are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+
+
+def shortest_accepted_word(dfa: DFA) -> tuple[str, ...] | None:
+    """The length-lex smallest accepted word, or ``None`` if ``L = ∅``."""
+    if dfa.initial_state in dfa.accepting_states:
+        return ()
+    parents: dict = {dfa.initial_state: None}
+    queue = deque([dfa.initial_state])
+    ordered_alphabet = sorted(dfa.alphabet)
+    while queue:
+        state = queue.popleft()
+        for symbol in ordered_alphabet:
+            successor = dfa.successor(state, symbol)
+            if successor is None or successor in parents:
+                continue
+            parents[successor] = (state, symbol)
+            if successor in dfa.accepting_states:
+                return _reconstruct(parents, successor)
+            queue.append(successor)
+    return None
+
+
+def _reconstruct(parents: dict, state) -> tuple[str, ...]:
+    word: list[str] = []
+    while parents[state] is not None:
+        state, symbol = parents[state]
+        word.append(symbol)
+    return tuple(reversed(word))
+
+
+def shortest_accepted_word_nfa(nfa: NFA) -> tuple[str, ...] | None:
+    """Shortest accepted word of an NFA (BFS over epsilon-closed subsets)."""
+    initial = nfa.epsilon_closure(nfa.initial_states)
+    if initial & nfa.accepting_states:
+        return ()
+    parents: dict[frozenset, tuple[frozenset, str] | None] = {initial: None}
+    queue = deque([initial])
+    ordered_alphabet = sorted(nfa.alphabet)
+    while queue:
+        subset = queue.popleft()
+        for symbol in ordered_alphabet:
+            successor = nfa.step(subset, symbol)
+            if not successor or successor in parents:
+                continue
+            parents[successor] = (subset, symbol)
+            if successor & nfa.accepting_states:
+                return _reconstruct(parents, successor)
+            queue.append(successor)
+    return None
+
+
+def iter_accepted_words(dfa: DFA, max_length: int) -> Iterator[tuple[str, ...]]:
+    """All accepted words up to ``max_length``, in length-lex order.
+
+    Unlike :func:`shortest_accepted_word` this enumerates *words*, not
+    states, so the number of results can be exponential in the bound; use
+    small bounds (tests and claim-diagnostics do).
+    """
+    queue: deque[tuple[tuple[str, ...], object]] = deque([((), dfa.initial_state)])
+    ordered_alphabet = sorted(dfa.alphabet)
+    while queue:
+        word, state = queue.popleft()
+        if state in dfa.accepting_states:
+            yield word
+        if len(word) >= max_length:
+            continue
+        for symbol in ordered_alphabet:
+            successor = dfa.successor(state, symbol)
+            if successor is not None:
+                queue.append((word + (symbol,), successor))

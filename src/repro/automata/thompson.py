@@ -1,0 +1,74 @@
+"""Thompson construction: regular expression → NFA.
+
+One direction of Corollary 1 (``L(p)`` is regular): the regex produced by
+``infer(p)`` compiles to an automaton with at most two states per regex
+node and epsilon glue, by structural recursion.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA, NFABuilder
+from repro.regex.ast import Concat, Empty, Epsilon, Regex, Star, Symbol, Union
+
+
+def thompson(regex: Regex, alphabet: frozenset[str] | None = None) -> NFA:
+    """Build an NFA accepting exactly the language of ``regex``.
+
+    ``alphabet`` optionally forces a larger alphabet than the symbols
+    occurring in the regex (useful before products).
+    """
+    builder = NFABuilder()
+    if alphabet is not None:
+        builder.alphabet.update(alphabet)
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    def build(node: Regex) -> tuple[int, int]:
+        """Return (entry, exit) states of the fragment for ``node``."""
+        entry, exit_ = fresh(), fresh()
+        builder.add_state(entry)
+        builder.add_state(exit_)
+        if isinstance(node, Empty):
+            pass  # no path from entry to exit
+        elif isinstance(node, Epsilon):
+            builder.add_epsilon(entry, exit_)
+        elif isinstance(node, Symbol):
+            builder.add_transition(entry, node.name, exit_)
+        elif isinstance(node, Concat):
+            left_entry, left_exit = build(node.left)
+            right_entry, right_exit = build(node.right)
+            builder.add_epsilon(entry, left_entry)
+            builder.add_epsilon(left_exit, right_entry)
+            builder.add_epsilon(right_exit, exit_)
+        elif isinstance(node, Union):
+            left_entry, left_exit = build(node.left)
+            right_entry, right_exit = build(node.right)
+            builder.add_epsilon(entry, left_entry)
+            builder.add_epsilon(entry, right_entry)
+            builder.add_epsilon(left_exit, exit_)
+            builder.add_epsilon(right_exit, exit_)
+        elif isinstance(node, Star):
+            inner_entry, inner_exit = build(node.inner)
+            builder.add_epsilon(entry, inner_entry)
+            builder.add_epsilon(inner_exit, inner_entry)
+            builder.add_epsilon(entry, exit_)
+            builder.add_epsilon(inner_exit, exit_)
+        else:
+            raise TypeError(f"not a Regex: {node!r}")
+        return entry, exit_
+
+    entry, exit_ = build(regex)
+    builder.mark_initial(entry)
+    builder.mark_accepting(exit_)
+    return builder.build()
+
+
+def regex_to_dfa(regex: Regex, alphabet: frozenset[str] | None = None):
+    """Convenience: regex → minimal DFA (Thompson, subset, Hopcroft)."""
+    from repro.automata.determinize import determinize
+    from repro.automata.minimize import minimize
+
+    return minimize(determinize(thompson(regex, alphabet)))

@@ -1,0 +1,66 @@
+"""State elimination: NFA → regular expression (the GNFA algorithm).
+
+The other direction of the regularity story: any extracted automaton can
+be turned back into a regex, which closes the round trip
+``regex → NFA → DFA → regex`` exercised by the Corollary 1 benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.regex.ast import EMPTY, EPSILON, Regex, concat, star, symbol, union
+
+
+def nfa_to_regex(nfa: NFA) -> Regex:
+    """A regular expression for the language of ``nfa``.
+
+    Builds a generalized NFA with a single fresh start and accept state
+    and eliminates original states one by one, rewriting the transition
+    labels into regexes.  Elimination order is by state name, which keeps
+    the output deterministic (though not minimal — regex minimality is
+    not needed anywhere; language equality is what the tests check).
+    """
+    trimmed = nfa.trim()
+    start = ("gnfa", "start")
+    accept = ("gnfa", "accept")
+
+    # edge[(p, q)] = regex labelling the edge p -> q.
+    edges: dict[tuple, Regex] = {}
+
+    def add_edge(source, target, label: Regex) -> None:
+        key = (source, target)
+        edges[key] = union(edges.get(key, EMPTY), label)
+
+    for state in trimmed.initial_states:
+        add_edge(start, state, EPSILON)
+    for state in trimmed.accepting_states:
+        add_edge(state, accept, EPSILON)
+    for source, move_symbol, target in trimmed.iter_transitions():
+        label = EPSILON if move_symbol is None else symbol(move_symbol)
+        add_edge(source, target, label)
+
+    if not trimmed.states or not trimmed.accepting_states:
+        return EMPTY
+
+    for state in sorted(trimmed.states, key=str):
+        self_loop = edges.pop((state, state), EMPTY)
+        loop_star = star(self_loop)
+        incoming = [
+            (source, label)
+            for (source, target), label in edges.items()
+            if target == state and source != state
+        ]
+        outgoing = [
+            (target, label)
+            for (source, target), label in edges.items()
+            if source == state and target != state
+        ]
+        for source, _label in incoming:
+            edges.pop((source, state), None)
+        for target, _label in outgoing:
+            edges.pop((state, target), None)
+        for source, in_label in incoming:
+            for target, out_label in outgoing:
+                add_edge(source, target, concat(in_label, concat(loop_star, out_label)))
+
+    return edges.get((start, accept), EMPTY)

@@ -1,0 +1,297 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro check FILE          verify a module (paper-style error reports)
+    repro explain FILE        verify and narrate each usage counterexample
+    repro model FILE          print each operation's inferred behavior regex
+    repro deps FILE [CLASS]   print the §3.1 dependency graph
+    repro viz FILE [CLASS]    emit a DOT behavior diagram (Figures 1-3)
+    repro nusmv FILE CLASS    emit the NuSMV encoding of a class
+    repro export FILE [CLASS] emit the extracted model as JSON
+    repro report FILE         render a Markdown verification report
+    repro suite FILE [CLASS]  generate a lifecycle test suite from the model
+    repro theorems            run the bounded metatheory checks (Thm 1-2, Cor 1)
+
+Exit status: 0 on success / verified, 1 on verification errors, 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys as _sys
+from pathlib import Path
+
+from repro.core.behavior import behavior_nfa, operation_exit_regexes
+from repro.core.checker import Checker
+from repro.core.dependency import extract_dependency_graph
+from repro.core.spec import ClassSpec
+from repro.frontend.model_ast import FrontendError, ParsedModule
+from repro.frontend.parse import parse_file
+from repro.lang.inference import behavior as infer_behavior
+from repro.regex.ast import format_regex
+
+
+def _load(path: str):
+    from repro.frontend.project import parse_project
+
+    try:
+        if Path(path).is_dir():
+            return parse_project(path)
+        return parse_file(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {path}")
+    except FrontendError as error:
+        raise SystemExit(f"error: cannot parse {path}: {error}")
+
+
+def _select_class(module: ParsedModule, name: str | None, path: str):
+    if name is None:
+        if len(module.classes) == 1:
+            return module.classes[0]
+        names = ", ".join(module.class_names()) or "(none)"
+        raise SystemExit(
+            f"error: {path} defines several @sys classes ({names}); "
+            "name one explicitly"
+        )
+    parsed = module.get_class(name)
+    if parsed is None:
+        raise SystemExit(f"error: {path} defines no @sys class named {name}")
+    return parsed
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    module, violations = _load(args.file)
+    result = Checker(module, violations).check()
+    print(result.format())
+    return 0 if result.ok else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain_counterexample
+
+    module, violations = _load(args.file)
+    checker = Checker(module, violations)
+    result = checker.check()
+    print(result.format())
+    for diagnostic in result.by_code("invalid-subsystem-usage"):
+        parsed = module.get_class(diagnostic.class_name)
+        if parsed is None or diagnostic.counterexample is None:
+            continue
+        explanation = explain_counterexample(
+            parsed, checker.specs, diagnostic.counterexample
+        )
+        print()
+        print(f"Explanation for {diagnostic.class_name}:")
+        print(explanation.format())
+    return 0 if result.ok else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.automata.determinize import determinize
+    from repro.core.model_io import dump_dependency_graph, dump_dfa, dump_spec
+    from repro.core.spec import ClassSpec
+
+    module, _violations = _load(args.file)
+    parsed = _select_class(module, args.cls, args.file)
+    if args.what == "spec":
+        print(dump_spec(ClassSpec.of(parsed)))
+    elif args.what == "deps":
+        print(dump_dependency_graph(extract_dependency_graph(parsed)))
+    else:  # behavior DFA
+        print(dump_dfa(determinize(behavior_nfa(parsed))))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.testing.conformance import generate_suite
+
+    module, _violations = _load(args.file)
+    parsed = _select_class(module, args.cls, args.file)
+    suite = generate_suite(ClassSpec.of(parsed), max_sequences=args.max)
+    for sequence in suite:
+        print(", ".join(sequence) or "(empty lifecycle)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.viz.report import render_report
+
+    module, violations = _load(args.file)
+    text = render_report(module, violations, title=args.file)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    module, _violations = _load(args.file)
+    for parsed in module.classes:
+        print(f"class {parsed.name}:")
+        for operation in parsed.operations:
+            inferred = infer_behavior(operation.body)
+            print(f"  {operation.name}:")
+            print(f"    ongoing : {format_regex(inferred.ongoing)}")
+            for point in operation.returns:
+                per_exit = operation_exit_regexes(operation)[point.exit_id]
+                next_set = list(point.next_methods)
+                print(
+                    f"    exit {point.exit_id} -> {next_set}: "
+                    f"{format_regex(per_exit)}"
+                )
+    return 0
+
+
+def _cmd_deps(args: argparse.Namespace) -> int:
+    from repro.viz.ascii_art import dependency_text
+    from repro.viz.dot import dependency_diagram
+
+    module, _violations = _load(args.file)
+    parsed = _select_class(module, args.cls, args.file)
+    graph = extract_dependency_graph(parsed)
+    if args.dot:
+        print(dependency_diagram(graph), end="")
+    else:
+        print(dependency_text(graph), end="")
+    return 0
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from repro.viz.ascii_art import spec_text
+    from repro.viz.dot import spec_diagram
+
+    module, _violations = _load(args.file)
+    parsed = _select_class(module, args.cls, args.file)
+    spec = ClassSpec.of(parsed)
+    text = spec_diagram(spec) if args.dot else spec_text(spec)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_nusmv(args: argparse.Namespace) -> int:
+    from repro.automata.determinize import determinize
+    from repro.ltlf.parser import parse_claim
+    from repro.nusmv.emit import emit_model
+
+    module, _violations = _load(args.file)
+    parsed = _select_class(module, args.cls, args.file)
+    dfa = determinize(behavior_nfa(parsed)).renumbered()
+    claims = [parse_claim(text) for text in parsed.claims]
+    print(emit_model(dfa, claims), end="")
+    return 0
+
+
+def _cmd_theorems(args: argparse.Namespace) -> int:
+    from repro.lang.metatheory import check_all_theorems
+
+    reports = check_all_theorems(
+        max_program_size=args.size, max_trace_length=args.length
+    )
+    failed = False
+    for report in reports:
+        print(report.summary())
+        for counterexample in report.counterexamples:
+            print(f"  counterexample: {counterexample}")
+        failed = failed or not report.holds
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Model inference and call-ordering verification for annotated "
+            "MicroPython (reproduction of DSN-W 2023)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="verify a module")
+    check.add_argument("file")
+    check.set_defaults(func=_cmd_check)
+
+    explain = subparsers.add_parser(
+        "explain", help="verify and narrate usage counterexamples"
+    )
+    explain.add_argument("file")
+    explain.set_defaults(func=_cmd_explain)
+
+    export = subparsers.add_parser("export", help="emit extracted models as JSON")
+    export.add_argument("file")
+    export.add_argument("cls", nargs="?", default=None)
+    export.add_argument(
+        "--what",
+        choices=["spec", "deps", "dfa"],
+        default="spec",
+        help="which model to export (default: the class specification)",
+    )
+    export.set_defaults(func=_cmd_export)
+
+    suite = subparsers.add_parser(
+        "suite", help="generate a transition-covering lifecycle test suite"
+    )
+    suite.add_argument("file")
+    suite.add_argument("cls", nargs="?", default=None)
+    suite.add_argument("--max", type=int, default=None, help="cap the suite size")
+    suite.set_defaults(func=_cmd_suite)
+
+    report = subparsers.add_parser(
+        "report", help="render a Markdown verification report"
+    )
+    report.add_argument("file")
+    report.add_argument("--output", "-o", default=None, help="write to a file")
+    report.set_defaults(func=_cmd_report)
+
+    model = subparsers.add_parser("model", help="print inferred behaviors")
+    model.add_argument("file")
+    model.set_defaults(func=_cmd_model)
+
+    deps = subparsers.add_parser("deps", help="print the dependency graph")
+    deps.add_argument("file")
+    deps.add_argument("cls", nargs="?", default=None)
+    deps.add_argument("--dot", action="store_true", help="emit DOT instead of text")
+    deps.set_defaults(func=_cmd_deps)
+
+    viz = subparsers.add_parser("viz", help="emit a behavior diagram")
+    viz.add_argument("file")
+    viz.add_argument("cls", nargs="?", default=None)
+    viz.add_argument("--dot", action="store_true", help="emit DOT instead of text")
+    viz.add_argument("--output", "-o", default=None, help="write to a file")
+    viz.set_defaults(func=_cmd_viz)
+
+    nusmv = subparsers.add_parser("nusmv", help="emit a NuSMV model")
+    nusmv.add_argument("file")
+    nusmv.add_argument("cls", nargs="?", default=None)
+    nusmv.set_defaults(func=_cmd_nusmv)
+
+    theorems = subparsers.add_parser(
+        "theorems", help="run the bounded metatheory checks"
+    )
+    theorems.add_argument("--size", type=int, default=4, help="max program size")
+    theorems.add_argument("--length", type=int, default=5, help="max trace length")
+    theorems.set_defaults(func=_cmd_theorems)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SystemExit:
+        raise
+    except BrokenPipeError:  # pragma: no cover - terminal plumbing
+        return 0
+
+
+if __name__ == "__main__":
+    _sys.exit(main())

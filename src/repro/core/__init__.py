@@ -1,0 +1,110 @@
+"""Shelley core: model extraction and call-ordering verification.
+
+* :mod:`repro.core.spec` — class specifications and their automata,
+* :mod:`repro.core.dependency` — method dependency extraction (§3.1),
+* :mod:`repro.core.behavior` — behavior automata (spec + inferred bodies),
+* :mod:`repro.core.usage` — subsystem-usage inclusion check (§2.2),
+* :mod:`repro.core.exhaustiveness` — invocation & match analyses (§3.3),
+* :mod:`repro.core.claims` — LTLf claim verification (§2.2),
+* :mod:`repro.core.lint` — specification well-formedness,
+* :mod:`repro.core.checker` — the end-to-end pipeline,
+* :mod:`repro.core.diagnostics` — structured, paper-style reports.
+"""
+
+from repro.core.behavior import behavior_nfa, operation_exit_regexes, subsystem_alphabet
+from repro.core.checker import Checker, check_path, check_source
+from repro.core.claims import check_claims
+from repro.core.dependency import (
+    DependencyGraph,
+    EntryNode,
+    ExitNode,
+    extract_dependency_graph,
+)
+from repro.core.diagnostics import (
+    FAIL_TO_MEET_REQUIREMENT,
+    INVALID_SUBSYSTEM_USAGE,
+    CheckResult,
+    Diagnostic,
+    Severity,
+    SubsystemError,
+)
+from repro.core.exhaustiveness import check_invocations, check_match_exhaustiveness
+from repro.core.explain import Explanation, TraceStep, explain_counterexample
+from repro.core.lint import lint_spec
+from repro.core.metrics import ModelMetrics, collect_metrics
+from repro.core.refinement import (
+    check_refinement,
+    check_substitutable,
+    equivalent_specs,
+)
+from repro.core.model_io import (
+    ModelFormatError,
+    dump_dependency_graph,
+    dump_dfa,
+    dump_spec,
+    load_dependency_graph,
+    load_dfa,
+    load_spec,
+)
+from repro.core.spec import START_STATE, ClassSpec, exit_state
+from repro.core.vacuity import (
+    VacuityWitness,
+    check_claim_vacuity,
+    find_vacuous_atoms,
+    strengthening_mutants,
+)
+from repro.core.usage import (
+    UsageViolation,
+    check_subsystem_usage,
+    find_usage_violations,
+    replay_against_spec,
+)
+
+__all__ = [
+    "Checker",
+    "CheckResult",
+    "ClassSpec",
+    "DependencyGraph",
+    "Diagnostic",
+    "EntryNode",
+    "ExitNode",
+    "Explanation",
+    "FAIL_TO_MEET_REQUIREMENT",
+    "ModelFormatError",
+    "ModelMetrics",
+    "INVALID_SUBSYSTEM_USAGE",
+    "START_STATE",
+    "Severity",
+    "SubsystemError",
+    "TraceStep",
+    "UsageViolation",
+    "VacuityWitness",
+    "behavior_nfa",
+    "check_claim_vacuity",
+    "check_claims",
+    "check_invocations",
+    "check_match_exhaustiveness",
+    "check_path",
+    "check_refinement",
+    "check_source",
+    "check_substitutable",
+    "check_subsystem_usage",
+    "collect_metrics",
+    "dump_dependency_graph",
+    "dump_dfa",
+    "dump_spec",
+    "equivalent_specs",
+    "exit_state",
+    "explain_counterexample",
+    "extract_dependency_graph",
+    "find_usage_violations",
+    "find_vacuous_atoms",
+    "lint_spec",
+    "strengthening_mutants",
+    "load_dependency_graph",
+    "load_dfa",
+    "load_spec",
+    "operation_exit_regexes",
+    "replay_against_spec",
+    "subsystem_alphabet",
+]

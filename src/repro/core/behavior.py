@@ -1,0 +1,113 @@
+"""The behavior automaton of a class: spec structure + inferred bodies.
+
+For a composite class the automaton describes every trace a complete
+lifecycle can produce, over the joint alphabet of
+
+* the class's **own operation events** (bare names: ``open_a``), and
+* the **subsystem-call events** of the operation bodies (dotted names:
+  ``a.test``) — inferred per exit point by ``⟦·⟧`` (Figure 4).
+
+Construction: take the specification automaton of :class:`ClassSpec`
+and expand each ``source --m--> exit_i(m)`` arc into
+
+    ``source --m--> entered(m) --[body behavior for exit i]--> exit_i(m)``
+
+where the body behavior is the Thompson automaton of the exit's inferred
+regex.  Which exit a call takes is the callee's internal choice, so the
+branching stays nondeterministic exactly as in the spec automaton.
+
+For a base class the bodies perform no constrained calls, every exit
+regex is ``ε`` and the construction degenerates to the specification
+automaton itself — one uniform code path for both cases.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA, NFABuilder
+from repro.automata.thompson import thompson
+from repro.core.spec import START_STATE, ClassSpec, exit_state
+from repro.frontend.model_ast import OperationDef, ParsedClass
+from repro.lang.inference import exit_behaviors
+from repro.regex.ast import EPSILON, Regex
+
+
+def operation_exit_regexes(operation: OperationDef) -> dict[int, Regex]:
+    """Inferred behavior (over subsystem-call events) per exit point."""
+    inferred = exit_behaviors(operation.body)
+    # Operations with no returns (already diagnosed) get no entries.
+    return {
+        point.exit_id: inferred.get(point.exit_id, EPSILON)
+        for point in operation.returns
+    }
+
+
+def behavior_nfa(parsed: ParsedClass) -> NFA:
+    """Build the behavior automaton of ``parsed``."""
+    spec = ClassSpec.of(parsed)
+    builder = NFABuilder()
+    builder.mark_initial(START_STATE)
+    builder.mark_accepting(START_STATE)
+
+    entered = {op.name: ("entered", op.name) for op in parsed.operations}
+
+    # Splice each operation's per-exit body fragments once.
+    for operation in parsed.operations:
+        builder.add_state(entered[operation.name])
+        exit_regexes = operation_exit_regexes(operation)
+        for point in operation.returns:
+            fragment = thompson(exit_regexes[point.exit_id])
+            rename = {
+                state: ("body", operation.name, point.exit_id, state)
+                for state in fragment.states
+            }
+            builder.add_states(rename.values())
+            for source, symbol, target in fragment.iter_transitions():
+                if symbol is None:
+                    builder.add_epsilon(rename[source], rename[target])
+                else:
+                    builder.add_transition(rename[source], symbol, rename[target])
+            for state in fragment.initial_states:
+                builder.add_epsilon(entered[operation.name], rename[state])
+            target_exit = exit_state(operation.name, point.exit_id)
+            builder.add_state(target_exit)
+            for state in fragment.accepting_states:
+                builder.add_epsilon(rename[state], target_exit)
+
+    def connect(source, operation: OperationDef) -> None:
+        builder.add_transition(source, operation.name, entered[operation.name])
+
+    # Wire the spec structure: initial ops from start, next-method sets
+    # from each exit, and acceptance at exits of final ops.
+    for operation in spec.initial_operations():
+        connect(START_STATE, operation)
+    for operation in parsed.operations:
+        for point in operation.returns:
+            source = exit_state(operation.name, point.exit_id)
+            for next_name in point.next_methods:
+                next_operation = spec.operation(next_name)
+                if next_operation is not None:
+                    connect(source, next_operation)
+        if operation.kind.is_final:
+            for point in operation.returns:
+                builder.mark_accepting(exit_state(operation.name, point.exit_id))
+
+    # Keep the full event vocabulary in the alphabet even when parts are
+    # unreachable, so later products and lifts line up.
+    for operation in parsed.operations:
+        builder.alphabet.add(operation.name)
+        builder.alphabet.update(operation.calls)
+    return builder.build()
+
+
+def subsystem_alphabet(parsed: ParsedClass, field_name: str) -> frozenset[str]:
+    """Event labels of one subsystem instance (``a.test``, ``a.open``...).
+
+    Includes every method the class's bodies actually call on the field
+    *and* every operation the subsystem's class declares is added by the
+    caller when the spec is known; here we return the called set.
+    """
+    prefix = field_name + "."
+    labels: set[str] = set()
+    for operation in parsed.operations:
+        labels.update(label for label in operation.calls if label.startswith(prefix))
+    return frozenset(labels)

@@ -1,0 +1,99 @@
+"""The verification pipeline: parse → lint → extract → check.
+
+This is the public entry point a user of the library calls::
+
+    from repro import check_source
+    result = check_source(open("controller.py").read())
+    print(result.format())
+
+For each ``@sys`` class, in source order:
+
+1. subset violations collected by the frontend become diagnostics;
+2. the specification lints of :mod:`repro.core.lint` run;
+3. for composite classes, the invocation and match-exhaustiveness
+   analyses run (§3, step 3);
+4. the behavior automaton is built (skipped when earlier *errors* make
+   it meaningless) and the subsystem-usage inclusion check runs (§2.2);
+5. every ``@claim`` is verified against the behavior (§2.2), and claims
+   that hold are additionally screened for vacuity (warnings).
+
+Hierarchies work naturally: specs of all classes in the module are in
+scope, so a composite may use another composite as a subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.automata.determinize import determinize
+from repro.core.behavior import behavior_nfa
+from repro.core.claims import check_claims
+from repro.core.diagnostics import CheckResult, from_subset_violation
+from repro.core.exhaustiveness import check_invocations, check_match_exhaustiveness
+from repro.core.lint import lint_spec
+from repro.core.spec import ClassSpec
+from repro.core.usage import check_subsystem_usage
+from repro.core.vacuity import check_claim_vacuity
+from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
+from repro.frontend.parse import parse_file, parse_module
+from repro.frontend.subset import validate_module
+
+
+@dataclass
+class Checker:
+    """Checks a parsed module; reusable across classes of one file."""
+
+    module: ParsedModule
+    violations: list[SubsetViolation]
+
+    def __post_init__(self) -> None:
+        self.specs: dict[str, ClassSpec] = {
+            parsed.name: ClassSpec.of(parsed) for parsed in self.module.classes
+        }
+
+    # ------------------------------------------------------------------
+
+    def check_class(self, parsed: ParsedClass) -> CheckResult:
+        """Run the full pipeline on one class."""
+        result = CheckResult()
+        result.extend(lint_spec(parsed))
+        structural_errors = not result.ok
+        if parsed.is_composite:
+            result.extend(check_invocations(parsed, self.specs))
+            result.extend(check_match_exhaustiveness(parsed, self.specs))
+        if structural_errors:
+            # The behavior automaton would be built from a broken spec;
+            # usage/claim verdicts on it would be noise.
+            return result
+        behavior = behavior_nfa(parsed)
+        if parsed.is_composite:
+            result.extend(
+                check_subsystem_usage(parsed, self.specs, determinize(behavior))
+            )
+        result.extend(check_claims(parsed, behavior, self.specs))
+        result.extend(check_claim_vacuity(parsed, behavior, self.specs))
+        return result
+
+    def check(self) -> CheckResult:
+        """Check the whole module."""
+        result = CheckResult()
+        for violation in self.violations:
+            result.diagnostics.append(from_subset_violation(violation))
+        for violation in validate_module(self.module):
+            result.diagnostics.append(from_subset_violation(violation))
+        for parsed in self.module.classes:
+            result.extend(self.check_class(parsed))
+        return result
+
+
+def check_source(source: str, source_name: str = "<string>") -> CheckResult:
+    """Parse and check annotated MicroPython source code."""
+    module, violations = parse_module(source, source_name)
+    return Checker(module, violations).check()
+
+
+def check_path(path: str | Path) -> CheckResult:
+    """Parse and check an annotated MicroPython file."""
+    module, violations = parse_file(path)
+    return Checker(module, violations).check()

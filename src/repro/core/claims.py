@@ -1,0 +1,143 @@
+"""Temporal-claim verification (the ``FAIL TO MEET REQUIREMENT`` check).
+
+Each ``@claim`` formula must hold on *every* trace of the class.  The
+check intersects the class's trace language with the DFA of the negated
+formula; a non-empty intersection is a violation and its shortest word
+is the counterexample the report prints.
+
+Claim traces are presented the way the paper presents them: over the
+events the formula can observe — subsystem-call events for composite
+classes (``a.test, a.open, ...``), plus any own-operation names the
+formula mentions (which is also how claims on *base* classes work, e.g.
+``@claim("G (open -> F close)")`` on ``Valve``).
+"""
+
+from __future__ import annotations
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.operations import project_nfa, with_alphabet
+from repro.automata.product import intersection
+from repro.automata.shortest import shortest_accepted_word
+from repro.core.behavior import behavior_nfa
+from repro.core.spec import ClassSpec
+from repro.core.diagnostics import (
+    FAIL_TO_MEET_REQUIREMENT,
+    CheckResult,
+    Diagnostic,
+    Severity,
+)
+from repro.frontend.model_ast import ParsedClass
+from repro.ltlf.ast import atoms as formula_atoms
+from repro.ltlf.parser import ClaimSyntaxError, parse_claim
+from repro.ltlf.translate import negation_to_dfa
+
+
+def claim_alphabet(
+    parsed: ParsedClass,
+    behavior: NFA,
+    formula_atom_names: frozenset[str],
+    specs: dict[str, "ClassSpec"] | None = None,
+) -> frozenset[str]:
+    """The events a claim observes: dotted subsystem events plus any
+    own-operation names the formula explicitly mentions.
+
+    With ``specs`` available, the dotted vocabulary covers *every*
+    operation each subsystem class declares — a claim may meaningfully
+    mention an event the bodies never produce (that is exactly what a
+    violated absence or a vacuous response looks like).
+    """
+    dotted = set(label for label in behavior.alphabet if "." in label)
+    if specs is not None:
+        for declaration in parsed.subsystems:
+            if declaration.field_name not in parsed.subsystem_fields:
+                continue
+            spec = specs.get(declaration.class_name)
+            if spec is not None:
+                dotted.update(
+                    f"{declaration.field_name}.{name}"
+                    for name in spec.operation_names()
+                )
+    # A formula may mention an event of a declared field that the bodies
+    # never produce (that is what a violated absence looks like); such
+    # atoms are observable even when no spec table is supplied.
+    dotted.update(
+        name
+        for name in formula_atom_names
+        if name.partition(".")[0] in parsed.subsystem_fields
+    )
+    own = frozenset(parsed.operation_names())
+    if not dotted:
+        # Base class: claims range over the full operation vocabulary
+        # (projecting unmentioned operations away would distort X/G).
+        return own
+    return frozenset(dotted) | (formula_atom_names & own)
+
+
+def check_claims(
+    parsed: ParsedClass,
+    behavior: NFA | None = None,
+    specs: dict[str, "ClassSpec"] | None = None,
+) -> CheckResult:
+    """Verify every ``@claim`` of ``parsed``."""
+    result = CheckResult()
+    if not parsed.claims:
+        return result
+    if behavior is None:
+        behavior = behavior_nfa(parsed)
+    for formula_text in parsed.claims:
+        try:
+            formula = parse_claim(formula_text)
+        except ClaimSyntaxError as error:
+            result.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="bad-claim",
+                    message=f"cannot parse claim {formula_text!r}: {error}",
+                    class_name=parsed.name,
+                    lineno=parsed.lineno,
+                )
+            )
+            continue
+        atom_names = formula_atoms(formula)
+        observed = claim_alphabet(parsed, behavior, atom_names, specs)
+        unknown_atoms = atom_names - observed - behavior.alphabet
+        if unknown_atoms:
+            result.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="bad-claim",
+                    message=(
+                        f"claim {formula_text!r} mentions events that the "
+                        f"class never produces: {sorted(unknown_atoms)}"
+                    ),
+                    class_name=parsed.name,
+                    lineno=parsed.lineno,
+                )
+            )
+            continue
+        projected: DFA = determinize(project_nfa(behavior, observed))
+        violation_dfa = negation_to_dfa(formula, alphabet=observed)
+        joint = projected.alphabet | violation_dfa.alphabet
+        bad = intersection(
+            with_alphabet(projected, joint), with_alphabet(violation_dfa, joint)
+        )
+        counterexample = shortest_accepted_word(bad)
+        if counterexample is not None:
+            result.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    code="unmet-requirement",
+                    title=FAIL_TO_MEET_REQUIREMENT,
+                    message=(
+                        f"class {parsed.name} violates the temporal claim "
+                        f"{formula_text!r}"
+                    ),
+                    class_name=parsed.name,
+                    formula=formula_text,
+                    counterexample=counterexample,
+                    lineno=parsed.lineno,
+                )
+            )
+    return result

@@ -1,0 +1,122 @@
+"""Method dependency extraction (§3.1 of the paper).
+
+The method-dependency graph is a directed graph where
+
+* there is one **entry node** per method and one **exit node** per
+  ``return`` statement of each method;
+* each entry node links to each of its method's exit nodes;
+* each exit node links to the entry node of every method named in its
+  ``return`` list.
+
+Figure 3 of the paper is exactly this graph for Listing 3.1's ``Sector``
+class; ``benchmarks/bench_figure3_sector.py`` regenerates it and asserts
+the node and arc counts spelled out in §3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.model_ast import ParsedClass
+
+
+@dataclass(frozen=True)
+class EntryNode:
+    """The single entry point of a method."""
+
+    method: str
+
+    def label(self) -> str:
+        return self.method
+
+
+@dataclass(frozen=True)
+class ExitNode:
+    """One exit point (one ``return``) of a method."""
+
+    method: str
+    exit_id: int
+    next_methods: tuple[str, ...]
+
+    def label(self) -> str:
+        if not self.next_methods:
+            return f"{self.method}/return []"
+        listed = ", ".join(self.next_methods)
+        return f"{self.method}/return [{listed}]"
+
+
+Node = EntryNode | ExitNode
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """The §3.1 graph: entry/exit nodes plus ordering arcs."""
+
+    class_name: str
+    entries: tuple[EntryNode, ...]
+    exits: tuple[ExitNode, ...]
+    arcs: tuple[tuple[Node, Node], ...]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.entries) + len(self.exits)
+
+    @property
+    def arc_count(self) -> int:
+        return len(self.arcs)
+
+    def entry(self, method: str) -> EntryNode | None:
+        for node in self.entries:
+            if node.method == method:
+                return node
+        return None
+
+    def exits_of(self, method: str) -> tuple[ExitNode, ...]:
+        return tuple(node for node in self.exits if node.method == method)
+
+    def successors(self, node: Node) -> tuple[Node, ...]:
+        return tuple(target for source, target in self.arcs if source == node)
+
+    def dangling_references(self) -> tuple[tuple[ExitNode, str], ...]:
+        """Return-list entries that name no declared method.
+
+        These are the subject of the *method invocation analysis* (§3,
+        step 3); the checker turns each into a diagnostic.
+        """
+        declared = {entry.method for entry in self.entries}
+        dangling: list[tuple[ExitNode, str]] = []
+        for node in self.exits:
+            for name in node.next_methods:
+                if name not in declared:
+                    dangling.append((node, name))
+        return tuple(dangling)
+
+
+def extract_dependency_graph(parsed: ParsedClass) -> DependencyGraph:
+    """Build the dependency graph of a parsed class (§3.1 verbatim)."""
+    entries = tuple(EntryNode(op.name) for op in parsed.operations)
+    entry_of = {node.method: node for node in entries}
+    exits: list[ExitNode] = []
+    arcs: list[tuple[Node, Node]] = []
+    for operation in parsed.operations:
+        for point in operation.returns:
+            exit_node = ExitNode(
+                method=operation.name,
+                exit_id=point.exit_id,
+                next_methods=point.next_methods,
+            )
+            exits.append(exit_node)
+            # Entry of the method links to each of its exits.
+            arcs.append((entry_of[operation.name], exit_node))
+    for exit_node in exits:
+        # Each exit links to the entry of every method it names.
+        for name in exit_node.next_methods:
+            target = entry_of.get(name)
+            if target is not None:
+                arcs.append((exit_node, target))
+    return DependencyGraph(
+        class_name=parsed.name,
+        entries=entries,
+        exits=tuple(exits),
+        arcs=tuple(arcs),
+    )

@@ -1,0 +1,129 @@
+"""Structured verification diagnostics and their paper-style rendering.
+
+The two headline errors of §2.2 are rendered byte-compatibly with the
+paper's output::
+
+    Error in specification: INVALID SUBSYSTEM USAGE
+    Counter example: open_a, a.test, a.open
+    Subsystems errors:
+      * Valve 'a': test, >open< (not final)
+
+    Error in specification: FAIL TO MEET REQUIREMENT
+    Formula: (!a.open) W b.open
+    Counter example: a.test, a.open, b.test, b.clean, a.close
+
+Everything else (subset violations, specification lints, exhaustiveness
+errors) uses a uniform ``severity code: message`` line format.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; only errors make a check fail."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: Titles used in ``Error in specification:`` headers.
+INVALID_SUBSYSTEM_USAGE = "INVALID SUBSYSTEM USAGE"
+FAIL_TO_MEET_REQUIREMENT = "FAIL TO MEET REQUIREMENT"
+
+
+@dataclass(frozen=True)
+class SubsystemError:
+    """One subsystem's failure along a counterexample trace.
+
+    ``rendered`` is the annotated method sequence in the paper's
+    notation, e.g. ``test, >open< (not final)``.
+    """
+
+    class_name: str
+    field_name: str
+    rendered: str
+
+    def format(self) -> str:
+        return f"  * {self.class_name} '{self.field_name}': {self.rendered}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single verification finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    class_name: str = ""
+    title: str = ""
+    formula: str = ""
+    counterexample: tuple[str, ...] | None = None
+    subsystem_errors: tuple[SubsystemError, ...] = ()
+    lineno: int = 0
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def format(self) -> str:
+        """Render for terminal output (paper style for headline errors)."""
+        if self.title:
+            lines = [f"Error in specification: {self.title}"]
+            if self.formula:
+                lines.append(f"Formula: {self.formula}")
+            if self.counterexample is not None:
+                lines.append("Counter example: " + ", ".join(self.counterexample))
+            if self.subsystem_errors:
+                lines.append("Subsystems errors:")
+                lines.extend(error.format() for error in self.subsystem_errors)
+            return "\n".join(lines)
+        scope = f" [{self.class_name}]" if self.class_name else ""
+        location = f" (line {self.lineno})" if self.lineno else ""
+        return f"{self.severity.value}{scope} {self.code}: {self.message}{location}"
+
+
+@dataclass
+class CheckResult:
+    """The outcome of checking one class or one module."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity diagnostic was produced."""
+        return not any(diagnostic.is_error for diagnostic in self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    def extend(self, other: "CheckResult") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def format(self) -> str:
+        """All diagnostics, blank-line separated, or the OK banner."""
+        if not self.diagnostics:
+            return "OK: specification verified"
+        return "\n\n".join(diagnostic.format() for diagnostic in self.diagnostics)
+
+
+def from_subset_violation(violation) -> Diagnostic:
+    """Adapt a frontend :class:`SubsetViolation` into a diagnostic."""
+    severity = Severity.ERROR if violation.severity == "error" else Severity.WARNING
+    return Diagnostic(
+        severity=severity,
+        code=violation.code,
+        message=violation.message,
+        class_name=violation.class_name,
+        lineno=violation.lineno,
+    )

@@ -1,0 +1,126 @@
+"""Method invocation analysis (§3, step 3).
+
+Two families of checks on a composite class:
+
+* **invocation** — every ``self.f.m()`` call must name a method declared
+  as an operation of ``f``'s class (and ``f``'s class must itself be a
+  known ``@sys`` class);
+* **exhaustive matching** — a ``match self.f.m():`` statement must
+  handle *every* exit point of ``m`` ("our tool checks if all possible
+  exit points are being handled"), and must not handle patterns that no
+  exit produces.
+"""
+
+from __future__ import annotations
+
+from repro.core.diagnostics import CheckResult, Diagnostic, Severity
+from repro.core.spec import ClassSpec
+from repro.frontend.model_ast import ParsedClass
+
+
+def check_invocations(
+    parsed: ParsedClass, specs: dict[str, ClassSpec]
+) -> CheckResult:
+    """Calls on subsystem fields must target declared operations."""
+    result = CheckResult()
+    field_classes = {
+        declaration.field_name: declaration.class_name
+        for declaration in parsed.subsystems
+    }
+    reported_unknown_classes: set[str] = set()
+    for operation in parsed.operations:
+        for label in sorted(operation.calls):
+            field_name, _dot, method = label.partition(".")
+            if field_name not in parsed.subsystem_fields:
+                continue
+            class_name = field_classes.get(field_name)
+            if class_name is None:
+                continue  # missing assignment: already diagnosed at parse time
+            spec = specs.get(class_name)
+            if spec is None:
+                if class_name not in reported_unknown_classes:
+                    reported_unknown_classes.add(class_name)
+                    result.diagnostics.append(
+                        Diagnostic(
+                            severity=Severity.ERROR,
+                            code="unknown-subsystem-class",
+                            message=(
+                                f"subsystem {field_name!r} has class "
+                                f"{class_name} which is not a known @sys class"
+                            ),
+                            class_name=parsed.name,
+                            lineno=operation.lineno,
+                        )
+                    )
+                continue
+            if spec.operation(method) is None:
+                result.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        code="undeclared-method",
+                        message=(
+                            f"operation {operation.name} invokes "
+                            f"{field_name}.{method}, but {class_name} declares "
+                            f"no operation {method!r}"
+                        ),
+                        class_name=parsed.name,
+                        lineno=operation.lineno,
+                    )
+                )
+    return result
+
+
+def check_match_exhaustiveness(
+    parsed: ParsedClass, specs: dict[str, ClassSpec]
+) -> CheckResult:
+    """Every ``match`` on a constrained call handles all exit points."""
+    result = CheckResult()
+    field_classes = {
+        declaration.field_name: declaration.class_name
+        for declaration in parsed.subsystems
+    }
+    for operation in parsed.operations:
+        for use in operation.match_uses:
+            class_name = field_classes.get(use.subsystem)
+            spec = specs.get(class_name) if class_name else None
+            if spec is None:
+                continue
+            callee = spec.operation(use.method)
+            if callee is None:
+                continue  # undeclared method: reported by check_invocations
+            exit_patterns = {point.next_methods for point in callee.returns}
+            handled = set(use.handled)
+            missing = exit_patterns - handled
+            if missing and not use.has_wildcard:
+                rendered = "; ".join(
+                    "[" + ", ".join(repr(m) for m in pattern) + "]"
+                    for pattern in sorted(missing)
+                )
+                result.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        code="non-exhaustive-match",
+                        message=(
+                            f"match on {use.subsystem}.{use.method} does not "
+                            f"handle exit point(s) {rendered}"
+                        ),
+                        class_name=parsed.name,
+                        lineno=use.lineno,
+                    )
+                )
+            for pattern in sorted(handled - exit_patterns):
+                rendered = "[" + ", ".join(repr(m) for m in pattern) + "]"
+                result.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.WARNING,
+                        code="unreachable-case",
+                        message=(
+                            f"match on {use.subsystem}.{use.method} handles "
+                            f"{rendered}, which no exit point of "
+                            f"{class_name}.{use.method} produces"
+                        ),
+                        class_name=parsed.name,
+                        lineno=use.lineno,
+                    )
+                )
+    return result

@@ -1,0 +1,144 @@
+"""Specification well-formedness lints.
+
+Before any behavioral check, each ``@sys`` class's annotation structure
+must make sense on its own:
+
+* at least one initial operation (otherwise no instance can ever be used),
+* every next-method reference resolves to a declared operation,
+* every operation is reachable from some initial operation,
+* from every reachable point a final operation is still reachable
+  (otherwise the object can get irrecoverably stuck),
+* a class with operations should declare at least one final one.
+
+Structural problems are errors; reachability problems are warnings (the
+language-level checks remain sound without them, they just indicate a
+specification that cannot be exercised fully).
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import extract_dependency_graph
+from repro.core.diagnostics import CheckResult, Diagnostic, Severity
+from repro.core.spec import ClassSpec
+from repro.frontend.model_ast import ParsedClass
+
+
+def lint_spec(parsed: ParsedClass) -> CheckResult:
+    """Run every specification lint on one class."""
+    result = CheckResult()
+    spec = ClassSpec.of(parsed)
+    graph = extract_dependency_graph(parsed)
+
+    if not parsed.operations:
+        result.diagnostics.append(
+            Diagnostic(
+                severity=Severity.WARNING,
+                code="no-operations",
+                message=f"@sys class {parsed.name} declares no operations",
+                class_name=parsed.name,
+                lineno=parsed.lineno,
+            )
+        )
+        return result
+
+    if not spec.initial_operations():
+        result.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="no-initial-operation",
+                message=(
+                    f"class {parsed.name} declares no @op_initial or "
+                    "@op_initial_final operation; no method may ever be invoked"
+                ),
+                class_name=parsed.name,
+                lineno=parsed.lineno,
+            )
+        )
+
+    if not spec.final_operations():
+        result.diagnostics.append(
+            Diagnostic(
+                severity=Severity.WARNING,
+                code="no-final-operation",
+                message=(
+                    f"class {parsed.name} declares no @op_final or "
+                    "@op_initial_final operation; no lifecycle can complete"
+                ),
+                class_name=parsed.name,
+                lineno=parsed.lineno,
+            )
+        )
+
+    # Invocation analysis on the class's own returns: every next-method
+    # reference must be a declared operation.
+    for exit_node, missing in graph.dangling_references():
+        operation = spec.operation(exit_node.method)
+        result.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="unknown-next-method",
+                message=(
+                    f"operation {exit_node.method} returns [{missing!r}...], "
+                    f"but {parsed.name} declares no operation {missing!r}"
+                ),
+                class_name=parsed.name,
+                lineno=operation.lineno if operation else parsed.lineno,
+            )
+        )
+
+    # Reachability over the dependency graph.
+    reachable_methods = _reachable_methods(spec)
+    for operation in parsed.operations:
+        if operation.name not in reachable_methods:
+            result.diagnostics.append(
+                Diagnostic(
+                    severity=Severity.WARNING,
+                    code="unreachable-operation",
+                    message=(
+                        f"operation {operation.name} can never be invoked "
+                        "(not reachable from any initial operation)"
+                    ),
+                    class_name=parsed.name,
+                    lineno=operation.lineno,
+                )
+            )
+
+    # Dead ends: a reachable non-final operation whose exit allows nothing.
+    for operation in parsed.operations:
+        if operation.kind.is_final or operation.name not in reachable_methods:
+            continue
+        for point in operation.returns:
+            if not point.next_methods:
+                result.diagnostics.append(
+                    Diagnostic(
+                        severity=Severity.WARNING,
+                        code="dead-end-exit",
+                        message=(
+                            f"operation {operation.name} has an exit with an "
+                            "empty next-method set but is not final; the "
+                            "object can get stuck there"
+                        ),
+                        class_name=parsed.name,
+                        lineno=point.lineno or operation.lineno,
+                    )
+                )
+    return result
+
+
+def _reachable_methods(spec: ClassSpec) -> frozenset[str]:
+    """Operations reachable from the initial ones via next-method sets."""
+    reached: set[str] = set()
+    frontier = [operation.name for operation in spec.initial_operations()]
+    while frontier:
+        name = frontier.pop()
+        if name in reached:
+            continue
+        reached.add(name)
+        operation = spec.operation(name)
+        if operation is None:
+            continue
+        for point in operation.returns:
+            for next_name in point.next_methods:
+                if next_name not in reached and spec.operation(next_name) is not None:
+                    frontier.append(next_name)
+    return frozenset(reached)

@@ -1,0 +1,94 @@
+"""Model metrics: quantitative summaries of extracted models.
+
+Used by the Markdown report and handy when comparing specification
+revisions: how big is the automaton, how constrained is the protocol,
+how much behavior does the composite actually exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
+from repro.automata.shortest import iter_accepted_words
+from repro.core.behavior import behavior_nfa
+from repro.core.dependency import extract_dependency_graph
+from repro.core.spec import ClassSpec
+from repro.frontend.model_ast import ParsedClass
+from repro.lang.ast import size as program_size
+
+
+@dataclass(frozen=True)
+class ModelMetrics:
+    """Quantitative summary of one class's extracted model."""
+
+    class_name: str
+    operations: int
+    initial_operations: int
+    final_operations: int
+    exit_points: int
+    dependency_arcs: int
+    spec_states_minimal: int
+    behavior_states_minimal: int
+    body_ir_nodes: int
+    lifecycles_up_to_6: int
+    constrainedness: float
+    """Fraction of (state, op) pairs the minimal spec DFA *rejects* —
+    1.0 would forbid everything, 0.0 would allow any order."""
+
+    def format(self) -> str:
+        lines = [
+            f"model metrics for {self.class_name}:",
+            f"  operations            {self.operations} "
+            f"({self.initial_operations} initial, {self.final_operations} final)",
+            f"  exit points           {self.exit_points}",
+            f"  dependency arcs       {self.dependency_arcs}",
+            f"  spec DFA states       {self.spec_states_minimal} (minimal)",
+            f"  behavior DFA states   {self.behavior_states_minimal} (minimal)",
+            f"  body IR nodes         {self.body_ir_nodes}",
+            f"  lifecycles (len<=6)   {self.lifecycles_up_to_6}",
+            f"  constrainedness       {self.constrainedness:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def collect_metrics(parsed: ParsedClass, lifecycle_bound: int = 6) -> ModelMetrics:
+    """Compute :class:`ModelMetrics` for one parsed class."""
+    spec = ClassSpec.of(parsed)
+    graph = extract_dependency_graph(parsed)
+    spec_minimal = minimize(spec.dfa())
+    behavior_minimal = minimize(determinize(behavior_nfa(parsed)))
+
+    # Constrainedness over the *live* part of the minimal spec DFA: the
+    # fraction of (live state, operation) pairs whose move leads nowhere
+    # useful (undefined or into a dead state).
+    from repro.testing.paths import shortest_suffixes
+
+    co_reaching = set(shortest_suffixes(spec_minimal))
+    reachable = spec_minimal.reachable_states() & co_reaching
+    total_pairs = max(1, len(reachable) * len(spec_minimal.alphabet))
+    allowed_pairs = sum(
+        1
+        for state in reachable
+        for symbol in spec_minimal.alphabet
+        if spec_minimal.successor(state, symbol) in co_reaching
+    )
+    constrainedness = 1.0 - allowed_pairs / total_pairs
+
+    lifecycles = sum(
+        1 for _ in iter_accepted_words(spec_minimal, lifecycle_bound)
+    )
+    return ModelMetrics(
+        class_name=parsed.name,
+        operations=len(parsed.operations),
+        initial_operations=len(spec.initial_operations()),
+        final_operations=len(spec.final_operations()),
+        exit_points=len(graph.exits),
+        dependency_arcs=graph.arc_count,
+        spec_states_minimal=len(spec_minimal.states),
+        behavior_states_minimal=len(behavior_minimal.states),
+        body_ir_nodes=sum(program_size(op.body) for op in parsed.operations),
+        lifecycles_up_to_6=lifecycles,
+        constrainedness=constrainedness,
+    )

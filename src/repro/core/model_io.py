@@ -1,0 +1,224 @@
+"""Serialization of extracted models to a stable JSON interchange format.
+
+Shelley-style toolchains pass extracted models between tools (checker,
+visualizer, NuSMV backend); this module defines that interchange for the
+reproduction.  Three payload kinds share an envelope with a ``kind`` and
+``version`` field:
+
+* ``class-spec`` — a :class:`ClassSpec` (operations, kinds, exits),
+* ``dependency-graph`` — the §3.1 graph,
+* ``dfa`` — any determinized automaton (states renumbered).
+
+Round trips are exact: ``load_spec(dump_spec(spec)) == spec`` up to the
+frontend-only fields (body IR and match facts are *not* serialized —
+they are source-level artifacts; the model is the annotation structure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.automata.dfa import DFA
+from repro.core.dependency import DependencyGraph, extract_dependency_graph
+from repro.core.spec import ClassSpec
+from repro.frontend.model_ast import OperationDef, OpKind, ParsedClass, ReturnPoint
+from repro.lang.ast import SKIP
+
+FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """Raised when a payload is not a valid serialized model."""
+
+
+def _envelope(kind: str, payload: dict[str, Any]) -> dict[str, Any]:
+    return {"kind": kind, "version": FORMAT_VERSION, **payload}
+
+
+def _check_envelope(data: dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise ModelFormatError("payload must be a JSON object")
+    if data.get("kind") != kind:
+        raise ModelFormatError(f"expected kind {kind!r}, got {data.get('kind')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ModelFormatError(f"unsupported format version {data.get('version')!r}")
+
+
+# ----------------------------------------------------------------------
+# Class specifications
+# ----------------------------------------------------------------------
+
+def spec_to_dict(spec: ClassSpec) -> dict[str, Any]:
+    """Serialize a class specification."""
+    return _envelope(
+        "class-spec",
+        {
+            "name": spec.name,
+            "operations": [
+                {
+                    "name": operation.name,
+                    "kind": operation.kind.value,
+                    "exits": [
+                        {
+                            "exit_id": point.exit_id,
+                            "next_methods": list(point.next_methods),
+                            "has_user_value": point.has_user_value,
+                        }
+                        for point in operation.returns
+                    ],
+                }
+                for operation in spec.operations
+            ],
+        },
+    )
+
+
+def spec_from_dict(data: dict[str, Any]) -> ClassSpec:
+    """Deserialize a class specification.
+
+    The reconstructed operations carry ``skip`` bodies: the interchange
+    format transports the *model*, not the source.
+    """
+    _check_envelope(data, "class-spec")
+    try:
+        operations = tuple(
+            OperationDef(
+                name=op["name"],
+                kind=OpKind(op["kind"]),
+                returns=tuple(
+                    ReturnPoint(
+                        exit_id=exit_data["exit_id"],
+                        next_methods=tuple(exit_data["next_methods"]),
+                        has_user_value=bool(exit_data.get("has_user_value", False)),
+                    )
+                    for exit_data in op["exits"]
+                ),
+                body=SKIP,
+            )
+            for op in data["operations"]
+        )
+        return ClassSpec(name=data["name"], operations=operations)
+    except (KeyError, TypeError, ValueError) as error:
+        raise ModelFormatError(f"malformed class-spec payload: {error}") from error
+
+
+def dump_spec(spec: ClassSpec, indent: int | None = 2) -> str:
+    return json.dumps(spec_to_dict(spec), indent=indent, sort_keys=True)
+
+
+def load_spec(text: str) -> ClassSpec:
+    return spec_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Dependency graphs
+# ----------------------------------------------------------------------
+
+def dependency_graph_to_dict(graph: DependencyGraph) -> dict[str, Any]:
+    """Serialize a §3.1 dependency graph."""
+    return _envelope(
+        "dependency-graph",
+        {
+            "class_name": graph.class_name,
+            "entries": [entry.method for entry in graph.entries],
+            "exits": [
+                {
+                    "method": node.method,
+                    "exit_id": node.exit_id,
+                    "next_methods": list(node.next_methods),
+                }
+                for node in graph.exits
+            ],
+        },
+    )
+
+
+def dependency_graph_from_dict(data: dict[str, Any]) -> DependencyGraph:
+    """Deserialize by rebuilding through the extraction function, which
+    recomputes the arcs (they are derived data)."""
+    _check_envelope(data, "dependency-graph")
+    try:
+        operations = []
+        exits_by_method: dict[str, list[dict[str, Any]]] = {}
+        for exit_data in data["exits"]:
+            exits_by_method.setdefault(exit_data["method"], []).append(exit_data)
+        for method in data["entries"]:
+            returns = tuple(
+                ReturnPoint(
+                    exit_id=e["exit_id"], next_methods=tuple(e["next_methods"])
+                )
+                for e in exits_by_method.get(method, [])
+            )
+            operations.append(
+                OperationDef(
+                    name=method, kind=OpKind.MIDDLE, returns=returns, body=SKIP
+                )
+            )
+        surrogate = ParsedClass(
+            name=data["class_name"],
+            subsystem_fields=(),
+            claims=(),
+            operations=tuple(operations),
+            subsystems=(),
+        )
+        return extract_dependency_graph(surrogate)
+    except (KeyError, TypeError) as error:
+        raise ModelFormatError(f"malformed dependency-graph payload: {error}") from error
+
+
+def dump_dependency_graph(graph: DependencyGraph, indent: int | None = 2) -> str:
+    return json.dumps(dependency_graph_to_dict(graph), indent=indent, sort_keys=True)
+
+
+def load_dependency_graph(text: str) -> DependencyGraph:
+    return dependency_graph_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Automata
+# ----------------------------------------------------------------------
+
+def dfa_to_dict(dfa: DFA) -> dict[str, Any]:
+    """Serialize a DFA (states renumbered to stable integers first)."""
+    stable = dfa.renumbered()
+    return _envelope(
+        "dfa",
+        {
+            "alphabet": sorted(stable.alphabet),
+            "states": sorted(stable.states),
+            "initial": stable.initial_state,
+            "accepting": sorted(stable.accepting_states),
+            "transitions": [
+                [source, symbol, target]
+                for (source, symbol), target in sorted(
+                    stable.transitions.items(), key=lambda kv: (kv[0][0], kv[0][1])
+                )
+            ],
+        },
+    )
+
+
+def dfa_from_dict(data: dict[str, Any]) -> DFA:
+    _check_envelope(data, "dfa")
+    try:
+        return DFA(
+            states=frozenset(data["states"]),
+            alphabet=frozenset(data["alphabet"]),
+            transitions={
+                (source, symbol): target
+                for source, symbol, target in data["transitions"]
+            },
+            initial_state=data["initial"],
+            accepting_states=frozenset(data["accepting"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ModelFormatError(f"malformed dfa payload: {error}") from error
+
+
+def dump_dfa(dfa: DFA, indent: int | None = 2) -> str:
+    return json.dumps(dfa_to_dict(dfa), indent=indent, sort_keys=True)
+
+
+def load_dfa(text: str) -> DFA:
+    return dfa_from_dict(json.loads(text))

@@ -1,0 +1,164 @@
+"""Subsystem-usage verification (the ``INVALID SUBSYSTEM USAGE`` check).
+
+A composite class must drive each constrained field through a valid,
+*complete* lifecycle of the field's class: every trace the composite can
+produce, projected onto the field's events, must be a word of the
+field's specification language (which contains the empty word — never
+using a subsystem is fine, as the paper's ``BadSector`` verdict shows:
+only valve ``a`` is reported, not the untouched valve ``b``).
+
+The check is language inclusion:
+
+    ``L(behavior(C))  ⊆  lift(L(spec(S) prefixed with "f.")))``
+
+where ``lift`` self-loops on all events that are not the field's.  When
+inclusion fails, the shortest word of the difference automaton is the
+counterexample, and replaying its projection through the spec DFA
+yields the per-subsystem annotation (``test, >open< (not final)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.operations import inclusion_counterexample, lift_alphabet, with_alphabet
+from repro.core.behavior import behavior_nfa
+from repro.core.diagnostics import (
+    INVALID_SUBSYSTEM_USAGE,
+    CheckResult,
+    Diagnostic,
+    Severity,
+    SubsystemError,
+)
+from repro.core.spec import ClassSpec
+from repro.frontend.model_ast import ParsedClass
+
+
+@dataclass(frozen=True)
+class UsageViolation:
+    """One field's failed inclusion check, before rendering."""
+
+    field_name: str
+    class_name: str
+    counterexample: tuple[str, ...]
+
+
+def replay_against_spec(
+    spec: ClassSpec, trace: tuple[str, ...], prefix: str
+) -> str | None:
+    """Replay the ``prefix``-projected ``trace`` through ``spec``.
+
+    Returns the paper-style rendering of the failure (``test, >open<
+    (not final)`` / ``test, >clean<, ... (not allowed)``), or ``None``
+    when the projected trace is a valid complete lifecycle.
+    """
+    projected = [
+        label[len(prefix):] for label in trace if label.startswith(prefix)
+    ]
+    dfa = spec.dfa()
+    state = dfa.initial_state
+    consumed: list[str] = []
+    for method in projected:
+        successor = dfa.successor(state, method)
+        if successor is None:
+            rendered = consumed + [f">{method}< (not allowed)"]
+            return ", ".join(rendered)
+        consumed.append(method)
+        state = successor
+    if state not in dfa.accepting_states:
+        if consumed:
+            consumed[-1] = f">{consumed[-1]}< (not final)"
+            return ", ".join(consumed)
+        return "(no call performed)"
+    return None
+
+
+def find_usage_violations(
+    parsed: ParsedClass,
+    specs: dict[str, ClassSpec],
+    behavior: DFA | None = None,
+) -> list[UsageViolation]:
+    """Run the inclusion check for every declared subsystem field."""
+    if behavior is None:
+        behavior = determinize(behavior_nfa(parsed))
+    violations: list[UsageViolation] = []
+    for declaration in parsed.subsystems:
+        if declaration.field_name not in parsed.subsystem_fields:
+            continue
+        spec = specs.get(declaration.class_name)
+        if spec is None:
+            continue  # unknown subsystem class: diagnosed by invocation analysis
+        prefix = declaration.field_name + "."
+        spec_dfa = spec.dfa(prefix)
+        joint_alphabet = behavior.alphabet | spec_dfa.alphabet
+        lifted = lift_alphabet(spec_dfa, joint_alphabet)
+        counterexample = inclusion_counterexample(
+            with_alphabet(behavior, joint_alphabet), lifted
+        )
+        if counterexample is not None:
+            violations.append(
+                UsageViolation(
+                    field_name=declaration.field_name,
+                    class_name=declaration.class_name,
+                    counterexample=counterexample,
+                )
+            )
+    return violations
+
+
+def check_subsystem_usage(
+    parsed: ParsedClass,
+    specs: dict[str, ClassSpec],
+    behavior: DFA | None = None,
+) -> CheckResult:
+    """The full usage check, rendered as diagnostics.
+
+    Violations sharing the same counterexample trace are merged into one
+    diagnostic with several ``Subsystems errors`` entries, matching the
+    paper's report shape.
+    """
+    result = CheckResult()
+    violations = find_usage_violations(parsed, specs, behavior)
+    if not violations:
+        return result
+    # Group by counterexample; shortest trace first for determinism.
+    by_trace: dict[tuple[str, ...], list[UsageViolation]] = {}
+    for violation in violations:
+        by_trace.setdefault(violation.counterexample, []).append(violation)
+    for trace in sorted(by_trace, key=lambda t: (len(t), t)):
+        grouped = by_trace[trace]
+        subsystem_errors: list[SubsystemError] = []
+        for violation in grouped:
+            spec = specs[violation.class_name]
+            rendered = replay_against_spec(spec, trace, violation.field_name + ".")
+            if rendered is None:
+                # The shortest counterexample of this field's inclusion
+                # check always fails its own replay; defensive fallback.
+                rendered = "(invalid usage)"
+            subsystem_errors.append(
+                SubsystemError(
+                    class_name=violation.class_name,
+                    field_name=violation.field_name,
+                    rendered=rendered,
+                )
+            )
+        result.diagnostics.append(
+            Diagnostic(
+                severity=Severity.ERROR,
+                code="invalid-subsystem-usage",
+                title=INVALID_SUBSYSTEM_USAGE,
+                message=(
+                    f"class {parsed.name} uses "
+                    + ", ".join(
+                        f"{v.class_name} '{v.field_name}'" for v in grouped
+                    )
+                    + " in a way that violates the subsystem specification"
+                ),
+                class_name=parsed.name,
+                counterexample=trace,
+                subsystem_errors=tuple(subsystem_errors),
+            )
+        )
+    return result

@@ -1,0 +1,72 @@
+"""MicroPython frontend: annotations, parsing, body abstraction, subset checks.
+
+* :mod:`repro.frontend.decorators` — the runnable annotation API (Table 1),
+* :mod:`repro.frontend.parse` — source → :class:`ParsedModule`,
+* :mod:`repro.frontend.returns` — the return forms of Table 2,
+* :mod:`repro.frontend.translate` — method bodies → the IR of Figure 4,
+* :mod:`repro.frontend.subset` — supported-subset lints.
+"""
+
+from repro.frontend.decorators import (
+    claim,
+    declared_claims,
+    declared_subsystems,
+    is_system,
+    op,
+    op_final,
+    op_initial,
+    op_initial_final,
+    operation_kind,
+    sys,
+)
+from repro.frontend.model_ast import (
+    FrontendError,
+    MatchUse,
+    OperationDef,
+    OpKind,
+    ParsedClass,
+    ParsedModule,
+    ReturnPoint,
+    SubsetViolation,
+    SubsystemDecl,
+)
+from repro.frontend.parse import parse_file, parse_module
+from repro.frontend.project import check_project, parse_project, project_files
+from repro.frontend.returns import ReturnFormError, describe_return, parse_return
+from repro.frontend.subset import validate_class, validate_module
+from repro.frontend.translate import BodyTranslator, TranslationResult, translate_body
+
+__all__ = [
+    "BodyTranslator",
+    "FrontendError",
+    "MatchUse",
+    "OpKind",
+    "OperationDef",
+    "ParsedClass",
+    "ParsedModule",
+    "ReturnFormError",
+    "ReturnPoint",
+    "SubsetViolation",
+    "SubsystemDecl",
+    "TranslationResult",
+    "check_project",
+    "claim",
+    "declared_claims",
+    "declared_subsystems",
+    "describe_return",
+    "is_system",
+    "op",
+    "op_final",
+    "op_initial",
+    "op_initial_final",
+    "operation_kind",
+    "parse_file",
+    "parse_module",
+    "parse_project",
+    "parse_return",
+    "project_files",
+    "sys",
+    "translate_body",
+    "validate_class",
+    "validate_module",
+]

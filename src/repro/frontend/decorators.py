@@ -1,0 +1,115 @@
+"""The Shelley annotation API of Table 1, as importable decorators.
+
+Annotated MicroPython programs must be *runnable* as well as analyzable,
+so every decorator here is a behavior-preserving tagger: it records the
+annotation on the class or function object and returns it unchanged.
+The static analysis (:mod:`repro.frontend.parse`) never imports user
+code — it reads the decorators syntactically — but the runtime monitor
+(:mod:`repro.runtime.monitor`) uses these tags to enforce the same
+models dynamically.
+
++---------------------------+----------+------------------------------------+
+| Annotation                | applies  | meaning                            |
++===========================+==========+====================================+
+| ``@claim("...")``         | class    | temporal requirement (LTLf)        |
+| ``@sys``                  | class    | base class                         |
+| ``@sys(["a", "b"])``      | class    | composite class with subsystems    |
+| ``@op_initial``           | method   | may be invoked first               |
+| ``@op_final``             | method   | may be invoked last                |
+| ``@op_initial_final``     | method   | may be invoked first and last      |
+| ``@op``                   | method   | invoked between initial and final  |
++---------------------------+----------+------------------------------------+
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+ClassT = TypeVar("ClassT", bound=type)
+FuncT = TypeVar("FuncT", bound=Callable)
+
+#: Attribute names used to tag decorated objects.
+SYS_ATTR = "__shelley_sys__"
+SUBSYSTEMS_ATTR = "__shelley_subsystems__"
+CLAIMS_ATTR = "__shelley_claims__"
+OP_KIND_ATTR = "__shelley_op__"
+
+
+def sys(target=None):
+    """``@sys`` marks a base class; ``@sys(["a", "b"])`` a composite one.
+
+    The list names the ``self.<field>`` attributes holding constrained
+    subsystem instances.
+    """
+    if isinstance(target, type):
+        # Bare @sys on a class.
+        setattr(target, SYS_ATTR, True)
+        if not hasattr(target, SUBSYSTEMS_ATTR):
+            setattr(target, SUBSYSTEMS_ATTR, ())
+        return target
+    if target is None or isinstance(target, (list, tuple)):
+        subsystems = tuple(target or ())
+        for name in subsystems:
+            if not isinstance(name, str):
+                raise TypeError("@sys subsystem names must be strings")
+
+        def decorate(cls: ClassT) -> ClassT:
+            setattr(cls, SYS_ATTR, True)
+            setattr(cls, SUBSYSTEMS_ATTR, subsystems)
+            return cls
+
+        return decorate
+    raise TypeError("@sys applies to a class, optionally with a subsystem list")
+
+
+def claim(formula: str):
+    """``@claim("(!a.open) W b.open")`` attaches a temporal requirement."""
+    if not isinstance(formula, str) or not formula.strip():
+        raise TypeError("@claim expects a non-empty formula string")
+
+    def decorate(cls: ClassT) -> ClassT:
+        existing = tuple(getattr(cls, CLAIMS_ATTR, ()))
+        # Decorators apply bottom-up; prepend to preserve source order.
+        setattr(cls, CLAIMS_ATTR, (formula,) + existing)
+        return cls
+
+    return decorate
+
+
+def _op_decorator(kind: str):
+    def decorate(func: FuncT) -> FuncT:
+        setattr(func, OP_KIND_ATTR, kind)
+        return func
+
+    decorate.__name__ = f"op_{kind}" if kind != "middle" else "op"
+    return decorate
+
+
+#: ``@op`` — invoked in between initial and final methods.
+op = _op_decorator("middle")
+#: ``@op_initial`` — may be the first method invoked on a fresh instance.
+op_initial = _op_decorator("initial")
+#: ``@op_final`` — may be the last method invoked in the object's lifetime.
+op_final = _op_decorator("final")
+#: ``@op_initial_final`` — may be both the first and the last method.
+op_initial_final = _op_decorator("initial_final")
+
+
+def declared_subsystems(cls: type) -> tuple[str, ...]:
+    """The subsystem field names declared by ``@sys([...])`` (empty for base)."""
+    return tuple(getattr(cls, SUBSYSTEMS_ATTR, ()))
+
+
+def declared_claims(cls: type) -> tuple[str, ...]:
+    """The ``@claim`` formulas attached to ``cls``, in source order."""
+    return tuple(getattr(cls, CLAIMS_ATTR, ()))
+
+
+def is_system(cls: type) -> bool:
+    """Was ``cls`` marked with ``@sys``?"""
+    return bool(getattr(cls, SYS_ATTR, False))
+
+
+def operation_kind(func: Callable) -> str | None:
+    """The op kind tag of a method (``None`` when not an operation)."""
+    return getattr(func, OP_KIND_ATTR, None)

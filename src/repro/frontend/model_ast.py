@@ -1,0 +1,166 @@
+"""Data model of a parsed, annotated MicroPython module.
+
+These are the frontend's output types: purely syntactic facts extracted
+from the source, with method bodies already abstracted into the IR of
+:mod:`repro.lang.ast`.  The checker consumes them; nothing here decides
+verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.ast import Program
+
+
+class OpKind(enum.Enum):
+    """Which ``@op*`` decorator a method carries (Table 1)."""
+
+    MIDDLE = "op"
+    INITIAL = "op_initial"
+    FINAL = "op_final"
+    INITIAL_FINAL = "op_initial_final"
+
+    @property
+    def is_initial(self) -> bool:
+        return self in (OpKind.INITIAL, OpKind.INITIAL_FINAL)
+
+    @property
+    def is_final(self) -> bool:
+        return self in (OpKind.FINAL, OpKind.INITIAL_FINAL)
+
+
+@dataclass(frozen=True)
+class ReturnPoint:
+    """One exit point of an operation (one ``return`` statement, Table 2).
+
+    ``next_methods`` is the declared next-method set; ``has_user_value``
+    records whether the tuple form ``return ["m"], value`` was used.
+    """
+
+    exit_id: int
+    next_methods: tuple[str, ...]
+    has_user_value: bool = False
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class MatchUse:
+    """A ``match`` statement over the result of a constrained call.
+
+    ``handled`` holds one tuple per ``case`` pattern (each pattern a list
+    of method-name strings); a trailing ``case _`` wildcard is recorded in
+    ``has_wildcard``.  The exhaustiveness analysis compares ``handled``
+    with the callee's declared exit points.
+    """
+
+    subsystem: str
+    method: str
+    handled: tuple[tuple[str, ...], ...]
+    has_wildcard: bool = False
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class OperationDef:
+    """A parsed operation: decorator kind, exits, abstracted body."""
+
+    name: str
+    kind: OpKind
+    returns: tuple[ReturnPoint, ...]
+    body: Program
+    match_uses: tuple[MatchUse, ...] = ()
+    calls: frozenset[str] = frozenset()
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class SubsystemDecl:
+    """A constrained field: ``self.<field> = <class_name>(...)`` in ``__init__``."""
+
+    field_name: str
+    class_name: str
+    lineno: int = 0
+
+
+@dataclass(frozen=True)
+class ParsedClass:
+    """An ``@sys`` class as extracted from source."""
+
+    name: str
+    subsystem_fields: tuple[str, ...]
+    claims: tuple[str, ...]
+    operations: tuple[OperationDef, ...]
+    subsystems: tuple[SubsystemDecl, ...]
+    lineno: int = 0
+
+    @property
+    def is_composite(self) -> bool:
+        """Composite classes declare subsystem fields in ``@sys([...])``."""
+        return bool(self.subsystem_fields)
+
+    def operation(self, name: str) -> OperationDef | None:
+        for operation in self.operations:
+            if operation.name == name:
+                return operation
+        return None
+
+    def operation_names(self) -> tuple[str, ...]:
+        return tuple(operation.name for operation in self.operations)
+
+    def subsystem(self, field_name: str) -> SubsystemDecl | None:
+        for declaration in self.subsystems:
+            if declaration.field_name == field_name:
+                return declaration
+        return None
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """All ``@sys`` classes of one source file, in source order."""
+
+    classes: tuple[ParsedClass, ...]
+    source_name: str = "<string>"
+
+    def get_class(self, name: str) -> ParsedClass | None:
+        for parsed in self.classes:
+            if parsed.name == name:
+                return parsed
+        return None
+
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(parsed.name for parsed in self.classes)
+
+
+@dataclass(frozen=True)
+class SubsetViolation:
+    """A construct outside the supported MicroPython subset."""
+
+    code: str
+    message: str
+    lineno: int = 0
+    class_name: str = ""
+    severity: str = "error"
+
+    def format(self) -> str:
+        location = f"line {self.lineno}" if self.lineno else "unknown location"
+        scope = f" in class {self.class_name}" if self.class_name else ""
+        return f"[{self.code}] {self.message} ({location}{scope})"
+
+
+class FrontendError(ValueError):
+    """Raised when a module cannot be parsed into the model at all."""
+
+    def __init__(self, violations: list[SubsetViolation]):
+        self.violations = violations
+        super().__init__("; ".join(v.format() for v in violations))
+
+
+#: Map decorator name → OpKind, shared by the parser.
+OP_DECORATORS: dict[str, OpKind] = {
+    "op": OpKind.MIDDLE,
+    "op_initial": OpKind.INITIAL,
+    "op_final": OpKind.FINAL,
+    "op_initial_final": OpKind.INITIAL_FINAL,
+}

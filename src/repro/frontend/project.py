@@ -1,0 +1,92 @@
+"""Multi-file projects: parse and merge every module of a directory.
+
+Real controllers split their classes across files (drivers in one,
+controllers in another); cross-file composition must still resolve —
+``Sector`` in ``controller.py`` may use ``Valve`` from ``drivers.py``.
+This module walks a directory, parses every ``*.py`` file, and merges
+the results into one :class:`ParsedModule` whose class namespace spans
+the project (duplicate class names across files are reported).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.frontend.model_ast import (
+    FrontendError,
+    ParsedClass,
+    ParsedModule,
+    SubsetViolation,
+)
+from repro.frontend.parse import parse_file
+
+
+def project_files(root: str | Path) -> list[Path]:
+    """The Python files of a project directory, deterministically ordered.
+
+    Hidden directories and common non-source trees (``__pycache__``,
+    ``.git``, ``venv``-likes) are skipped.
+    """
+    root = Path(root)
+    skipped_directories = {"__pycache__", ".git", ".hg", "venv", ".venv", "node_modules"}
+    files = [
+        path
+        for path in sorted(root.rglob("*.py"))
+        if not any(
+            part.startswith(".") or part in skipped_directories
+            for part in path.relative_to(root).parts[:-1]
+        )
+        and not path.name.startswith(".")
+    ]
+    return files
+
+
+def parse_project(root: str | Path) -> tuple[ParsedModule, list[SubsetViolation]]:
+    """Parse every module under ``root`` and merge the ``@sys`` classes.
+
+    Syntax errors in individual files become ``syntax-error`` violations
+    rather than aborting the whole project; duplicate class names
+    produce a ``duplicate-class`` violation and the *first* definition
+    (in path order) wins.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        raise NotADirectoryError(f"not a directory: {root}")
+    merged_classes: list[ParsedClass] = []
+    seen: dict[str, str] = {}
+    violations: list[SubsetViolation] = []
+    for path in project_files(root):
+        try:
+            module, file_violations = parse_file(path)
+        except FrontendError as error:
+            violations.extend(error.violations)
+            continue
+        violations.extend(file_violations)
+        for parsed in module.classes:
+            if parsed.name in seen:
+                violations.append(
+                    SubsetViolation(
+                        code="duplicate-class",
+                        message=(
+                            f"@sys class {parsed.name} defined in both "
+                            f"{seen[parsed.name]} and {path}"
+                        ),
+                        lineno=parsed.lineno,
+                        class_name=parsed.name,
+                    )
+                )
+                continue
+            seen[parsed.name] = str(path)
+            merged_classes.append(parsed)
+    return (
+        ParsedModule(classes=tuple(merged_classes), source_name=str(root)),
+        violations,
+    )
+
+
+def check_project(root: str | Path):
+    """Parse and verify a whole project directory."""
+    from repro.core.checker import Checker
+
+    module, violations = parse_project(root)
+    return Checker(module, violations).check()

@@ -1,0 +1,103 @@
+"""Parsing of operation ``return`` statements (Table 2).
+
+Supported forms and their meanings::
+
+    return ["close"]             next method must be "close"
+    return ["open", "clean"]     next method is "open" or "clean"
+    return []                    no method may follow
+    return ["close"], 2          as the first form, user value 2
+    return ["open", "clean"], X  choice plus an arbitrary user value
+
+The next-method list must be a literal list of string constants — the
+specification has to be readable statically.  Anything else is reported
+as a subset violation by the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.frontend.model_ast import ReturnPoint, SubsetViolation
+
+
+class ReturnFormError(ValueError):
+    """Raised when a ``return`` does not follow one of Table 2's forms."""
+
+    def __init__(self, message: str, lineno: int = 0):
+        super().__init__(message)
+        self.lineno = lineno
+
+    def as_violation(self, class_name: str = "") -> SubsetViolation:
+        return SubsetViolation(
+            code="bad-return-form",
+            message=str(self),
+            lineno=self.lineno,
+            class_name=class_name,
+        )
+
+
+def _parse_method_list(node: ast.expr, lineno: int) -> tuple[str, ...]:
+    """Extract the literal next-method list of a return expression."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        raise ReturnFormError(
+            "operation returns must list the next methods, e.g. return ['open']",
+            lineno,
+        )
+    methods: list[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            raise ReturnFormError(
+                "next-method lists must contain string literals only", lineno
+            )
+        methods.append(element.value)
+    if len(set(methods)) != len(methods):
+        raise ReturnFormError("next-method lists must not repeat a method", lineno)
+    return tuple(methods)
+
+
+def parse_return(node: ast.Return, exit_id: int) -> ReturnPoint:
+    """Parse one ``return`` statement of an operation into a
+    :class:`ReturnPoint`.
+
+    Raises :class:`ReturnFormError` for bare returns and non-literal
+    forms — every exit point of an operation must declare its successors.
+    """
+    lineno = node.lineno
+    value = node.value
+    if value is None:
+        raise ReturnFormError(
+            "operations must not use a bare return; "
+            "declare the next methods, e.g. return []",
+            lineno,
+        )
+    if isinstance(value, ast.Tuple) and len(value.elts) >= 2:
+        # Tuple form: the first position is the next-method list, the
+        # remainder is an arbitrary user value (Table 2, rows 3-5).
+        methods = _parse_method_list(value.elts[0], lineno)
+        return ReturnPoint(
+            exit_id=exit_id,
+            next_methods=methods,
+            has_user_value=True,
+            lineno=lineno,
+        )
+    methods = _parse_method_list(value, lineno)
+    return ReturnPoint(
+        exit_id=exit_id,
+        next_methods=methods,
+        has_user_value=False,
+        lineno=lineno,
+    )
+
+
+def describe_return(point: ReturnPoint) -> str:
+    """Human-readable meaning of a return point (the prose of Table 2)."""
+    if not point.next_methods:
+        base = "no method may be invoked next"
+    elif len(point.next_methods) == 1:
+        base = f"expecting method {point.next_methods[0]!r} to be invoked next"
+    else:
+        quoted = " or ".join(repr(m) for m in point.next_methods)
+        base = f"expecting methods {quoted} to be invoked next"
+    if point.has_user_value:
+        return base + " (and returns a user value)"
+    return base

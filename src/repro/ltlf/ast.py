@@ -1,0 +1,335 @@
+"""LTLf formula syntax (claims such as ``(!a.open) W b.open``).
+
+Shelley claims are linear temporal logic on *finite* traces, where each
+trace position is a single method-call event.  An atom ``a.open`` holds
+at a position iff that position's event is exactly ``a.open``.
+
+Formulas are immutable and hashable; :func:`conj`, :func:`disj` and
+:func:`neg` are smart constructors with flattening and unit/absorption
+simplifications — the progression-based automaton construction in
+:mod:`repro.ltlf.translate` relies on them to keep its state space
+finite in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class Formula:
+    """Base class of LTLf formula nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Top(Formula):
+    """``true``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Bottom(Formula):
+    """``false``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """An event atom — holds iff the current event equals ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    """Negation ``! φ``."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """N-ary conjunction; built by :func:`conj` (sorted, deduplicated)."""
+
+    operands: tuple[Formula, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """N-ary disjunction; built by :func:`disj` (sorted, deduplicated)."""
+
+    operands: tuple[Formula, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Next(Formula):
+    """Strong next ``X φ`` — an event exists here, and φ holds on the
+    remainder of the trace after consuming it (the remainder may be
+    empty).  On the empty trace ``X φ`` is false."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class WeakNext(Formula):
+    """Weak next ``X[w] φ`` — like ``X φ`` but true on the empty trace."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Until(Formula):
+    """``φ U ψ`` — ψ eventually holds, φ holds at every earlier position."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class WeakUntil(Formula):
+    """``φ W ψ = (φ U ψ) | G φ`` — the paper's *weak until*."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Release(Formula):
+    """``φ R ψ`` — ψ holds up to and including the first φ (dual of U)."""
+
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Eventually(Formula):
+    """``F φ``."""
+
+    operand: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Globally(Formula):
+    """``G φ``."""
+
+    operand: Formula
+
+
+TRUE = Top()
+FALSE = Bottom()
+
+
+def atom(name: str) -> Atom:
+    """Build the atom for event label ``name``."""
+    if not name:
+        raise ValueError("atoms must be non-empty event labels")
+    return Atom(name)
+
+
+def _sort_key(formula: Formula) -> str:
+    # Any deterministic total order works; repr of frozen dataclasses is
+    # stable and structural.
+    return repr(formula)
+
+
+def neg(operand: Formula) -> Formula:
+    """Negation with double-negation and constant elimination."""
+    if isinstance(operand, Top):
+        return FALSE
+    if isinstance(operand, Bottom):
+        return TRUE
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def conj(operands: Iterable[Formula]) -> Formula:
+    """Flattened, sorted, deduplicated conjunction.
+
+    ``false`` absorbs, ``true`` is dropped, ``φ & !φ`` collapses to
+    ``false``, and the absorption law ``φ & (φ | ψ) = φ`` is applied
+    (without it, formula progression of ``U``/``W``/``G`` obligations
+    grows without bound); empty conjunction is ``true``.
+    """
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    stack = list(operands)
+    while stack:
+        operand = stack.pop(0)
+        if isinstance(operand, And):
+            stack = list(operand.operands) + stack
+            continue
+        if isinstance(operand, Top) or operand in seen:
+            continue
+        if isinstance(operand, Bottom):
+            return FALSE
+        seen.add(operand)
+        flat.append(operand)
+    for operand in flat:
+        if neg(operand) in seen:
+            return FALSE
+    # Absorption: drop any disjunction one of whose disjuncts is already
+    # a conjunct (φ & (φ | ψ) = φ).
+    flat = [
+        operand
+        for operand in flat
+        if not (
+            isinstance(operand, Or)
+            and any(inner in seen for inner in operand.operands)
+        )
+    ]
+    # Relative absorption: inside a disjunctive conjunct, a nested
+    # conjunction may drop members that are already top-level conjuncts
+    # ((ψ | (φ & χ)) & φ  =  (ψ | χ) & φ).  Rebuilding re-canonicalises.
+    rewritten = _strip_nested(flat, seen, outer_is_and=True)
+    if rewritten is not None:
+        return conj(rewritten)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(sorted(flat, key=_sort_key)))
+
+
+def disj(operands: Iterable[Formula]) -> Formula:
+    """Flattened, sorted, deduplicated disjunction (dual of :func:`conj`,
+    including the dual absorption law ``φ | (φ & ψ) = φ``)."""
+    flat: list[Formula] = []
+    seen: set[Formula] = set()
+    stack = list(operands)
+    while stack:
+        operand = stack.pop(0)
+        if isinstance(operand, Or):
+            stack = list(operand.operands) + stack
+            continue
+        if isinstance(operand, Bottom) or operand in seen:
+            continue
+        if isinstance(operand, Top):
+            return TRUE
+        seen.add(operand)
+        flat.append(operand)
+    for operand in flat:
+        if neg(operand) in seen:
+            return TRUE
+    # Absorption: drop any conjunction one of whose conjuncts is already
+    # a disjunct (φ | (φ & ψ) = φ).
+    flat = [
+        operand
+        for operand in flat
+        if not (
+            isinstance(operand, And)
+            and any(inner in seen for inner in operand.operands)
+        )
+    ]
+    # Relative absorption: inside a conjunctive disjunct, a nested
+    # disjunction may drop members that are already top-level disjuncts
+    # ((ψ & (φ | χ)) | φ  =  (ψ & χ) | φ).  Without this law, formula
+    # progression of nested W/U obligations grows without bound.
+    rewritten = _strip_nested(flat, seen, outer_is_and=False)
+    if rewritten is not None:
+        return disj(rewritten)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(sorted(flat, key=_sort_key)))
+
+
+def _strip_nested(
+    flat: list[Formula], seen: set[Formula], outer_is_and: bool
+) -> list[Formula] | None:
+    """Apply relative absorption one level deep; ``None`` when unchanged.
+
+    In a conjunction, every top-level conjunct is true in context, so a
+    copy of one nested inside an ``Or``-of-``And`` operand is redundant:
+    ``C & (ψ | (C & χ)) = C & (ψ | χ)``.  Dually for disjunctions:
+    ``C | (ψ & (C | χ)) = C | (ψ & χ)``.  Each rewrite strictly shrinks
+    the term, so the re-canonicalisation in :func:`conj`/:func:`disj`
+    terminates.
+    """
+    inner_type, leaf_type = (Or, And) if outer_is_and else (And, Or)
+    wrap_inner = disj if outer_is_and else conj
+    wrap_leaf = conj if outer_is_and else disj
+    changed = False
+    result: list[Formula] = []
+    for operand in flat:
+        if isinstance(operand, inner_type):
+            new_alternatives: list[Formula] = []
+            operand_changed = False
+            for alternative in operand.operands:
+                if isinstance(alternative, leaf_type) and any(
+                    member in seen for member in alternative.operands
+                ):
+                    kept = [m for m in alternative.operands if m not in seen]
+                    new_alternatives.append(wrap_leaf(kept))
+                    operand_changed = True
+                else:
+                    new_alternatives.append(alternative)
+            if operand_changed:
+                result.append(wrap_inner(new_alternatives))
+                changed = True
+                continue
+        result.append(operand)
+    return result if changed else None
+
+
+def implies(left: Formula, right: Formula) -> Formula:
+    """``φ -> ψ`` encoded as ``!φ | ψ``."""
+    return disj([neg(left), right])
+
+
+def atoms(formula: Formula) -> frozenset[str]:
+    """All event labels mentioned by ``formula``."""
+    names: set[str] = set()
+    stack = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Atom):
+            names.add(node.name)
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.operands)
+        elif isinstance(node, (Next, WeakNext, Eventually, Globally)):
+            stack.append(node.operand)
+        elif isinstance(node, (Until, WeakUntil, Release)):
+            stack.append(node.left)
+            stack.append(node.right)
+    return frozenset(names)
+
+
+def format_formula(formula: Formula) -> str:
+    """Render in the claim syntax, e.g. ``(!a.open) W b.open``."""
+    return _format(formula, 0)
+
+
+# Precedence levels: -> (not printed; encoded) < | (1) < & (2) <
+# U/W/R (3) < unary (4) < atoms (5).
+def _format(formula: Formula, parent: int) -> str:
+    if isinstance(formula, Top):
+        return "true"
+    if isinstance(formula, Bottom):
+        return "false"
+    if isinstance(formula, Atom):
+        return formula.name
+    if isinstance(formula, Not):
+        return "!" + _format(formula.operand, 4)
+    if isinstance(formula, Next):
+        return "X " + _format(formula.operand, 4)
+    if isinstance(formula, WeakNext):
+        return "X[w] " + _format(formula.operand, 4)
+    if isinstance(formula, Eventually):
+        return "F " + _format(formula.operand, 4)
+    if isinstance(formula, Globally):
+        return "G " + _format(formula.operand, 4)
+    if isinstance(formula, (Until, WeakUntil, Release)):
+        op = {"Until": "U", "WeakUntil": "W", "Release": "R"}[type(formula).__name__]
+        text = _format(formula.left, 4) + f" {op} " + _format(formula.right, 3)
+        return f"({text})" if parent > 3 else text
+    if isinstance(formula, And):
+        text = " & ".join(_format(op, 3) for op in formula.operands)
+        return f"({text})" if parent > 2 else text
+    if isinstance(formula, Or):
+        text = " | ".join(_format(op, 2) for op in formula.operands)
+        return f"({text})" if parent > 1 else text
+    raise TypeError(f"not a Formula: {formula!r}")

@@ -1,0 +1,187 @@
+"""Parser for the claim syntax of ``@claim`` annotations.
+
+Grammar (low to high precedence; binary temporal operators are
+right-associative)::
+
+    implies ::= or ('->' implies)?
+    or      ::= and ('|' and)*
+    and     ::= temporal ('&' temporal)*
+    temporal::= unary (('U' | 'W' | 'R') temporal)?
+    unary   ::= ('!' | 'X[w]' | 'X' | 'F' | 'G')* atom
+    atom    ::= 'true' | 'false' | EVENT | '(' implies ')'
+
+``EVENT`` is a dotted identifier such as ``a.open``.  The single-letter
+operator names ``U W R X F G`` are reserved and cannot be events; any
+other identifier is an event atom.  The paper's example claim parses as
+expected: ``(!a.open) W b.open``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ltlf.ast import (
+    FALSE,
+    TRUE,
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    Release,
+    Until,
+    WeakNext,
+    WeakUntil,
+    atom,
+    conj,
+    disj,
+    implies,
+    neg,
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:"
+    r"(?P<weaknext>X\[w\])"
+    r"|(?P<arrow>->)"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<bang>!)"
+    r"|(?P<amp>&&?)"
+    r"|(?P<pipe>\|\|?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)*)"
+    r")"
+)
+
+_RESERVED = {"U", "W", "R", "X", "F", "G", "true", "false"}
+
+
+class ClaimSyntaxError(ValueError):
+    """Raised when a ``@claim`` string is not a well-formed formula."""
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ClaimSyntaxError(f"unexpected input at: {remainder[:20]!r}")
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> Formula:
+        result = self._implies()
+        if self._peek() is not None:
+            raise ClaimSyntaxError(
+                f"trailing tokens starting at {self._tokens[self._index][1]!r}"
+            )
+        return result
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        token = self._peek()
+        if token is not None and token[0] == "arrow":
+            self._advance()
+            return implies(left, self._implies())
+        return left
+
+    def _or(self) -> Formula:
+        operands = [self._and()]
+        while (token := self._peek()) is not None and token[0] == "pipe":
+            self._advance()
+            operands.append(self._and())
+        return operands[0] if len(operands) == 1 else disj(operands)
+
+    def _and(self) -> Formula:
+        operands = [self._temporal()]
+        while (token := self._peek()) is not None and token[0] == "amp":
+            self._advance()
+            operands.append(self._temporal())
+        return operands[0] if len(operands) == 1 else conj(operands)
+
+    def _temporal(self) -> Formula:
+        left = self._unary()
+        token = self._peek()
+        if token is not None and token[0] == "ident" and token[1] in {"U", "W", "R"}:
+            operator = self._advance()[1]
+            right = self._temporal()
+            if operator == "U":
+                return Until(left, right)
+            if operator == "W":
+                return WeakUntil(left, right)
+            return Release(left, right)
+        return left
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ClaimSyntaxError("unexpected end of claim")
+        kind, text = token
+        if kind == "bang":
+            self._advance()
+            return neg(self._unary())
+        if kind == "weaknext":
+            self._advance()
+            return WeakNext(self._unary())
+        if kind == "ident" and text in {"X", "F", "G"}:
+            self._advance()
+            operand = self._unary()
+            if text == "X":
+                return Next(operand)
+            if text == "F":
+                return Eventually(operand)
+            return Globally(operand)
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        token = self._peek()
+        if token is None:
+            raise ClaimSyntaxError("unexpected end of claim")
+        kind, text = token
+        if kind == "lparen":
+            self._advance()
+            inner = self._implies()
+            next_token = self._peek()
+            if next_token is None or next_token[0] != "rparen":
+                raise ClaimSyntaxError("missing closing parenthesis")
+            self._advance()
+            return inner
+        if kind == "ident":
+            self._advance()
+            if text == "true":
+                return TRUE
+            if text == "false":
+                return FALSE
+            if text in _RESERVED:
+                raise ClaimSyntaxError(f"{text!r} is a reserved operator name")
+            return atom(text)
+        raise ClaimSyntaxError(f"unexpected token {text!r}")
+
+
+def parse_claim(text: str) -> Formula:
+    """Parse a ``@claim`` string into an LTLf formula."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ClaimSyntaxError("empty claim")
+    return _Parser(tokens).parse()

@@ -1,0 +1,113 @@
+"""A catalog of common claim patterns (after Dwyer et al.'s property
+specification patterns, instantiated for finite traces).
+
+Writing temporal claims by hand is error-prone; these constructors cover
+the orderings CPS specifications actually use, and each is
+property-tested against a direct trace-level definition:
+
+* :func:`absence` — ``e`` never happens,
+* :func:`existence` — ``e`` happens at least once,
+* :func:`universality` — every event is ``e``,
+* :func:`response` — every ``trigger`` is eventually followed by
+  ``reaction`` (the valve rule: every ``open`` sees a later ``close``),
+* :func:`precedence` — ``later`` cannot happen before ``first`` (the
+  paper's claim shape: ``(!a.open) W b.open``),
+* :func:`succession` — response and precedence combined,
+* :func:`bounded_existence` — ``e`` happens at most ``bound`` times.
+
+All patterns are closed formulas over event atoms and compose with the
+boolean connectives of :mod:`repro.ltlf.ast`.
+"""
+
+from __future__ import annotations
+
+from repro.ltlf.ast import (
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    WeakUntil,
+    atom,
+    conj,
+    disj,
+    neg,
+)
+
+
+def absence(event: str) -> Formula:
+    """``G !e`` — the event never occurs."""
+    return Globally(neg(atom(event)))
+
+
+def existence(event: str) -> Formula:
+    """``F e`` — the event occurs at least once."""
+    return Eventually(atom(event))
+
+
+def universality(event: str) -> Formula:
+    """``G e`` — every position is the event (degenerate but useful for
+    single-purpose sub-alphabets)."""
+    return Globally(atom(event))
+
+
+def response(trigger: str, reaction: str) -> Formula:
+    """``G (trigger -> F reaction)`` — every trigger is answered."""
+    return Globally(disj([neg(atom(trigger)), Eventually(atom(reaction))]))
+
+
+def precedence(first: str, later: str) -> Formula:
+    """``(!later) W first`` — ``later`` waits for ``first``.
+
+    Exactly the paper's claim shape: ``precedence("b.open", "a.open")``
+    is ``(!a.open) W b.open``.
+    """
+    return WeakUntil(neg(atom(later)), atom(first))
+
+
+def succession(trigger: str, reaction: str) -> Formula:
+    """Precedence and response combined: reactions only after triggers,
+    and every trigger is eventually answered."""
+    return conj([precedence(trigger, reaction), response(trigger, reaction)])
+
+
+def bounded_existence(event: str, bound: int) -> Formula:
+    """The event occurs at most ``bound`` times.
+
+    Encoded by nesting: more than ``bound`` occurrences would need
+    ``bound + 1`` nested eventualities each strictly after the previous
+    occurrence.
+    """
+    if bound < 0:
+        raise ValueError("bound must be non-negative")
+    # "At least k occurrences" = F (e & X (at least k-1 occurrences)).
+    at_least: Formula = Eventually(atom(event))
+    for _ in range(bound):
+        at_least = Eventually(conj([atom(event), Next(at_least)]))
+    return neg(at_least)
+
+
+def never_adjacent(first: str, second: str) -> Formula:
+    """``G (first -> !X second)`` — the two events never occur
+    back-to-back (a cool-down constraint)."""
+    return Globally(disj([neg(atom(first)), neg(Next(atom(second)))]))
+
+
+def alternation(first: str, second: str) -> Formula:
+    """The two events strictly alternate, starting with ``first``:
+    precedence in both directions plus no immediate repetition.
+
+    Over the joint sub-alphabet this says: ``second`` waits for
+    ``first``, and between two ``first``s there is a ``second`` (and
+    vice versa), expressed with weak-untils on each trigger.
+    """
+    from repro.ltlf.ast import WeakNext
+
+    a, b = atom(first), atom(second)
+    no_second_first = WeakUntil(neg(b), a)
+    after_a_next_is_not_a = Globally(
+        disj([neg(a), WeakNext(WeakUntil(neg(a), b))])
+    )
+    after_b_next_is_not_b = Globally(
+        disj([neg(b), WeakNext(WeakUntil(neg(b), a))])
+    )
+    return conj([no_second_first, after_a_next_is_not_a, after_b_next_is_not_b])

@@ -1,0 +1,122 @@
+"""Formula progression: the one-step derivative of an LTLf formula.
+
+``progress(φ, σ)`` computes a formula ``φ'`` with the defining property
+
+    ``σ · w ⊨ φ``   iff   ``w ⊨ φ'``
+
+and ``accepts_empty(φ)`` decides ``ε ⊨ φ``.  Together they turn the set
+of (simplified) formulas reachable by progression into a DFA — the
+construction in :mod:`repro.ltlf.translate`.  Progression is standard
+(Bacchus–Kabanza), adapted to event traces where exactly one atom is
+true per position.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ltlf.ast import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    Not,
+    Or,
+    Release,
+    Top,
+    Until,
+    WeakNext,
+    WeakUntil,
+    conj,
+    disj,
+    neg,
+)
+
+
+@lru_cache(maxsize=None)
+def progress(formula: Formula, event: str) -> Formula:
+    """The residual obligation after observing ``event``."""
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Atom):
+        return TRUE if formula.name == event else FALSE
+    if isinstance(formula, Not):
+        return neg(progress(formula.operand, event))
+    if isinstance(formula, And):
+        return conj(progress(op, event) for op in formula.operands)
+    if isinstance(formula, Or):
+        return disj(progress(op, event) for op in formula.operands)
+    if isinstance(formula, (Next, WeakNext)):
+        # Both nexts progress to their operand: once an event has been
+        # consumed a next position certainly existed.
+        return formula.operand
+    if isinstance(formula, Eventually):
+        return disj([progress(formula.operand, event), formula])
+    if isinstance(formula, Globally):
+        return conj([progress(formula.operand, event), formula])
+    if isinstance(formula, Until):
+        return disj(
+            [
+                progress(formula.right, event),
+                conj([progress(formula.left, event), formula]),
+            ]
+        )
+    if isinstance(formula, WeakUntil):
+        return disj(
+            [
+                progress(formula.right, event),
+                conj([progress(formula.left, event), formula]),
+            ]
+        )
+    if isinstance(formula, Release):
+        return conj(
+            [
+                progress(formula.right, event),
+                disj([progress(formula.left, event), formula]),
+            ]
+        )
+    raise TypeError(f"not a Formula: {formula!r}")
+
+
+@lru_cache(maxsize=None)
+def accepts_empty(formula: Formula) -> bool:
+    """Does the empty trace satisfy ``formula``?
+
+    Mirrors the empty-suffix conventions of
+    :mod:`repro.ltlf.semantics`: ``G``/``W``/``R``/``X[w]`` are true,
+    atoms/``X``/``F``/``U`` are false.
+    """
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, (Bottom, Atom, Next, Eventually, Until)):
+        return False
+    if isinstance(formula, (WeakNext, Globally, WeakUntil, Release)):
+        return True
+    if isinstance(formula, Not):
+        return not accepts_empty(formula.operand)
+    if isinstance(formula, And):
+        return all(accepts_empty(op) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(accepts_empty(op) for op in formula.operands)
+    raise TypeError(f"not a Formula: {formula!r}")
+
+
+def progress_trace(formula: Formula, trace: tuple[str, ...] | list[str]) -> Formula:
+    """Progress through a whole trace (left to right)."""
+    current = formula
+    for event in trace:
+        current = progress(current, event)
+        if isinstance(current, (Top, Bottom)):
+            break
+    return current
+
+
+def satisfies_by_progression(formula: Formula, trace: tuple[str, ...] | list[str]) -> bool:
+    """Decide ``trace ⊨ formula`` via progression (tested against
+    :func:`repro.ltlf.semantics.evaluate`)."""
+    return accepts_empty(progress_trace(formula, trace))

@@ -1,0 +1,102 @@
+"""Direct finite-trace semantics of LTLf claims.
+
+``evaluate(φ, trace)`` decides ``trace ⊨ φ`` by the textbook recursive
+definition over suffixes.  This is the *reference* semantics: the
+progression-based automaton of :mod:`repro.ltlf.translate` is
+property-tested against it.
+
+Conventions (traces may be empty; evaluation positions range over the
+suffixes of the trace *including the empty suffix*):
+
+* on the empty suffix: atoms, ``X``, ``F``, ``U`` are false;
+  ``X[w]``, ``G``, ``W``, ``R`` are true;
+* ``X φ`` consumes one event and evaluates φ on the (possibly empty)
+  remainder — so ``X true`` means "an event exists here", and
+  ``X (G φ)`` holds at the last event of a trace;
+* ``F``/``G``/``U``/``W``/``R`` quantify over the *event positions* of
+  the suffix (not the empty end-of-trace position).
+
+These conventions are exactly mirrored by the progression rules in
+:mod:`repro.ltlf.progression` — the agreement is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ltlf.ast import (
+    And,
+    Atom,
+    Bottom,
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    Not,
+    Or,
+    Release,
+    Top,
+    Until,
+    WeakNext,
+    WeakUntil,
+)
+
+
+def evaluate(formula: Formula, trace: Sequence[str]) -> bool:
+    """Decide whether the finite ``trace`` satisfies ``formula``."""
+    return _holds(formula, tuple(trace), 0)
+
+
+def _holds(formula: Formula, trace: tuple[str, ...], position: int) -> bool:
+    """Does the suffix of ``trace`` starting at ``position`` satisfy
+    ``formula``?  ``position == len(trace)`` is the empty suffix."""
+    length = len(trace)
+    if isinstance(formula, Top):
+        return True
+    if isinstance(formula, Bottom):
+        return False
+    if isinstance(formula, Atom):
+        return position < length and trace[position] == formula.name
+    if isinstance(formula, Not):
+        return not _holds(formula.operand, trace, position)
+    if isinstance(formula, And):
+        return all(_holds(op, trace, position) for op in formula.operands)
+    if isinstance(formula, Or):
+        return any(_holds(op, trace, position) for op in formula.operands)
+    if isinstance(formula, Next):
+        return position < length and _holds(formula.operand, trace, position + 1)
+    if isinstance(formula, WeakNext):
+        return position >= length or _holds(formula.operand, trace, position + 1)
+    if isinstance(formula, Eventually):
+        return any(
+            _holds(formula.operand, trace, k) for k in range(position, length)
+        )
+    if isinstance(formula, Globally):
+        return all(
+            _holds(formula.operand, trace, k) for k in range(position, length)
+        )
+    if isinstance(formula, Until):
+        for k in range(position, length):
+            if _holds(formula.right, trace, k):
+                return True
+            if not _holds(formula.left, trace, k):
+                return False
+        return False
+    if isinstance(formula, WeakUntil):
+        # φ W ψ  =  (φ U ψ) | G φ
+        for k in range(position, length):
+            if _holds(formula.right, trace, k):
+                return True
+            if not _holds(formula.left, trace, k):
+                return False
+        return True
+    if isinstance(formula, Release):
+        # φ R ψ: ψ must hold at every position up to and including the
+        # first position where φ holds (if φ never holds, ψ always must).
+        for k in range(position, length):
+            if not _holds(formula.right, trace, k):
+                return False
+            if _holds(formula.left, trace, k):
+                return True
+        return True
+    raise TypeError(f"not a Formula: {formula!r}")

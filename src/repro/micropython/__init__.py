@@ -1,0 +1,71 @@
+"""Simulated MicroPython runtime substrate.
+
+The paper's programs target MicroPython on embedded hardware; this
+package substitutes an in-memory simulation with the same API surface
+(:mod:`repro.micropython.machine` for pins/ADC/PWM,
+:mod:`repro.micropython.timer` for the virtual clock and timers) so the
+annotated listings are runnable and the runtime monitor can observe
+real executions.  See DESIGN.md, "Substitutions".
+"""
+
+from repro.micropython.machine import (
+    ADC,
+    IN,
+    IRQ_FALLING,
+    IRQ_RISING,
+    OPEN_DRAIN,
+    OUT,
+    PWM,
+    Board,
+    Pin,
+    PinEvent,
+    Signal,
+    default_board,
+    reset_board,
+)
+from repro.micropython.radio import (
+    Datagram,
+    Ether,
+    Radio,
+    default_ether,
+    reset_ether,
+)
+from repro.micropython.timer import (
+    Timer,
+    VirtualClock,
+    default_clock,
+    reset_clock,
+    sleep,
+    sleep_ms,
+    ticks_diff,
+    ticks_ms,
+)
+
+__all__ = [
+    "ADC",
+    "Board",
+    "Datagram",
+    "Ether",
+    "IN",
+    "IRQ_FALLING",
+    "IRQ_RISING",
+    "OPEN_DRAIN",
+    "OUT",
+    "PWM",
+    "Pin",
+    "PinEvent",
+    "Radio",
+    "Signal",
+    "Timer",
+    "VirtualClock",
+    "default_board",
+    "default_clock",
+    "default_ether",
+    "reset_board",
+    "reset_clock",
+    "reset_ether",
+    "sleep",
+    "sleep_ms",
+    "ticks_diff",
+    "ticks_ms",
+]

@@ -1,0 +1,261 @@
+"""A simulated MicroPython ``machine`` module.
+
+The paper's use case runs on a battery-operated valve controller; the
+listings manipulate GPIO pins through MicroPython's ``machine.Pin`` API.
+Real hardware is unavailable to this reproduction, so this module
+provides a behavior-compatible simulation (substitution documented in
+DESIGN.md): the same constructors and methods, backed by an in-memory
+:class:`Board` that records every pin mutation in an inspectable event
+log.  The examples run against it, and the tests assert on the log.
+
+Only the slice of the API the listings and examples need is modelled:
+``Pin`` (IN/OUT, value/on/off/toggle/irq), ``ADC`` (with a programmable
+reading source), ``PWM``, and ``Signal`` (inverted pin).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Pin modes (MicroPython exposes these as ``Pin.IN``/``Pin.OUT``; the
+#: paper's listings use bare ``IN``/``OUT`` names, so both are provided).
+IN = 0
+OUT = 1
+OPEN_DRAIN = 2
+
+#: IRQ trigger flags.
+IRQ_RISING = 1
+IRQ_FALLING = 2
+
+
+@dataclass
+class PinEvent:
+    """One recorded pin mutation or read."""
+
+    sequence: int
+    pin: int
+    action: str
+    value: int
+
+    def describe(self) -> str:
+        return f"#{self.sequence} pin{self.pin} {self.action}={self.value}"
+
+
+@dataclass
+class Board:
+    """The simulated board: pin levels plus a global event log."""
+
+    levels: dict[int, int] = field(default_factory=dict)
+    events: list[PinEvent] = field(default_factory=list)
+    _sequence: "itertools.count[int]" = field(default_factory=itertools.count)
+    #: External inputs: pin id -> callable producing the sampled level.
+    input_sources: dict[int, Callable[[], int]] = field(default_factory=dict)
+
+    def record(self, pin: int, action: str, value: int) -> None:
+        self.events.append(
+            PinEvent(
+                sequence=next(self._sequence), pin=pin, action=action, value=value
+            )
+        )
+
+    def set_level(self, pin: int, value: int, action: str = "write") -> None:
+        self.levels[pin] = 1 if value else 0
+        self.record(pin, action, self.levels[pin])
+
+    def read_level(self, pin: int) -> int:
+        source = self.input_sources.get(pin)
+        if source is not None:
+            self.levels[pin] = 1 if source() else 0
+        return self.levels.get(pin, 0)
+
+    def drive_input(self, pin: int, value: int) -> None:
+        """Test/demo helper: force an input pin's level."""
+        self.levels[pin] = 1 if value else 0
+        self.record(pin, "drive", self.levels[pin])
+
+    def reset(self) -> None:
+        self.levels.clear()
+        self.events.clear()
+        self.input_sources.clear()
+        self._sequence = itertools.count()
+
+    def log(self) -> list[str]:
+        return [event.describe() for event in self.events]
+
+
+#: The default board every peripheral attaches to unless told otherwise.
+_default_board = Board()
+
+
+def default_board() -> Board:
+    """The process-wide simulated board."""
+    return _default_board
+
+
+def reset_board() -> None:
+    """Reset the default board (tests call this between cases)."""
+    _default_board.reset()
+
+
+class Pin:
+    """Simulated ``machine.Pin``.
+
+    >>> led = Pin(2, OUT)
+    >>> led.on()
+    >>> led.value()
+    1
+    """
+
+    IN = IN
+    OUT = OUT
+    OPEN_DRAIN = OPEN_DRAIN
+    IRQ_RISING = IRQ_RISING
+    IRQ_FALLING = IRQ_FALLING
+
+    def __init__(
+        self,
+        pin_id: int,
+        mode: int = IN,
+        *,
+        value: int | None = None,
+        board: Board | None = None,
+    ):
+        self.id = pin_id
+        self.mode = mode
+        self._board = board if board is not None else _default_board
+        self._irq_handler: Callable[["Pin"], None] | None = None
+        self._irq_trigger = 0
+        if value is not None:
+            self._board.set_level(pin_id, value, action="init")
+
+    def value(self, new_value: int | None = None) -> int | None:
+        """Read the pin level, or set it when an argument is given."""
+        if new_value is None:
+            level = self._board.read_level(self.id)
+            self._board.record(self.id, "read", level)
+            return level
+        previous = self._board.levels.get(self.id, 0)
+        self._board.set_level(self.id, new_value)
+        self._fire_irq(previous, 1 if new_value else 0)
+        return None
+
+    def on(self) -> None:
+        """Drive the pin high."""
+        previous = self._board.levels.get(self.id, 0)
+        self._board.set_level(self.id, 1, action="on")
+        self._fire_irq(previous, 1)
+
+    def off(self) -> None:
+        """Drive the pin low."""
+        previous = self._board.levels.get(self.id, 0)
+        self._board.set_level(self.id, 0, action="off")
+        self._fire_irq(previous, 0)
+
+    def toggle(self) -> None:
+        """Invert the pin level."""
+        current = self._board.levels.get(self.id, 0)
+        previous = current
+        self._board.set_level(self.id, 1 - current, action="toggle")
+        self._fire_irq(previous, 1 - current)
+
+    def irq(
+        self,
+        handler: Callable[["Pin"], None],
+        trigger: int = IRQ_RISING | IRQ_FALLING,
+    ) -> None:
+        """Install an edge-triggered interrupt handler (fired synchronously
+        by the simulation on level changes)."""
+        self._irq_handler = handler
+        self._irq_trigger = trigger
+
+    def _fire_irq(self, previous: int, current: int) -> None:
+        if self._irq_handler is None or previous == current:
+            return
+        rising = current > previous
+        if rising and self._irq_trigger & IRQ_RISING:
+            self._irq_handler(self)
+        elif not rising and self._irq_trigger & IRQ_FALLING:
+            self._irq_handler(self)
+
+    def __repr__(self) -> str:
+        mode = {IN: "IN", OUT: "OUT", OPEN_DRAIN: "OPEN_DRAIN"}.get(self.mode, "?")
+        return f"Pin({self.id}, {mode})"
+
+
+class ADC:
+    """Simulated ``machine.ADC``: 16-bit reads from a programmable source."""
+
+    def __init__(self, pin: Pin | int, *, board: Board | None = None):
+        self.id = pin.id if isinstance(pin, Pin) else pin
+        self._board = board if board is not None else _default_board
+        self._source: Callable[[], int] = lambda: 0
+
+    def set_source(self, source: Callable[[], int]) -> None:
+        """Install the synthetic signal the ADC samples (simulation hook)."""
+        self._source = source
+
+    def read_u16(self) -> int:
+        """Sample the source, clamped to the 16-bit range."""
+        raw = int(self._source())
+        value = max(0, min(0xFFFF, raw))
+        self._board.record(self.id, "adc", value)
+        return value
+
+
+class PWM:
+    """Simulated ``machine.PWM``: stores frequency and duty, logs changes."""
+
+    def __init__(self, pin: Pin, *, board: Board | None = None):
+        self.pin = pin
+        self._board = board if board is not None else _default_board
+        self._freq = 0
+        self._duty = 0
+
+    def freq(self, value: int | None = None) -> int | None:
+        if value is None:
+            return self._freq
+        self._freq = int(value)
+        self._board.record(self.pin.id, "pwm_freq", self._freq)
+        return None
+
+    def duty_u16(self, value: int | None = None) -> int | None:
+        if value is None:
+            return self._duty
+        self._duty = max(0, min(0xFFFF, int(value)))
+        self._board.record(self.pin.id, "pwm_duty", self._duty)
+        return None
+
+    def deinit(self) -> None:
+        self._duty = 0
+        self._board.record(self.pin.id, "pwm_deinit", 0)
+
+
+class Signal:
+    """Simulated ``machine.Signal``: a pin with optional inversion."""
+
+    def __init__(self, pin: Pin, *, invert: bool = False):
+        self._pin = pin
+        self._invert = invert
+
+    def value(self, new_value: int | None = None) -> int | None:
+        if new_value is None:
+            raw = self._pin.value()
+            assert raw is not None
+            return 1 - raw if self._invert else raw
+        level = (1 if new_value else 0) ^ (1 if self._invert else 0)
+        self._pin.value(level)
+        return None
+
+    def on(self) -> None:
+        if self._invert:
+            self._pin.off()
+        else:
+            self._pin.on()
+
+    def off(self) -> None:
+        if self._invert:
+            self._pin.on()
+        else:
+            self._pin.off()

@@ -1,0 +1,145 @@
+"""A simulated low-power radio link.
+
+The paper's motivating deployment is a *battery-operated wireless
+controller*; this module supplies the wireless part of the simulation:
+an in-memory :class:`Ether` carrying datagrams between :class:`Radio`
+endpoints, with optional deterministic loss, a delivery log, and a
+duty-cycle energy model — enough for the fleet example to exercise
+command/acknowledge protocols over the same virtual clock as the rest
+of the board.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.micropython.timer import VirtualClock, default_clock
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """One transmitted frame."""
+
+    source: str
+    destination: str
+    payload: bytes
+    sent_at_ms: int
+
+
+@dataclass
+class Ether:
+    """The shared medium: routes frames, applies loss, keeps a log."""
+
+    loss_rate: float = 0.0
+    seed: int = 0
+    log: list[Datagram] = field(default_factory=list)
+    dropped: list[Datagram] = field(default_factory=list)
+    _inboxes: dict[str, Deque[Datagram]] = field(default_factory=dict)
+    _rng: random.Random = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def attach(self, address: str) -> None:
+        if address in self._inboxes:
+            raise ValueError(f"address {address!r} already attached")
+        self._inboxes[address] = deque()
+
+    def transmit(self, frame: Datagram) -> bool:
+        """Route a frame; returns False when the medium dropped it."""
+        if frame.destination not in self._inboxes:
+            self.dropped.append(frame)
+            return False
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.dropped.append(frame)
+            return False
+        self._inboxes[frame.destination].append(frame)
+        self.log.append(frame)
+        return True
+
+    def pending(self, address: str) -> int:
+        return len(self._inboxes.get(address, ()))
+
+    def pop(self, address: str) -> Datagram | None:
+        inbox = self._inboxes.get(address)
+        if inbox:
+            return inbox.popleft()
+        return None
+
+
+#: Process-wide medium, mirroring the default board and clock.
+_default_ether = Ether()
+
+
+def default_ether() -> Ether:
+    return _default_ether
+
+
+def reset_ether(loss_rate: float = 0.0, seed: int = 0) -> Ether:
+    """Replace the default medium (tests/examples call this)."""
+    global _default_ether
+    _default_ether = Ether(loss_rate=loss_rate, seed=seed)
+    return _default_ether
+
+
+class Radio:
+    """One endpoint: ``send``/``recv`` plus a duty-cycle energy model.
+
+    Energy accounting is deliberately simple (µJ per sent/received
+    byte + idle listening per ms) — the examples use it to show why the
+    valve controller sleeps between slots.
+    """
+
+    SEND_UJ_PER_BYTE = 6.0
+    RECV_UJ_PER_BYTE = 3.0
+    LISTEN_UJ_PER_MS = 0.2
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        ether: Ether | None = None,
+        clock: VirtualClock | None = None,
+    ):
+        self.address = address
+        self._ether = ether if ether is not None else _default_ether
+        self._clock = clock if clock is not None else default_clock()
+        self._ether.attach(address)
+        self.energy_uj = 0.0
+        self._last_listen_ms = self._clock.ticks_ms()
+
+    def send(self, destination: str, payload: bytes | str) -> bool:
+        """Transmit a frame; returns delivery status (simulation-only
+        knowledge — real radios would need the ACK the examples build)."""
+        data = payload.encode() if isinstance(payload, str) else bytes(payload)
+        self.energy_uj += self.SEND_UJ_PER_BYTE * max(1, len(data))
+        frame = Datagram(
+            source=self.address,
+            destination=destination,
+            payload=data,
+            sent_at_ms=self._clock.ticks_ms(),
+        )
+        return self._ether.transmit(frame)
+
+    def recv(self) -> Datagram | None:
+        """Poll the inbox; accounts idle listening since the last poll."""
+        now = self._clock.ticks_ms()
+        self.energy_uj += self.LISTEN_UJ_PER_MS * max(0, now - self._last_listen_ms)
+        self._last_listen_ms = now
+        frame = self._ether.pop(self.address)
+        if frame is not None:
+            self.energy_uj += self.RECV_UJ_PER_BYTE * max(1, len(frame.payload))
+        return frame
+
+    def recv_all(self) -> list[Datagram]:
+        frames: list[Datagram] = []
+        while True:
+            frame = self.recv()
+            if frame is None:
+                return frames
+            frames.append(frame)

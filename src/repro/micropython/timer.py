@@ -1,0 +1,126 @@
+"""Simulated MicroPython time utilities with a virtual clock.
+
+Real controllers sleep between irrigation slots; the simulation keeps a
+monotonically advancing *virtual* clock so examples run instantly and
+deterministically while still exercising time-dependent control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class VirtualClock:
+    """A virtual millisecond clock that only moves when told to."""
+
+    now_ms: int = 0
+    _alarms: list[tuple[int, Callable[[], None]]] = field(default_factory=list)
+
+    def sleep_ms(self, duration: int) -> None:
+        """Advance the clock, firing any alarms that come due (in order)."""
+        if duration < 0:
+            raise ValueError("cannot sleep a negative duration")
+        target = self.now_ms + duration
+        while True:
+            due = [alarm for alarm in self._alarms if alarm[0] <= target]
+            if not due:
+                break
+            due.sort(key=lambda alarm: alarm[0])
+            when, callback = due[0]
+            self._alarms.remove((when, callback))
+            self.now_ms = max(self.now_ms, when)
+            callback()
+        self.now_ms = target
+
+    def sleep(self, seconds: float) -> None:
+        self.sleep_ms(int(seconds * 1000))
+
+    def ticks_ms(self) -> int:
+        return self.now_ms
+
+    def schedule(self, delay_ms: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the clock passes ``now + delay_ms``."""
+        self._alarms.append((self.now_ms + delay_ms, callback))
+
+    def reset(self) -> None:
+        self.now_ms = 0
+        self._alarms.clear()
+
+
+#: Process-wide clock mirroring the process-wide board.
+_default_clock = VirtualClock()
+
+
+def default_clock() -> VirtualClock:
+    return _default_clock
+
+
+def reset_clock() -> None:
+    _default_clock.reset()
+
+
+def sleep_ms(duration: int) -> None:
+    """Module-level ``time.sleep_ms`` equivalent on the default clock."""
+    _default_clock.sleep_ms(duration)
+
+
+def sleep(seconds: float) -> None:
+    """Module-level ``time.sleep`` equivalent on the default clock."""
+    _default_clock.sleep(seconds)
+
+
+def ticks_ms() -> int:
+    """Module-level ``time.ticks_ms`` equivalent on the default clock."""
+    return _default_clock.ticks_ms()
+
+
+def ticks_diff(end: int, start: int) -> int:
+    """MicroPython's ``time.ticks_diff`` (no wraparound in simulation)."""
+    return end - start
+
+
+class Timer:
+    """Simulated ``machine.Timer`` in one-shot or periodic mode.
+
+    Periodic timers re-arm themselves each time they fire; they fire
+    while the virtual clock advances through :func:`sleep_ms`.
+    """
+
+    ONE_SHOT = 0
+    PERIODIC = 1
+
+    def __init__(self, timer_id: int = -1, *, clock: VirtualClock | None = None):
+        self.id = timer_id
+        self._clock = clock if clock is not None else _default_clock
+        self._active = False
+        self._period = 0
+        self._mode = Timer.ONE_SHOT
+        self._callback: Callable[["Timer"], None] | None = None
+
+    def init(
+        self,
+        *,
+        period: int,
+        mode: int = PERIODIC,
+        callback: Callable[["Timer"], None],
+    ) -> None:
+        self._period = period
+        self._mode = mode
+        self._callback = callback
+        self._active = True
+        self._arm()
+
+    def _arm(self) -> None:
+        def fire() -> None:
+            if not self._active or self._callback is None:
+                return
+            self._callback(self)
+            if self._mode == Timer.PERIODIC and self._active:
+                self._arm()
+
+        self._clock.schedule(self._period, fire)
+
+    def deinit(self) -> None:
+        self._active = False

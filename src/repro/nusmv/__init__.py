@@ -1,0 +1,49 @@
+"""NuSMV backend: emit extracted automata as NuSMV models.
+
+The paper's Shelley delegates model checking to NuSMV via an NFA →
+NuSMV translation; this package reproduces the emission side (the
+checking itself runs natively in :mod:`repro.automata` /
+:mod:`repro.ltlf` — see DESIGN.md, "Substitutions").
+"""
+
+from repro.nusmv.emit import (
+    DEAD_STATE,
+    DONE_STATE,
+    END_EVENT,
+    emit_dfa,
+    emit_model,
+    formula_to_nusmv,
+)
+from repro.nusmv.interp import (
+    NuSmvModel,
+    NuSmvParseError,
+    accepts_via_nusmv,
+    interpret,
+)
+from repro.nusmv.syntax import (
+    case_expression,
+    conjunction,
+    disjunction,
+    enum_declaration,
+    mangle,
+    unique_names,
+)
+
+__all__ = [
+    "DEAD_STATE",
+    "DONE_STATE",
+    "END_EVENT",
+    "NuSmvModel",
+    "NuSmvParseError",
+    "accepts_via_nusmv",
+    "case_expression",
+    "conjunction",
+    "disjunction",
+    "emit_dfa",
+    "emit_model",
+    "enum_declaration",
+    "formula_to_nusmv",
+    "interpret",
+    "mangle",
+    "unique_names",
+]

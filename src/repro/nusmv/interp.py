@@ -1,0 +1,140 @@
+"""An interpreter for the NuSMV models *this package emits*.
+
+NuSMV itself is unavailable offline, so the emission in
+:mod:`repro.nusmv.emit` could only be golden-tested syntactically.
+This module closes the semantic gap: it parses the exact shape of
+module text :func:`emit_dfa` produces (enumerated ``IVAR``/``VAR``,
+one ``init``, one ``case``-defined ``next``, ``DEFINE``/``JUSTICE``)
+and executes it, so tests can assert
+
+    ``interpret(emit_dfa(dfa)).accepts(word) == dfa.accepts(word)``
+
+for arbitrary automata and words — the emitted ω-lifting provably (by
+testing) preserves the finite language it encodes.
+
+This is *not* a general NuSMV front end; anything outside the emitted
+subset is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.nusmv.emit import END_EVENT
+from repro.nusmv.syntax import unique_names
+
+_IVAR_PATTERN = re.compile(r"IVAR\n  event : \{([^}]*)\};")
+_VAR_PATTERN = re.compile(r"VAR\n  state : \{([^}]*)\};")
+_INIT_PATTERN = re.compile(r"init\(state\) := (\w+);")
+_BRANCH_PATTERN = re.compile(
+    r"state = (\w+) & event = (\w+) : (\w+);"
+)
+_DEFAULT_PATTERN = re.compile(r"TRUE : (\w+);")
+_FINISHED_PATTERN = re.compile(r"finished := state = (\w+);")
+
+
+class NuSmvParseError(ValueError):
+    """The text is not a model this package emitted."""
+
+
+@dataclass(frozen=True)
+class NuSmvModel:
+    """A parsed emitted model, executable on event words."""
+
+    events: frozenset[str]
+    states: frozenset[str]
+    initial_state: str
+    transitions: dict[tuple[str, str], str]
+    default_state: str
+    done_state: str
+    end_event: str
+
+    def step(self, state: str, event: str) -> str:
+        """One ``next(state)`` evaluation."""
+        if event not in self.events:
+            raise KeyError(f"event {event!r} not in the model's domain")
+        return self.transitions.get((state, event), self.default_state)
+
+    def run(self, word: Iterable[str]) -> str:
+        state = self.initial_state
+        for event in word:
+            state = self.step(state, event)
+        return state
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Finite-word acceptance through the ω-lifting: read the word,
+        then the end marker; the run must sit in the ``done`` state (and
+        stay there — the JUSTICE condition)."""
+        state = self.run(word)
+        state = self.step(state, self.end_event)
+        if state != self.done_state:
+            return False
+        # JUSTICE finished: done must be reproducible forever on _end.
+        return self.step(state, self.end_event) == self.done_state
+
+
+def interpret(text: str) -> NuSmvModel:
+    """Parse emitted NuSMV module text into an executable model."""
+    ivar = _IVAR_PATTERN.search(text)
+    var = _VAR_PATTERN.search(text)
+    init = _INIT_PATTERN.search(text)
+    default = _DEFAULT_PATTERN.search(text)
+    finished = _FINISHED_PATTERN.search(text)
+    if not (ivar and var and init and default and finished):
+        raise NuSmvParseError("text does not match the emitted model shape")
+    events = frozenset(part.strip() for part in ivar.group(1).split(","))
+    states = frozenset(part.strip() for part in var.group(1).split(","))
+    transitions: dict[tuple[str, str], str] = {}
+    for source, event, target in _BRANCH_PATTERN.findall(text):
+        if source not in states or target not in states:
+            raise NuSmvParseError(f"branch uses undeclared state: {source}->{target}")
+        if event not in events:
+            raise NuSmvParseError(f"branch uses undeclared event: {event}")
+        transitions[(source, event)] = target
+    default_state = default.group(1)
+    if default_state not in states:
+        raise NuSmvParseError("default branch targets an undeclared state")
+    end_event = unique_names(sorted(events - {END_EVENT}) + [END_EVENT])[END_EVENT]
+    if end_event not in events:
+        raise NuSmvParseError("no end-marker event in the domain")
+    return NuSmvModel(
+        events=events,
+        states=states,
+        initial_state=init.group(1),
+        transitions=transitions,
+        default_state=default_state,
+        done_state=finished.group(1),
+        end_event=end_event,
+    )
+
+
+def accepts_via_nusmv(
+    text: str,
+    word: Iterable[str],
+    alphabet: Iterable[str] | None = None,
+) -> bool:
+    """Convenience: does the emitted model accept ``word``?
+
+    ``word`` uses the *original* event labels.  When ``alphabet`` (the
+    original alphabet the model was emitted from) is supplied, the exact
+    emitter name mapping — including collision suffixes — is rebuilt;
+    otherwise plain mangling is used, which is identical whenever no two
+    labels collide after mangling.
+    """
+    model = interpret(text)
+    word = list(word)
+    if alphabet is not None:
+        mapping = unique_names(sorted(alphabet) + [END_EVENT])
+    else:
+        from repro.nusmv.syntax import mangle
+
+        mapping = {label: mangle(label) for label in set(word)}
+    mangled_word = []
+    for label in word:
+        mangled = mapping.get(label)
+        if mangled is None or mangled not in model.events:
+            return False  # unknown events are rejected, like the DFA does
+        mangled_word.append(mangled)
+    return model.accepts(mangled_word)

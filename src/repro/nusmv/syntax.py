@@ -1,0 +1,81 @@
+"""NuSMV concrete-syntax building blocks.
+
+Tiny, dependency-free helpers for emitting well-formed NuSMV text:
+identifier mangling (dots are not legal in NuSMV symbols), enumerated
+``VAR``/``IVAR`` declarations, ``case`` expressions, and LTL formula
+rendering.  Kept separate from :mod:`repro.nusmv.emit` so tests can
+check syntax rules in isolation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+_IDENT_PATTERN = re.compile(r"[^A-Za-z0-9_]")
+
+
+def mangle(name: str) -> str:
+    """Turn an event label or state name into a NuSMV identifier.
+
+    ``a.open`` becomes ``a_open``; anything else non-alphanumeric is
+    underscored; a leading digit gets an ``s_`` prefix.
+    """
+    text = _IDENT_PATTERN.sub("_", str(name))
+    if not text or text[0].isdigit():
+        text = "s_" + text
+    return text
+
+
+def unique_names(names: Sequence[str]) -> dict[str, str]:
+    """Map each input name to a unique mangled identifier (stable order)."""
+    mapping: dict[str, str] = {}
+    used: set[str] = set()
+    for name in names:
+        base = mangle(name)
+        candidate = base
+        counter = 1
+        while candidate in used:
+            counter += 1
+            candidate = f"{base}_{counter}"
+        used.add(candidate)
+        mapping[name] = candidate
+    return mapping
+
+
+def enum_declaration(variable: str, values: Iterable[str], *, input_var: bool = False) -> str:
+    """One ``VAR``/``IVAR`` declaration with an enumerated domain."""
+    keyword = "IVAR" if input_var else "VAR"
+    domain = ", ".join(values)
+    return f"{keyword}\n  {variable} : {{{domain}}};"
+
+
+def case_expression(branches: Sequence[tuple[str, str]], indent: str = "    ") -> str:
+    """A ``case ... esac`` expression from (condition, value) pairs.
+
+    Callers are responsible for including a ``TRUE`` default branch —
+    NuSMV requires cases to be exhaustive.
+    """
+    lines = ["case"]
+    for condition, value in branches:
+        lines.append(f"{indent}{condition} : {value};")
+    lines.append(f"{indent[:-2]}esac")
+    return "\n".join(lines)
+
+
+def conjunction(terms: Sequence[str]) -> str:
+    """``t1 & t2 & ...`` (``TRUE`` for no terms)."""
+    if not terms:
+        return "TRUE"
+    if len(terms) == 1:
+        return terms[0]
+    return " & ".join(f"({term})" for term in terms)
+
+
+def disjunction(terms: Sequence[str]) -> str:
+    """``t1 | t2 | ...`` (``FALSE`` for no terms)."""
+    if not terms:
+        return "FALSE"
+    if len(terms) == 1:
+        return terms[0]
+    return " | ".join(f"({term})" for term in terms)

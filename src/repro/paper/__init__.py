@@ -1,0 +1,25 @@
+"""Artifacts of the paper itself: listings, worked examples, expected output.
+
+Shared by the test suite, the benchmark harness and the documentation so
+every reproduction target refers to a single copy of each listing.
+"""
+
+from repro.paper.listings import (
+    BAD_SECTOR,
+    GOOD_MODULE,
+    GOOD_SECTOR,
+    SECTION_2_MODULE,
+    SECTOR,
+    SECTOR_MODULE,
+    VALVE,
+)
+
+__all__ = [
+    "BAD_SECTOR",
+    "GOOD_MODULE",
+    "GOOD_SECTOR",
+    "SECTION_2_MODULE",
+    "SECTOR",
+    "SECTOR_MODULE",
+    "VALVE",
+]

@@ -1,0 +1,81 @@
+"""Regular-expression algebra (the ``r`` objects of Figure 4).
+
+Public surface:
+
+* term constructors: :data:`EMPTY`, :data:`EPSILON`, :func:`symbol`,
+  :func:`concat`, :func:`union`, :func:`star` (plus ``*``/``+`` operators
+  on terms),
+* analysis: :func:`nullable`, :func:`derivative`, :func:`matches`,
+  :func:`alphabet`, :func:`size`,
+* language operations: :func:`iter_words`, :func:`words_up_to`,
+  :func:`equivalent`, :func:`included`, :func:`counterexample`,
+* text: :func:`format_regex`, :func:`parse_regex`.
+"""
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    alphabet,
+    concat,
+    concat_all,
+    format_regex,
+    size,
+    star,
+    symbol,
+    union,
+    union_all,
+)
+from repro.regex.derivatives import derivative, derivative_word, nullable
+from repro.regex.enumerate_words import (
+    count_words,
+    iter_words,
+    shortest_word,
+    words_up_to,
+)
+from repro.regex.equivalence import counterexample, equivalent, included
+from repro.regex.matching import is_empty_language, matches
+from repro.regex.parser import RegexSyntaxError, parse_regex
+from repro.regex.simplify import simplify
+
+__all__ = [
+    "EMPTY",
+    "EPSILON",
+    "Concat",
+    "Empty",
+    "Epsilon",
+    "Regex",
+    "RegexSyntaxError",
+    "Star",
+    "Symbol",
+    "Union",
+    "alphabet",
+    "concat",
+    "concat_all",
+    "count_words",
+    "counterexample",
+    "derivative",
+    "derivative_word",
+    "equivalent",
+    "format_regex",
+    "included",
+    "is_empty_language",
+    "iter_words",
+    "matches",
+    "nullable",
+    "parse_regex",
+    "shortest_word",
+    "simplify",
+    "size",
+    "star",
+    "symbol",
+    "union",
+    "union_all",
+    "words_up_to",
+]

@@ -1,0 +1,285 @@
+"""Regular-expression abstract syntax (the ``r`` of Figure 4).
+
+The paper defines regular expressions as::
+
+    r ::= eps | empty | f | r . r | r + r | r*
+
+All nodes are immutable and hashable.  Client code should build terms
+through the *smart constructors* :func:`concat`, :func:`union` and
+:func:`star`, which apply the standard Kleene-algebra simplifications and
+keep terms in a canonical shape (right-nested concatenations; flattened,
+sorted, duplicate-free unions).  Canonical shapes matter: the Brzozowski
+derivative construction in :mod:`repro.regex.derivatives` only terminates
+with a small state count when similar regexes are identified, and canonical
+construction gives us that identification for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator
+
+
+class Regex:
+    """Base class for regular-expression nodes.
+
+    Subclasses are frozen dataclasses, so structural equality and hashing
+    come for free and terms can be used as dictionary keys (the derivative
+    DFA construction relies on this).
+    """
+
+    __slots__ = ()
+
+    def __add__(self, other: "Regex") -> "Regex":
+        """``r1 + r2`` builds the union of two regexes."""
+        return union(self, other)
+
+    def __mul__(self, other: "Regex") -> "Regex":
+        """``r1 * r2`` builds the concatenation of two regexes."""
+        return concat(self, other)
+
+    def star(self) -> "Regex":
+        """Kleene star of this regex."""
+        return star(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Regex):
+    """The empty *language* (the paper's ``∅``): matches nothing."""
+
+    def __repr__(self) -> str:
+        return "Empty()"
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The empty *string* (the paper's ``ε``): matches only ``[]``."""
+
+    def __repr__(self) -> str:
+        return "Epsilon()"
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol(Regex):
+    """A single event label ``f`` (a method call such as ``"a.open"``)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """Concatenation ``r1 . r2``.
+
+    Built by :func:`concat`; canonical terms are right-nested, i.e. the
+    ``left`` field is never itself a :class:`Concat`.
+    """
+
+    left: Regex
+    right: Regex
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    """Union ``r1 + r2``.
+
+    Built by :func:`union`; canonical terms are right-nested with the
+    flattened alternatives sorted and duplicate-free, and never contain
+    :class:`Empty` alternatives.
+    """
+
+    left: Regex
+    right: Regex
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    """Kleene star ``r*``. Built by :func:`star`."""
+
+    inner: Regex
+
+
+#: Shared singletons for the two constants.
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def symbol(name: str) -> Symbol:
+    """Build the one-symbol regex for event label ``name``."""
+    if not name:
+        raise ValueError("regex symbols must be non-empty strings")
+    return Symbol(name)
+
+
+def _sort_key(regex: Regex) -> tuple:
+    """A deterministic total order on regex terms.
+
+    The order itself is arbitrary; we only need *some* fixed order so that
+    unions built from the same alternatives in any order are identical
+    terms (associativity/commutativity/idempotence canonicalisation).
+    """
+    if isinstance(regex, Empty):
+        return (0,)
+    if isinstance(regex, Epsilon):
+        return (1,)
+    if isinstance(regex, Symbol):
+        return (2, regex.name)
+    if isinstance(regex, Star):
+        return (3, _sort_key(regex.inner))
+    if isinstance(regex, Concat):
+        return (4, _sort_key(regex.left), _sort_key(regex.right))
+    if isinstance(regex, Union):
+        return (5, _sort_key(regex.left), _sort_key(regex.right))
+    raise TypeError(f"not a Regex: {regex!r}")
+
+
+def concat(left: Regex, right: Regex) -> Regex:
+    """Concatenation with the usual simplifications.
+
+    * ``∅ . r  =  r . ∅  =  ∅``
+    * ``ε . r  =  r . ε  =  r``
+    * right-nest: ``(a . b) . c  =  a . (b . c)``
+    """
+    if isinstance(left, Empty) or isinstance(right, Empty):
+        return EMPTY
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    if isinstance(left, Concat):
+        # Re-associate to the right so canonical terms have a non-Concat head.
+        return concat(left.left, concat(left.right, right))
+    return Concat(left, right)
+
+
+def concat_all(parts: Iterable[Regex]) -> Regex:
+    """Concatenate a sequence of regexes (empty sequence gives ``ε``)."""
+    result: Regex = EPSILON
+    for part in reversed(list(parts)):
+        result = concat(part, result)
+    return result
+
+
+def _union_alternatives(regex: Regex) -> Iterator[Regex]:
+    """Yield the flattened alternatives of a (canonical or not) union."""
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Union):
+            stack.append(node.right)
+            stack.append(node.left)
+        else:
+            yield node
+
+
+def union(left: Regex, right: Regex) -> Regex:
+    """Union with ACI (associative/commutative/idempotent) canonicalisation.
+
+    * ``∅ + r  =  r + ∅  =  r``
+    * duplicates removed, alternatives sorted, right-nested
+    * ``ε + r* = r*`` (epsilon is absorbed by a nullable alternative is NOT
+      applied in general — only the safe special cases above — so the
+      construction stays purely syntactic and cheap)
+    """
+    alternatives: list[Regex] = []
+    seen: set[Regex] = set()
+    for alt in _union_alternatives(Union(left, right)):
+        if isinstance(alt, Empty) or alt in seen:
+            continue
+        seen.add(alt)
+        alternatives.append(alt)
+    if not alternatives:
+        return EMPTY
+    alternatives.sort(key=_sort_key)
+    result = alternatives[-1]
+    for alt in reversed(alternatives[:-1]):
+        result = Union(alt, result)
+    return result
+
+
+def union_all(parts: Iterable[Regex]) -> Regex:
+    """Union of a sequence of regexes (empty sequence gives ``∅``)."""
+    result: Regex = EMPTY
+    for part in parts:
+        result = union(result, part)
+    return result
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with the usual simplifications.
+
+    * ``∅* = ε`` and ``ε* = ε``
+    * ``(r*)* = r*``
+    """
+    if isinstance(inner, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def alphabet(regex: Regex) -> frozenset[str]:
+    """The set of event labels occurring in ``regex``."""
+    symbols: set[str] = set()
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Symbol):
+            symbols.add(node.name)
+        elif isinstance(node, (Concat, Union)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Star):
+            stack.append(node.inner)
+    return frozenset(symbols)
+
+
+def size(regex: Regex) -> int:
+    """Number of AST nodes in ``regex`` (a convenient complexity measure)."""
+    count = 0
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        count += 1
+        if isinstance(node, (Concat, Union)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Star):
+            stack.append(node.inner)
+    return count
+
+
+@lru_cache(maxsize=None)
+def _format(regex: Regex, parent_precedence: int) -> str:
+    """Pretty-print with minimal parentheses.
+
+    Precedence: union (1) < concat (2) < star (3) < atoms (4).
+    """
+    if isinstance(regex, Empty):
+        return "{}"
+    if isinstance(regex, Epsilon):
+        return "eps"
+    if isinstance(regex, Symbol):
+        return regex.name
+    if isinstance(regex, Star):
+        text = _format(regex.inner, 3) + "*"
+        precedence = 3
+    elif isinstance(regex, Concat):
+        text = _format(regex.left, 2) + " . " + _format(regex.right, 2)
+        precedence = 2
+    elif isinstance(regex, Union):
+        text = _format(regex.left, 1) + " + " + _format(regex.right, 1)
+        precedence = 1
+    else:
+        raise TypeError(f"not a Regex: {regex!r}")
+    if precedence < parent_precedence:
+        return "(" + text + ")"
+    return text
+
+
+def format_regex(regex: Regex) -> str:
+    """Render ``regex`` in the paper's notation (``a . (b + c)*`` style)."""
+    return _format(regex, 0)

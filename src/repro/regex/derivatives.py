@@ -1,0 +1,113 @@
+"""Brzozowski derivatives of regular expressions.
+
+The derivative of a language ``L`` with respect to a symbol ``f`` is
+``{ l | f . l in L }``.  Derivatives give us, without ever building an
+automaton, regex membership testing (:mod:`repro.regex.matching`), word
+enumeration (:mod:`repro.regex.enumerate_words`), equivalence checking
+(:mod:`repro.regex.equivalence`) and a direct DFA construction
+(:func:`derivative_dfa_table`).
+
+Because the smart constructors of :mod:`repro.regex.ast` canonicalise
+terms (ACI unions, right-nested concats, absorbed units), the set of
+derivatives of any regex is finite, which makes the constructions below
+terminate — this is Brzozowski's classic theorem, and it is also the
+engine behind Corollary 1 of the paper (``L(p)`` is regular).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    union,
+)
+
+
+@lru_cache(maxsize=None)
+def nullable(regex: Regex) -> bool:
+    """Does ``regex`` accept the empty word?"""
+    if isinstance(regex, (Empty, Symbol)):
+        return False
+    if isinstance(regex, (Epsilon, Star)):
+        return True
+    if isinstance(regex, Concat):
+        return nullable(regex.left) and nullable(regex.right)
+    if isinstance(regex, Union):
+        return nullable(regex.left) or nullable(regex.right)
+    raise TypeError(f"not a Regex: {regex!r}")
+
+
+@lru_cache(maxsize=None)
+def derivative(regex: Regex, symbol: str) -> Regex:
+    """The Brzozowski derivative of ``regex`` with respect to ``symbol``."""
+    if isinstance(regex, (Empty, Epsilon)):
+        return EMPTY
+    if isinstance(regex, Symbol):
+        return EPSILON if regex.name == symbol else EMPTY
+    if isinstance(regex, Concat):
+        head = concat(derivative(regex.left, symbol), regex.right)
+        if nullable(regex.left):
+            return union(head, derivative(regex.right, symbol))
+        return head
+    if isinstance(regex, Union):
+        return union(derivative(regex.left, symbol), derivative(regex.right, symbol))
+    if isinstance(regex, Star):
+        return concat(derivative(regex.inner, symbol), regex)
+    raise TypeError(f"not a Regex: {regex!r}")
+
+
+def derivative_word(regex: Regex, word: tuple[str, ...] | list[str]) -> Regex:
+    """Derivative with respect to a whole word (left to right)."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, Empty):
+            return EMPTY
+    return current
+
+
+def derivative_dfa_table(
+    regex: Regex,
+    alphabet: frozenset[str] | set[str],
+    max_states: int = 100_000,
+) -> tuple[dict[Regex, dict[str, Regex]], Regex]:
+    """Explore the derivative DFA of ``regex`` over ``alphabet``.
+
+    Returns ``(table, initial)`` where ``table`` maps each reachable
+    derivative to its successor map.  States are the (canonical) regexes
+    themselves; a state is accepting iff :func:`nullable` holds of it.
+
+    Raises :class:`RuntimeError` if more than ``max_states`` derivatives
+    are discovered, which cannot happen for canonically constructed terms
+    of reasonable size but guards against pathological inputs.
+    """
+    ordered_alphabet = sorted(alphabet)
+    table: dict[Regex, dict[str, Regex]] = {}
+    frontier = [regex]
+    while frontier:
+        state = frontier.pop()
+        if state in table:
+            continue
+        successors: dict[str, Regex] = {}
+        for symbol in ordered_alphabet:
+            successor = derivative(state, symbol)
+            successors[symbol] = successor
+            if successor not in table:
+                frontier.append(successor)
+        table[state] = successors
+        if len(table) > max_states:
+            raise RuntimeError(
+                f"derivative DFA exceeded {max_states} states; "
+                "the input regex is not canonically constructed"
+            )
+    return table, regex

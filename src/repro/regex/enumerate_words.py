@@ -1,0 +1,87 @@
+"""Bounded enumeration of the words of a regular expression.
+
+Used throughout the metatheory checks (Theorems 1 and 2): we compare the
+trace set of a program, enumerated from the semantics of Figure 4, with
+the word set of the inferred regex, enumerated here, up to a length bound.
+
+Enumeration works by breadth-first search over Brzozowski derivatives, so
+it visits each *distinct* residual language once per prefix and never
+loops on starred terms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.regex.ast import Empty, Regex, alphabet as regex_alphabet
+from repro.regex.derivatives import derivative, nullable
+
+
+def iter_words(
+    regex: Regex,
+    max_length: int,
+    alphabet: frozenset[str] | None = None,
+) -> Iterator[tuple[str, ...]]:
+    """Yield every word of ``regex`` with length at most ``max_length``.
+
+    Words are yielded in length-lexicographic order, which makes the
+    output deterministic and convenient for golden tests.  ``alphabet``
+    defaults to the symbols occurring in the regex (symbols outside it can
+    never appear in an accepted word).
+    """
+    if max_length < 0:
+        return
+    if alphabet is None:
+        alphabet = regex_alphabet(regex)
+    ordered = sorted(alphabet)
+    queue: deque[tuple[tuple[str, ...], Regex]] = deque([((), regex)])
+    while queue:
+        word, residual = queue.popleft()
+        if nullable(residual):
+            yield word
+        if len(word) >= max_length:
+            continue
+        for symbol in ordered:
+            successor = derivative(residual, symbol)
+            if not isinstance(successor, Empty):
+                queue.append((word + (symbol,), successor))
+
+
+def words_up_to(
+    regex: Regex,
+    max_length: int,
+    alphabet: frozenset[str] | None = None,
+) -> frozenset[tuple[str, ...]]:
+    """The set of words of ``regex`` with length at most ``max_length``."""
+    return frozenset(iter_words(regex, max_length, alphabet))
+
+
+def count_words(regex: Regex, max_length: int) -> int:
+    """Number of distinct words of ``regex`` up to ``max_length``."""
+    return sum(1 for _ in iter_words(regex, max_length))
+
+
+def shortest_word(regex: Regex, search_limit: int = 10_000) -> tuple[str, ...] | None:
+    """The length-lexicographically smallest word of ``regex``.
+
+    Returns ``None`` if the language is empty.  ``search_limit`` bounds
+    the number of BFS nodes explored as a safety net; canonical terms
+    reach a nullable derivative quickly when the language is non-empty.
+    """
+    ordered = sorted(regex_alphabet(regex))
+    queue: deque[tuple[tuple[str, ...], Regex]] = deque([((), regex)])
+    seen: set[Regex] = set()
+    explored = 0
+    while queue and explored < search_limit:
+        word, residual = queue.popleft()
+        explored += 1
+        if nullable(residual):
+            return word
+        for symbol in ordered:
+            successor = derivative(residual, symbol)
+            if isinstance(successor, Empty) or successor in seen:
+                continue
+            seen.add(successor)
+            queue.append((word + (symbol,), successor))
+    return None

@@ -1,0 +1,79 @@
+"""Regex equivalence and inclusion by derivative bisimulation.
+
+This is the classic Hopcroft–Karp-style algorithm lifted to Brzozowski
+derivatives: two regexes denote the same language iff the pairs reachable
+by simultaneous derivation never disagree on nullability.  We use it to
+test algebraic laws of the inference (for instance that ``infer`` is
+invariant under semantics-preserving program rewrites).
+"""
+
+from __future__ import annotations
+
+from repro.regex.ast import Regex, alphabet
+from repro.regex.derivatives import derivative, nullable
+
+
+def equivalent(left: Regex, right: Regex) -> bool:
+    """Do ``left`` and ``right`` denote the same language?"""
+    return _bisimulate(left, right, check_inclusion_only=False)
+
+
+def included(left: Regex, right: Regex) -> bool:
+    """Is the language of ``left`` a subset of the language of ``right``?"""
+    return _bisimulate(left, right, check_inclusion_only=True)
+
+
+def _bisimulate(left: Regex, right: Regex, check_inclusion_only: bool) -> bool:
+    """Shared worker for :func:`equivalent` and :func:`included`.
+
+    For inclusion we require ``nullable(l) -> nullable(r)`` on every
+    reachable pair; for equivalence we require ``nullable(l) == nullable(r)``.
+    """
+    symbols = sorted(alphabet(left) | alphabet(right))
+    pending: list[tuple[Regex, Regex]] = [(left, right)]
+    visited: set[tuple[Regex, Regex]] = set()
+    while pending:
+        pair = pending.pop()
+        if pair in visited:
+            continue
+        visited.add(pair)
+        current_left, current_right = pair
+        left_nullable = nullable(current_left)
+        right_nullable = nullable(current_right)
+        if check_inclusion_only:
+            if left_nullable and not right_nullable:
+                return False
+        elif left_nullable != right_nullable:
+            return False
+        for symbol in symbols:
+            pending.append(
+                (derivative(current_left, symbol), derivative(current_right, symbol))
+            )
+    return True
+
+
+def counterexample(left: Regex, right: Regex) -> tuple[str, ...] | None:
+    """A shortest word on which ``left`` and ``right`` disagree, if any.
+
+    Returns ``None`` when the regexes are equivalent.  Search is
+    breadth-first over pairs of derivatives, so the returned word is of
+    minimal length (ties broken alphabetically).
+    """
+    from collections import deque
+
+    symbols = sorted(alphabet(left) | alphabet(right))
+    queue: deque[tuple[tuple[str, ...], Regex, Regex]] = deque([((), left, right)])
+    visited: set[tuple[Regex, Regex]] = {(left, right)}
+    while queue:
+        word, current_left, current_right = queue.popleft()
+        if nullable(current_left) != nullable(current_right):
+            return word
+        for symbol in symbols:
+            next_pair = (
+                derivative(current_left, symbol),
+                derivative(current_right, symbol),
+            )
+            if next_pair not in visited:
+                visited.add(next_pair)
+                queue.append((word + (symbol,), *next_pair))
+    return None

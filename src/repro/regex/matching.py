@@ -1,0 +1,50 @@
+"""Regex membership testing via Brzozowski derivatives.
+
+``matches(r, l)`` decides ``l ∈ r`` — the right-hand side of the paper's
+Theorems 1 and 2 — without constructing an automaton.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.regex.ast import Empty, Regex
+from repro.regex.derivatives import derivative, nullable
+
+
+def matches(regex: Regex, word: Iterable[str]) -> bool:
+    """Decide whether ``word`` (a sequence of event labels) is in ``regex``."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, Empty):
+            return False
+    return nullable(current)
+
+
+def is_empty_language(regex: Regex, alphabet: Iterable[str] | None = None) -> bool:
+    """Decide whether ``regex`` denotes the empty language.
+
+    With canonical constructors ``∅`` only denotes the empty language when
+    no word is accepted; we decide this structurally: a regex is non-empty
+    iff it is nullable or some reachable derivative is nullable.  For the
+    canonical terms produced by :mod:`repro.regex.ast` a simple structural
+    recursion suffices and is what we use.
+    """
+    return not _nonempty(regex)
+
+
+def _nonempty(regex: Regex) -> bool:
+    """Structural non-emptiness: does ``regex`` accept at least one word?"""
+    from repro.regex.ast import Concat, Epsilon, Star, Symbol, Union
+
+    if isinstance(regex, Empty):
+        return False
+    if isinstance(regex, (Epsilon, Symbol, Star)):
+        # Star always accepts the empty word even if its body is empty.
+        return True
+    if isinstance(regex, Concat):
+        return _nonempty(regex.left) and _nonempty(regex.right)
+    if isinstance(regex, Union):
+        return _nonempty(regex.left) or _nonempty(regex.right)
+    raise TypeError(f"not a Regex: {regex!r}")

@@ -1,0 +1,128 @@
+"""A parser for the paper's regular-expression notation.
+
+Grammar (lowest to highest precedence)::
+
+    union   ::= concat ('+' concat)*
+    concat  ::= starred ('.' starred)*
+    starred ::= atom '*'*
+    atom    ::= 'eps' | '{}' | IDENT | '(' union ')'
+
+``IDENT`` is a dotted event label such as ``a.open`` — note that the dot
+inside a label binds tighter than the concatenation dot, which must be
+surrounded by whitespace (``a.open . b.open`` concatenates two labels).
+This mirrors how :func:`repro.regex.ast.format_regex` prints terms, so
+``parse_regex(format_regex(r))`` is identity up to canonicalisation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.regex.ast import EMPTY, EPSILON, Regex, concat, star, symbol, union
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:"
+    r"(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<star>\*)"
+    r"|(?P<plus>\+)"
+    r"|(?P<empty>\{\})"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)*)"
+    r"|(?P<dot>\.)"
+    r")"
+)
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when the input is not a well-formed regex."""
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise RegexSyntaxError(f"unexpected input at: {remainder[:20]!r}")
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index][0]
+        return None
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def parse(self) -> Regex:
+        result = self._union()
+        if self._peek() is not None:
+            raise RegexSyntaxError(
+                f"trailing tokens starting at {self._tokens[self._index][1]!r}"
+            )
+        return result
+
+    def _union(self) -> Regex:
+        result = self._concat()
+        while self._peek() == "plus":
+            self._advance()
+            result = union(result, self._concat())
+        return result
+
+    def _concat(self) -> Regex:
+        result = self._starred()
+        while self._peek() == "dot":
+            self._advance()
+            result = concat(result, self._starred())
+        return result
+
+    def _starred(self) -> Regex:
+        result = self._atom()
+        while self._peek() == "star":
+            self._advance()
+            result = star(result)
+        return result
+
+    def _atom(self) -> Regex:
+        kind = self._peek()
+        if kind is None:
+            raise RegexSyntaxError("unexpected end of input")
+        if kind == "lparen":
+            self._advance()
+            inner = self._union()
+            if self._peek() != "rparen":
+                raise RegexSyntaxError("missing closing parenthesis")
+            self._advance()
+            return inner
+        if kind == "empty":
+            self._advance()
+            return EMPTY
+        if kind == "ident":
+            _, text = self._advance()
+            if text == "eps":
+                return EPSILON
+            return symbol(text)
+        raise RegexSyntaxError(f"unexpected token {self._tokens[self._index][1]!r}")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse ``text`` in the paper's notation into a canonical regex term."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise RegexSyntaxError("empty regex")
+    return _Parser(tokens).parse()

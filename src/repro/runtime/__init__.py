@@ -1,0 +1,31 @@
+"""Runtime verification: dynamic enforcement of extracted models.
+
+:func:`monitored` wraps an ``@sys`` class so every instance enforces its
+specification at run time; :func:`finalize` / :class:`lifecycle` enforce
+the final-operation requirement; :class:`TraceRecorder` captures the
+observed event sequence for replay against static models.
+"""
+
+from repro.runtime.monitor import (
+    IncompleteLifecycleError,
+    MonitorError,
+    OrderViolationError,
+    SpecMismatchError,
+    finalize,
+    history_of,
+    lifecycle,
+    monitored,
+)
+from repro.runtime.trace import TraceRecorder
+
+__all__ = [
+    "IncompleteLifecycleError",
+    "MonitorError",
+    "OrderViolationError",
+    "SpecMismatchError",
+    "TraceRecorder",
+    "finalize",
+    "history_of",
+    "lifecycle",
+    "monitored",
+]

@@ -1,0 +1,39 @@
+"""Execution-trace recording for the runtime monitor.
+
+The static checker reasons about *all* traces; the runtime monitor
+observes *one* — the sequence of operation calls an actual execution
+performs.  Recorded traces use the same event vocabulary as the static
+models (bare operation names, or ``field.method`` when the recorder is
+given a field prefix), so a recorded trace can be replayed directly
+against a :class:`repro.core.spec.ClassSpec` automaton or an LTLf claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TraceRecorder:
+    """An append-only event log shared by monitored instances."""
+
+    events: list[str] = field(default_factory=list)
+
+    def record(self, event: str) -> None:
+        self.events.append(event)
+
+    def as_trace(self) -> tuple[str, ...]:
+        return tuple(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def format(self) -> str:
+        return ", ".join(self.events)

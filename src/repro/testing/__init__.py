@@ -1,0 +1,36 @@
+"""Model-based testing: test suites and conformance from extracted models.
+
+A natural application of the paper's model extraction: the
+specification automaton of a class generates transition-covering
+lifecycle sequences (:mod:`repro.testing.paths`), and the runtime
+monitor drives an implementation through them, classifying each run
+(:mod:`repro.testing.conformance`).
+"""
+
+from repro.testing.conformance import (
+    ConformanceReport,
+    Outcome,
+    SequenceResult,
+    check_conformance,
+    generate_suite,
+    run_sequence,
+)
+from repro.testing.paths import (
+    shortest_prefixes,
+    shortest_suffixes,
+    state_cover,
+    transition_cover,
+)
+
+__all__ = [
+    "ConformanceReport",
+    "Outcome",
+    "SequenceResult",
+    "check_conformance",
+    "generate_suite",
+    "run_sequence",
+    "shortest_prefixes",
+    "shortest_suffixes",
+    "state_cover",
+    "transition_cover",
+]

@@ -1,0 +1,71 @@
+"""Plain-text rendering of extracted models (for terminals and tests).
+
+Graphviz may not be installed where the CLI runs, so every diagram has a
+text twin: a table of operations with their markers and successors, and
+an adjacency listing of the dependency graph.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import DependencyGraph
+from repro.core.spec import ClassSpec
+
+
+def spec_text(spec: ClassSpec) -> str:
+    """The behavior diagram as text, e.g.::
+
+        Valve
+          -> test [initial]
+             test -> open | clean
+             open -> close
+             close [final] -> test
+             clean [final] -> test
+    """
+    lines = [spec.name]
+    for operation in spec.initial_operations():
+        lines.append(f"  -> {operation.name} [initial]")
+    for operation in spec.operations:
+        markers = []
+        if operation.kind.is_initial:
+            markers.append("initial")
+        if operation.kind.is_final:
+            markers.append("final")
+        marker_text = f" [{', '.join(markers)}]" if markers else ""
+        successors: list[str] = []
+        for point in operation.returns:
+            if point.next_methods:
+                successors.append(" & ".join(point.next_methods))
+            else:
+                successors.append("(end)")
+        arrow = " | ".join(successors) if successors else "(no exit)"
+        lines.append(f"     {operation.name}{marker_text} -> {arrow}")
+    return "\n".join(lines) + "\n"
+
+
+def dependency_text(graph: DependencyGraph) -> str:
+    """The §3.1 graph as an adjacency listing."""
+    lines = [
+        f"{graph.class_name}: {len(graph.entries)} entry node(s), "
+        f"{len(graph.exits)} exit node(s), {graph.arc_count} arc(s)"
+    ]
+    for entry in graph.entries:
+        lines.append(f"  entry {entry.method}")
+        for exit_node in graph.exits_of(entry.method):
+            lines.append(f"    -> exit {exit_node.label()}")
+            for name in exit_node.next_methods:
+                lines.append(f"         -> entry {name}")
+    return "\n".join(lines) + "\n"
+
+
+def summary_table(specs: list[ClassSpec]) -> str:
+    """One line per class: operation counts and role tallies."""
+    header = f"{'class':<20} {'ops':>4} {'initial':>8} {'final':>6} {'exits':>6}"
+    lines = [header, "-" * len(header)]
+    for spec in specs:
+        exits = sum(len(op.returns) for op in spec.operations)
+        lines.append(
+            f"{spec.name:<20} {len(spec.operations):>4} "
+            f"{len(spec.initial_operations()):>8} "
+            f"{len(spec.final_operations()):>6} {exits:>6}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,124 @@
+"""Graphviz DOT rendering of extracted models.
+
+Three diagram kinds, matching the paper's figures:
+
+* :func:`spec_diagram` — the class behavior diagram of Figures 1 and 2:
+  one node per operation, an edge per allowed successor, an entry arrow
+  into each initial operation, double circles on final operations;
+* :func:`dependency_diagram` — the §3.1 method-dependency graph of
+  Figure 3, with entry and exit nodes drawn separately;
+* :func:`nfa_dot` / :func:`dfa_dot` — generic automaton diagrams for
+  debugging and documentation.
+
+Output is plain DOT text: render with any Graphviz installation
+(``dot -Tpng``), no Python dependency required.
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.core.dependency import DependencyGraph, EntryNode, ExitNode
+from repro.core.spec import ClassSpec
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def spec_diagram(spec: ClassSpec, title: str | None = None) -> str:
+    """The behavior diagram generated from annotations (Figures 1–2)."""
+    lines = [f"digraph {_quote(title or spec.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=circle, fontname="Helvetica"];')
+    lines.append('  __start__ [shape=point, label=""];')
+    for operation in spec.operations:
+        shape = "doublecircle" if operation.kind.is_final else "circle"
+        lines.append(f"  {_quote(operation.name)} [shape={shape}];")
+    for operation in spec.initial_operations():
+        lines.append(f"  __start__ -> {_quote(operation.name)};")
+    seen: set[tuple[str, str]] = set()
+    for operation in spec.operations:
+        for point in operation.returns:
+            for successor in point.next_methods:
+                edge = (operation.name, successor)
+                if edge in seen or spec.operation(successor) is None:
+                    continue
+                seen.add(edge)
+                lines.append(
+                    f"  {_quote(operation.name)} -> {_quote(successor)};"
+                )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dependency_diagram(graph: DependencyGraph) -> str:
+    """The §3.1 method-dependency graph (Figure 3)."""
+
+    def node_id(node) -> str:
+        if isinstance(node, EntryNode):
+            return _quote(f"entry:{node.method}")
+        assert isinstance(node, ExitNode)
+        return _quote(f"exit:{node.method}:{node.exit_id}")
+
+    lines = [f"digraph {_quote(graph.class_name + ' dependencies')} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [fontname="Helvetica"];')
+    for entry in graph.entries:
+        lines.append(
+            f"  {node_id(entry)} [shape=box, style=bold, label={_quote(entry.label())}];"
+        )
+    for exit_node in graph.exits:
+        lines.append(
+            f"  {node_id(exit_node)} [shape=ellipse, label={_quote(exit_node.label())}];"
+        )
+    for source, target in graph.arcs:
+        lines.append(f"  {node_id(source)} -> {node_id(target)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def nfa_dot(nfa: NFA, title: str = "nfa") -> str:
+    """A generic NFA diagram (epsilon moves drawn dashed)."""
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=circle, fontname="Helvetica"];')
+    lines.append('  __start__ [shape=point, label=""];')
+    for state in sorted(nfa.states, key=str):
+        shape = "doublecircle" if state in nfa.accepting_states else "circle"
+        lines.append(f"  {_quote(str(state))} [shape={shape}];")
+    for state in sorted(nfa.initial_states, key=str):
+        lines.append(f"  __start__ -> {_quote(str(state))};")
+    for source, symbol, target in nfa.iter_transitions():
+        if symbol is None:
+            lines.append(
+                f"  {_quote(str(source))} -> {_quote(str(target))} "
+                '[label="ε", style=dashed];'
+            )
+        else:
+            lines.append(
+                f"  {_quote(str(source))} -> {_quote(str(target))} "
+                f"[label={_quote(symbol)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dfa_dot(dfa: DFA, title: str = "dfa") -> str:
+    """A generic DFA diagram."""
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append('  node [shape=circle, fontname="Helvetica"];')
+    lines.append('  __start__ [shape=point, label=""];')
+    for state in sorted(dfa.states, key=str):
+        shape = "doublecircle" if state in dfa.accepting_states else "circle"
+        lines.append(f"  {_quote(str(state))} [shape={shape}];")
+    lines.append(f"  __start__ -> {_quote(str(dfa.initial_state))};")
+    for source, symbol, target in dfa.iter_transitions():
+        lines.append(
+            f"  {_quote(str(source))} -> {_quote(str(target))} "
+            f"[label={_quote(symbol)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

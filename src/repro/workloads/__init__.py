@@ -1,0 +1,35 @@
+"""Synthetic workload generators (see DESIGN.md, "Substitutions").
+
+The paper evaluates on worked examples from an industrial irrigation
+use case; these generators produce arbitrarily sized equivalents — class
+hierarchies with known-clean or known-buggy usage, and parametric claim
+families — for the scaling benchmarks and stress tests.
+"""
+
+from repro.workloads.formulas import (
+    next_tower,
+    ordering_claims,
+    random_formula,
+    response_chain,
+    until_chain,
+)
+from repro.workloads.hierarchy import (
+    HierarchyShape,
+    base_class_source,
+    composite_class_source,
+    lifecycle_claim,
+    module_source,
+)
+
+__all__ = [
+    "HierarchyShape",
+    "base_class_source",
+    "composite_class_source",
+    "lifecycle_claim",
+    "module_source",
+    "next_tower",
+    "ordering_claims",
+    "random_formula",
+    "response_chain",
+    "until_chain",
+]

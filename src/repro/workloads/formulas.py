@@ -1,0 +1,84 @@
+"""Parametric LTLf formula families for the translation benchmarks."""
+
+from __future__ import annotations
+
+import random
+
+from repro.ltlf.ast import (
+    Eventually,
+    Formula,
+    Globally,
+    Next,
+    Until,
+    WeakUntil,
+    atom,
+    conj,
+    disj,
+    neg,
+)
+
+
+def response_chain(depth: int) -> Formula:
+    """``G (e0 -> F (e1 & F (e2 & ...)))`` — nested response obligations.
+
+    The progression automaton grows with ``depth``, which is what the
+    ``bench_scaling_ltlf`` sweep measures.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    inner: Formula = Eventually(atom(f"e{depth}"))
+    for index in range(depth - 1, 0, -1):
+        inner = Eventually(conj([atom(f"e{index}"), inner]))
+    return Globally(disj([neg(atom("e0")), inner]))
+
+
+def until_chain(depth: int) -> Formula:
+    """``e0 U (e1 U (... U ed))`` — right-nested untils."""
+    formula: Formula = atom(f"e{depth}")
+    for index in range(depth - 1, -1, -1):
+        formula = Until(atom(f"e{index}"), formula)
+    return formula
+
+
+def ordering_claims(events: int) -> Formula:
+    """A conjunction of paper-style weak-until orderings:
+    ``(!e1) W e0  &  (!e2) W e1  &  ...`` — each event waits for its
+    predecessor."""
+    if events < 2:
+        raise ValueError("need at least two events")
+    parts = [
+        WeakUntil(neg(atom(f"e{index}")), atom(f"e{index - 1}"))
+        for index in range(1, events)
+    ]
+    return conj(parts)
+
+
+def next_tower(depth: int) -> Formula:
+    """``X X ... X e`` — a tower of strong nexts (automaton is a chain)."""
+    formula: Formula = atom("e")
+    for _ in range(depth):
+        formula = Next(formula)
+    return formula
+
+
+def random_formula(rng: random.Random, depth: int, events: int = 3) -> Formula:
+    """A random formula over ``e0..e{events-1}`` (for fuzzing benches)."""
+    if depth <= 0:
+        return atom(f"e{rng.randrange(events)}")
+    roll = rng.random()
+    sub = lambda: random_formula(rng, depth - 1, events)  # noqa: E731
+    if roll < 0.15:
+        return neg(sub())
+    if roll < 0.30:
+        return conj([sub(), sub()])
+    if roll < 0.45:
+        return disj([sub(), sub()])
+    if roll < 0.60:
+        return Until(sub(), sub())
+    if roll < 0.70:
+        return WeakUntil(sub(), sub())
+    if roll < 0.80:
+        return Globally(sub())
+    if roll < 0.90:
+        return Eventually(sub())
+    return Next(sub())

@@ -1,0 +1,143 @@
+"""Synthetic class-hierarchy workloads.
+
+The paper's evaluation artifacts are worked examples, not load tests; the
+scaling benchmarks in ``benchmarks/`` therefore generate synthetic — but
+*well-formed* — annotated modules whose size is controlled by three
+knobs: operations per base class, number of subsystem fields, and calls
+per composite operation.  Generated modules come in two flavours:
+
+* ``correct=True`` — every subsystem is driven through a complete
+  lifecycle on every path, so the checker verdict is *clean* (measures
+  the cost of proving absence of errors, the expensive direction);
+* ``correct=False`` — one lifecycle is truncated before its final
+  operation, so the checker must find and render a counterexample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HierarchyShape:
+    """Size knobs for a generated module."""
+
+    base_operations: int = 4
+    subsystems: int = 2
+    composite_operations: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_operations < 2:
+            raise ValueError("a base class needs at least initial and final ops")
+        if self.subsystems < 1:
+            raise ValueError("composites need at least one subsystem")
+        if self.composite_operations < 1:
+            raise ValueError("composites need at least one operation")
+
+
+def base_class_source(name: str, operations: int, rng: random.Random | None = None) -> str:
+    """A base class with a linear protocol ``step0 → step1 → ... → [].``
+
+    ``step0`` is initial, the last step final.  With an ``rng``, each
+    intermediate step gains a random back-edge to an earlier step, which
+    thickens the specification automaton without breaking liveness
+    (every state still reaches the final step).
+    """
+    lines = ["@sys", f"class {name}:"]
+    for index in range(operations):
+        if index == 0:
+            decorator = "@op_initial"
+        elif index == operations - 1:
+            decorator = "@op_final"
+        else:
+            decorator = "@op"
+        successors: list[str] = []
+        if index < operations - 1:
+            successors.append(f"step{index + 1}")
+            if rng is not None and index > 0 and rng.random() < 0.4:
+                successors.append(f"step{rng.randrange(0, index)}")
+        listed = ", ".join(repr(s) for s in successors)
+        lines.append(f"    {decorator}")
+        lines.append(f"    def step{index}(self):")
+        lines.append(f"        return [{listed}]")
+    return "\n".join(lines) + "\n"
+
+
+def composite_class_source(
+    name: str,
+    base_name: str,
+    shape: HierarchyShape,
+    correct: bool = True,
+    claim: str | None = None,
+) -> str:
+    """A composite class driving ``shape.subsystems`` instances of
+    ``base_name`` through complete lifecycles.
+
+    The composite's operations are chained (``run0 → run1 → ... → []``)
+    with the subsystems distributed round-robin across them.  With
+    ``correct=False`` the very last lifecycle stops one step short of the
+    final operation, planting exactly one usage violation.
+    """
+    fields = [f"s{i}" for i in range(shape.subsystems)]
+    lines = []
+    if claim is not None:
+        lines.append(f'@claim("{claim}")')
+    quoted = ", ".join(repr(f) for f in fields)
+    lines.append(f"@sys([{quoted}])")
+    lines.append(f"class {name}:")
+    lines.append("    def __init__(self):")
+    for field in fields:
+        lines.append(f"        self.{field} = {base_name}()")
+
+    per_operation: list[list[str]] = [[] for _ in range(shape.composite_operations)]
+    for index, field in enumerate(fields):
+        per_operation[index % shape.composite_operations].append(field)
+
+    # The planted bug truncates the lifecycle of the *last declared
+    # field*, wherever the round-robin placed it (later composite
+    # operations may carry no fields at all).
+    buggy_field = fields[-1]
+    last_call_dropped = False
+    for op_index in range(shape.composite_operations):
+        if op_index == 0 and shape.composite_operations == 1:
+            decorator = "@op_initial_final"
+        elif op_index == 0:
+            decorator = "@op_initial"
+        elif op_index == shape.composite_operations - 1:
+            decorator = "@op_final"
+        else:
+            decorator = "@op"
+        lines.append(f"    {decorator}")
+        lines.append(f"    def run{op_index}(self):")
+        body: list[str] = []
+        for field in per_operation[op_index]:
+            steps = list(range(shape.base_operations))
+            if not correct and not last_call_dropped and field == buggy_field:
+                steps = steps[:-1]  # truncate: final step never called
+                last_call_dropped = True
+            for step in steps:
+                body.append(f"        self.{field}.step{step}()")
+        if not body:
+            body.append("        pass")
+        lines.extend(body)
+        if op_index < shape.composite_operations - 1:
+            lines.append(f"        return ['run{op_index + 1}']")
+        else:
+            lines.append("        return []")
+    return "\n".join(lines) + "\n"
+
+
+def module_source(shape: HierarchyShape, correct: bool = True, claim: str | None = None) -> str:
+    """A full synthetic module: one base class plus one composite."""
+    rng = random.Random(shape.seed)
+    base = base_class_source("Device", shape.base_operations, rng)
+    composite = composite_class_source("Controller", "Device", shape, correct, claim)
+    return base + "\n\n" + composite
+
+
+def lifecycle_claim(shape: HierarchyShape) -> str:
+    """A claim that holds on correct modules: subsystem 0 finishes last
+    only after it started (a simple weak-until shape like the paper's)."""
+    return f"(!s0.step{shape.base_operations - 1}) W s0.step0"

@@ -1,0 +1,66 @@
+"""Subset construction."""
+
+from repro.automata.determinize import determinize
+from repro.automata.nfa import NFABuilder
+
+
+def ambiguous_nfa():
+    """Accepts a(a|b)* via two a-successors from the start."""
+    builder = NFABuilder()
+    builder.mark_initial(0)
+    builder.add_transition(0, "a", 1)
+    builder.add_transition(0, "a", 2)
+    builder.add_transition(1, "a", 1)
+    builder.add_transition(2, "b", 2)
+    builder.mark_accepting(1)
+    builder.mark_accepting(2)
+    return builder.build()
+
+
+class TestDeterminize:
+    def test_language_preserved(self):
+        nfa = ambiguous_nfa()
+        dfa = determinize(nfa)
+        for word in ([], ["a"], ["a", "a"], ["a", "b"], ["b"], ["a", "a", "b"]):
+            assert nfa.accepts(word) == dfa.accepts(word)
+
+    def test_states_are_subsets(self):
+        dfa = determinize(ambiguous_nfa())
+        assert all(isinstance(state, frozenset) for state in dfa.states)
+
+    def test_initial_is_epsilon_closure(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.add_epsilon(0, 1)
+        builder.add_transition(1, "a", 2)
+        builder.mark_accepting(2)
+        dfa = determinize(builder.build())
+        assert dfa.initial_state == frozenset({0, 1})
+
+    def test_no_empty_subset_state(self):
+        dfa = determinize(ambiguous_nfa())
+        assert frozenset() not in dfa.states
+
+    def test_deterministic_single_successor(self):
+        dfa = determinize(ambiguous_nfa())
+        successor = dfa.successor(dfa.initial_state, "a")
+        assert successor == frozenset({1, 2})
+
+    def test_epsilon_loops_terminate(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.add_epsilon(0, 1)
+        builder.add_epsilon(1, 0)
+        builder.add_transition(1, "a", 2)
+        builder.mark_accepting(2)
+        dfa = determinize(builder.build())
+        assert dfa.accepts(["a"])
+        assert not dfa.accepts([])
+
+    def test_accepting_subsets_marked(self):
+        nfa = ambiguous_nfa()
+        dfa = determinize(nfa)
+        for state in dfa.states:
+            assert (bool(state & nfa.accepting_states)) == (
+                state in dfa.accepting_states
+            )

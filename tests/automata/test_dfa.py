@@ -1,0 +1,137 @@
+"""DFA representation: runs, completion, complement, renumbering."""
+
+import pytest
+
+from repro.automata.dfa import DEAD_STATE, DFA
+
+
+def even_as_dfa() -> DFA:
+    """Accepts words with an even number of a's (total over {a, b})."""
+    return DFA(
+        states=frozenset({"even", "odd"}),
+        alphabet=frozenset({"a", "b"}),
+        transitions={
+            ("even", "a"): "odd",
+            ("odd", "a"): "even",
+            ("even", "b"): "even",
+            ("odd", "b"): "odd",
+        },
+        initial_state="even",
+        accepting_states=frozenset({"even"}),
+    )
+
+
+def partial_dfa() -> DFA:
+    """Accepts exactly "ab" (partial: missing moves reject)."""
+    return DFA(
+        states=frozenset({0, 1, 2}),
+        alphabet=frozenset({"a", "b"}),
+        transitions={(0, "a"): 1, (1, "b"): 2},
+        initial_state=0,
+        accepting_states=frozenset({2}),
+    )
+
+
+class TestAcceptance:
+    def test_total_dfa(self):
+        dfa = even_as_dfa()
+        assert dfa.accepts([])
+        assert dfa.accepts(["a", "a"])
+        assert dfa.accepts(["b", "a", "b", "a"])
+        assert not dfa.accepts(["a"])
+
+    def test_partial_dfa_missing_move_rejects(self):
+        dfa = partial_dfa()
+        assert dfa.accepts(["a", "b"])
+        assert not dfa.accepts(["b"])
+        assert not dfa.accepts(["a", "b", "a"])
+
+    def test_run_records_states(self):
+        dfa = partial_dfa()
+        assert dfa.run(["a", "b"]) == [0, 1, 2]
+
+    def test_run_goes_none_when_stuck(self):
+        dfa = partial_dfa()
+        assert dfa.run(["b", "a"]) == [0, None, None]
+
+
+class TestCompletion:
+    def test_is_total(self):
+        assert even_as_dfa().is_total()
+        assert not partial_dfa().is_total()
+
+    def test_completed_adds_dead_state(self):
+        total = partial_dfa().completed()
+        assert total.is_total()
+        assert DEAD_STATE in total.states
+
+    def test_completed_preserves_language(self):
+        dfa = partial_dfa()
+        total = dfa.completed()
+        for word in ([], ["a"], ["a", "b"], ["b"], ["a", "b", "b"]):
+            assert dfa.accepts(word) == total.accepts(word)
+
+    def test_completed_total_is_identity(self):
+        dfa = even_as_dfa()
+        assert dfa.completed() is dfa
+
+    def test_completed_rejects_name_clash(self):
+        dfa = DFA(
+            states=frozenset({DEAD_STATE}),
+            alphabet=frozenset({"a"}),
+            transitions={},
+            initial_state=DEAD_STATE,
+            accepting_states=frozenset(),
+        )
+        with pytest.raises(ValueError):
+            dfa.completed()
+
+
+class TestComplement:
+    def test_complement_flips_membership(self):
+        dfa = partial_dfa()
+        flipped = dfa.complemented()
+        for word in ([], ["a"], ["a", "b"], ["b", "b"], ["a", "b", "a"]):
+            assert dfa.accepts(word) != flipped.accepts(word)
+
+    def test_double_complement_is_same_language(self):
+        dfa = even_as_dfa()
+        double = dfa.complemented().complemented()
+        for word in ([], ["a"], ["a", "a"], ["a", "b", "a"]):
+            assert dfa.accepts(word) == double.accepts(word)
+
+
+class TestTransformations:
+    def test_trim_drops_unreachable(self):
+        dfa = DFA(
+            states=frozenset({0, 1, 99}),
+            alphabet=frozenset({"a"}),
+            transitions={(0, "a"): 1, (99, "a"): 99},
+            initial_state=0,
+            accepting_states=frozenset({1, 99}),
+        )
+        trimmed = dfa.trim()
+        assert trimmed.states == {0, 1}
+
+    def test_renumbered_preserves_language(self):
+        dfa = even_as_dfa()
+        renamed = dfa.renumbered()
+        assert renamed.initial_state == 0
+        for word in ([], ["a"], ["a", "a"], ["b", "a"]):
+            assert dfa.accepts(word) == renamed.accepts(word)
+
+    def test_to_nfa_same_language(self):
+        dfa = partial_dfa()
+        nfa = dfa.to_nfa()
+        for word in ([], ["a"], ["a", "b"], ["b"]):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_validates_initial_state(self):
+        with pytest.raises(ValueError):
+            DFA(
+                states=frozenset({0}),
+                alphabet=frozenset(),
+                transitions={},
+                initial_state=1,
+                accepting_states=frozenset(),
+            )

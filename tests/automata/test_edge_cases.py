@@ -1,0 +1,119 @@
+"""Automata edge cases: degenerate alphabets, multiple initial states,
+self-loops through projection, and adjunction properties."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
+from repro.automata.minimize import minimize
+from repro.automata.nfa import NFABuilder
+from repro.automata.operations import (
+    included,
+    lift_alphabet,
+    project_nfa,
+    with_alphabet,
+)
+from repro.automata.shortest import shortest_accepted_word
+from repro.automata.thompson import thompson
+from repro.regex.parser import parse_regex
+
+
+class TestDegenerateAutomata:
+    def test_empty_alphabet_dfa(self):
+        dfa = DFA(
+            states=frozenset({0}),
+            alphabet=frozenset(),
+            transitions={},
+            initial_state=0,
+            accepting_states=frozenset({0}),
+        )
+        assert dfa.accepts([])
+        assert dfa.is_total()
+        assert minimize(dfa).accepts([])
+
+    def test_single_state_rejecting_everything(self):
+        dfa = DFA(
+            states=frozenset({0}),
+            alphabet=frozenset({"a"}),
+            transitions={(0, "a"): 0},
+            initial_state=0,
+            accepting_states=frozenset(),
+        )
+        assert shortest_accepted_word(dfa) is None
+        assert len(minimize(dfa).states) == 1
+
+    def test_multiple_initial_states_union_semantics(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.mark_initial(1)
+        builder.add_transition(0, "a", 2)
+        builder.add_transition(1, "b", 2)
+        builder.mark_accepting(2)
+        nfa = builder.build()
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["b"])
+        dfa = determinize(nfa)
+        assert dfa.accepts(["a"]) and dfa.accepts(["b"])
+
+    def test_accepting_initial_with_epsilon_cycle(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.add_epsilon(0, 1)
+        builder.add_epsilon(1, 0)
+        builder.mark_accepting(1)
+        nfa = builder.build()
+        assert nfa.accepts([])
+
+
+class TestProjectionLiftAdjunction:
+    """project ⊣ lift: L_proj(A) ⊆ B  iff  L(A) ⊆ lift(B), tested as a
+    property over random regexes."""
+
+    @given(
+        st.sampled_from(
+            [
+                "x . a . b",
+                "(x . a)* . b",
+                "a . (x + b)",
+                "x* . a . x* . b . x*",
+                "a + x . b",
+            ]
+        ),
+        st.sampled_from(["a . b", "(a . b)*", "a* . b", "a + b"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_adjunction(self, behavior_text, spec_text):
+        full_alphabet = frozenset({"a", "b", "x"})
+        behavior = thompson(parse_regex(behavior_text), full_alphabet)
+        spec = determinize(thompson(parse_regex(spec_text), frozenset({"a", "b"})))
+        projected = determinize(project_nfa(behavior, {"a", "b"}))
+        left_side = included(projected, spec)
+        lifted = lift_alphabet(spec, full_alphabet)
+        right_side = included(determinize(behavior), lifted)
+        assert left_side == right_side
+
+    def test_projection_to_empty_alphabet(self):
+        behavior = thompson(parse_regex("x . y"), frozenset({"x", "y"}))
+        projected = determinize(project_nfa(behavior, set()))
+        assert projected.accepts([])
+
+    def test_lift_of_everything_accepts_interleavings(self):
+        spec = determinize(thompson(parse_regex("a"), frozenset({"a"})))
+        lifted = lift_alphabet(spec, {"a", "x", "y"})
+        assert lifted.accepts(["x", "a", "y", "x"])
+        assert not lifted.accepts(["x", "y"])
+
+
+class TestWithAlphabetInteractions:
+    def test_with_alphabet_then_minimize(self):
+        dfa = determinize(thompson(parse_regex("a")))
+        grown = with_alphabet(dfa, {"a", "b"})
+        small = minimize(grown)
+        assert small.accepts(["a"])
+        assert not small.accepts(["b"])
+
+    def test_included_reflexive_after_alphabet_growth(self):
+        dfa = determinize(thompson(parse_regex("(a . b)*")))
+        grown = with_alphabet(dfa, dfa.alphabet | {"z"})
+        assert included(dfa, grown)
+        assert included(grown, dfa)

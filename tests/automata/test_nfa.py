@@ -1,0 +1,138 @@
+"""NFA representation: closures, stepping, acceptance, trimming."""
+
+import pytest
+
+from repro.automata.nfa import (
+    NFA,
+    NFABuilder,
+    empty_language_nfa,
+    epsilon_language_nfa,
+)
+
+
+def simple_nfa() -> NFA:
+    """Accepts a(ba)* — states 0 -a-> 1 -b-> 0, accepting {1}."""
+    builder = NFABuilder()
+    builder.mark_initial(0)
+    builder.mark_accepting(1)
+    builder.add_transition(0, "a", 1)
+    builder.add_transition(1, "b", 0)
+    return builder.build()
+
+
+def epsilon_chain_nfa() -> NFA:
+    """0 -ε-> 1 -ε-> 2 -a-> 3, accepting {3}."""
+    builder = NFABuilder()
+    builder.mark_initial(0)
+    builder.add_epsilon(0, 1)
+    builder.add_epsilon(1, 2)
+    builder.add_transition(2, "a", 3)
+    builder.mark_accepting(3)
+    return builder.build()
+
+
+class TestAcceptance:
+    def test_accepts_basic(self):
+        nfa = simple_nfa()
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "b", "a"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts(["a", "b"])
+
+    def test_epsilon_closure_transitive(self):
+        nfa = epsilon_chain_nfa()
+        assert nfa.epsilon_closure([0]) == {0, 1, 2}
+
+    def test_accepts_through_epsilon(self):
+        nfa = epsilon_chain_nfa()
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+
+    def test_step_applies_closure_after_move(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.add_transition(0, "a", 1)
+        builder.add_epsilon(1, 2)
+        builder.mark_accepting(2)
+        nfa = builder.build()
+        assert nfa.step(frozenset({0}), "a") == {1, 2}
+
+    def test_unknown_symbol_rejects(self):
+        assert not simple_nfa().accepts(["z"])
+
+
+class TestConstants:
+    def test_empty_language(self):
+        nfa = empty_language_nfa({"a"})
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["a"])
+
+    def test_epsilon_language(self):
+        nfa = epsilon_language_nfa({"a"})
+        assert nfa.accepts([])
+        assert not nfa.accepts(["a"])
+
+
+class TestStructure:
+    def test_validates_initial_states(self):
+        with pytest.raises(ValueError):
+            NFA(
+                states=frozenset({0}),
+                alphabet=frozenset(),
+                transitions={},
+                epsilon_moves={},
+                initial_states=frozenset({7}),
+                accepting_states=frozenset(),
+            )
+
+    def test_validates_accepting_states(self):
+        with pytest.raises(ValueError):
+            NFA(
+                states=frozenset({0}),
+                alphabet=frozenset(),
+                transitions={},
+                epsilon_moves={},
+                initial_states=frozenset({0}),
+                accepting_states=frozenset({9}),
+            )
+
+    def test_builder_rejects_epsilon_via_add_transition(self):
+        builder = NFABuilder()
+        with pytest.raises(ValueError):
+            builder.add_transition(0, None, 1)
+
+    def test_reachable_states(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.add_transition(0, "a", 1)
+        builder.add_transition(2, "a", 3)  # unreachable island
+        builder.mark_accepting(3)
+        nfa = builder.build()
+        assert nfa.reachable_states() == {0, 1}
+
+    def test_trim_drops_unreachable(self):
+        builder = NFABuilder()
+        builder.mark_initial(0)
+        builder.add_transition(0, "a", 1)
+        builder.mark_accepting(1)
+        builder.add_transition(5, "a", 6)
+        trimmed = builder.build().trim()
+        assert trimmed.states == {0, 1}
+        assert trimmed.accepts(["a"])
+
+    def test_renumbered_preserves_language(self):
+        nfa = simple_nfa()
+        renamed = nfa.renumbered()
+        for word in ([], ["a"], ["a", "b"], ["a", "b", "a"]):
+            assert nfa.accepts(word) == renamed.accepts(word)
+
+    def test_renumbered_states_are_contiguous_ints(self):
+        renamed = epsilon_chain_nfa().renumbered()
+        assert renamed.states == set(range(len(renamed.states)))
+
+    def test_iter_transitions_lists_epsilons_with_none(self):
+        nfa = epsilon_chain_nfa()
+        symbols = {symbol for _s, symbol, _t in nfa.iter_transitions()}
+        assert None in symbols
+        assert "a" in symbols

@@ -1,0 +1,125 @@
+"""Language decision procedures and the projection/lifting pair."""
+
+import pytest
+
+from repro.automata.determinize import determinize
+from repro.automata.nfa import NFABuilder
+from repro.automata.operations import (
+    concat_nfa,
+    equivalence_counterexample,
+    equivalent,
+    included,
+    inclusion_counterexample,
+    is_empty,
+    lift_alphabet,
+    nfa_included,
+    project_nfa,
+    union_nfa,
+    with_alphabet,
+)
+from repro.automata.thompson import thompson
+from repro.regex.parser import parse_regex
+
+ALPHABET = frozenset({"a", "b"})
+
+
+def dfa_of(text: str, alphabet=ALPHABET):
+    return determinize(thompson(parse_regex(text), alphabet))
+
+
+class TestDecisions:
+    def test_is_empty(self):
+        assert is_empty(dfa_of("{}"))
+        assert not is_empty(dfa_of("a"))
+        assert not is_empty(dfa_of("a*"))  # contains epsilon
+
+    def test_included_basic(self):
+        assert included(dfa_of("a"), dfa_of("a + b"))
+        assert not included(dfa_of("a + b"), dfa_of("a"))
+
+    def test_included_handles_different_alphabets(self):
+        small = determinize(thompson(parse_regex("a")))
+        big = dfa_of("a + b")
+        assert included(small, big)
+
+    def test_equivalent(self):
+        assert equivalent(dfa_of("(a + b)*"), dfa_of("(a* . b*)*"))
+        assert not equivalent(dfa_of("a*"), dfa_of("a* . b"))
+
+    def test_inclusion_counterexample_is_shortest(self):
+        witness = inclusion_counterexample(dfa_of("a*"), dfa_of("a . a*"))
+        assert witness == ()  # epsilon distinguishes
+
+    def test_inclusion_counterexample_none_when_included(self):
+        assert inclusion_counterexample(dfa_of("a"), dfa_of("a*")) is None
+
+    def test_equivalence_counterexample(self):
+        witness = equivalence_counterexample(dfa_of("a"), dfa_of("a + b"))
+        assert witness == ("b",)
+
+
+class TestAlphabetAdjustment:
+    def test_with_alphabet_rejects_new_symbols(self):
+        grown = with_alphabet(determinize(thompson(parse_regex("a"))), {"a", "b"})
+        assert grown.accepts(["a"])
+        assert not grown.accepts(["b"])
+        assert not grown.accepts(["a", "b"])
+
+    def test_with_alphabet_requires_superset(self):
+        with pytest.raises(ValueError):
+            with_alphabet(dfa_of("a + b"), {"a"})
+
+    def test_lift_alphabet_ignores_new_symbols(self):
+        lifted = lift_alphabet(determinize(thompson(parse_regex("a"))), {"a", "x"})
+        assert lifted.accepts(["a"])
+        assert lifted.accepts(["x", "a", "x"])
+        assert not lifted.accepts(["x"])
+
+    def test_lift_requires_superset(self):
+        with pytest.raises(ValueError):
+            lift_alphabet(dfa_of("a + b"), {"a"})
+
+    def test_project_then_lift_adjunction(self):
+        # Projection of L onto K is included in M iff L is included in
+        # lift(M).  Check one concrete instance of each direction.
+        behavior = thompson(parse_regex("x . a . x . b"), frozenset({"a", "b", "x"}))
+        projected = determinize(project_nfa(behavior, {"a", "b"}))
+        spec_ab = dfa_of("a . b")
+        assert included(projected, spec_ab)
+        lifted = lift_alphabet(spec_ab, {"a", "b", "x"})
+        assert included(determinize(behavior), lifted)
+
+    def test_project_drops_foreign_symbols(self):
+        nfa = thompson(parse_regex("a . x . b"), frozenset({"a", "b", "x"}))
+        projected = determinize(project_nfa(nfa, {"a", "b"}))
+        assert projected.accepts(["a", "b"])
+        assert not projected.accepts(["a", "x", "b"])
+
+
+class TestNfaCombinators:
+    def test_union_nfa(self):
+        left = thompson(parse_regex("a"))
+        right = thompson(parse_regex("b . b"))
+        joined = union_nfa([left, right])
+        assert joined.accepts(["a"])
+        assert joined.accepts(["b", "b"])
+        assert not joined.accepts(["b"])
+
+    def test_union_nfa_empty_list(self):
+        joined = union_nfa([])
+        assert not joined.accepts([])
+
+    def test_concat_nfa(self):
+        left = thompson(parse_regex("a + b"))
+        right = thompson(parse_regex("b*"))
+        joined = concat_nfa(left, right)
+        assert joined.accepts(["a"])
+        assert joined.accepts(["a", "b", "b"])
+        assert joined.accepts(["b", "b"])
+        assert not joined.accepts(["b", "a"])
+
+    def test_nfa_included(self):
+        assert nfa_included(thompson(parse_regex("a . b")), thompson(parse_regex("(a . b)*")))
+        assert not nfa_included(
+            thompson(parse_regex("(a . b)*")), thompson(parse_regex("a . b"))
+        )

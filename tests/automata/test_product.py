@@ -1,0 +1,85 @@
+"""Product constructions: intersection, difference, symmetric difference."""
+
+import pytest
+
+from repro.automata.determinize import determinize
+from repro.automata.product import difference, intersection, symmetric_difference
+from repro.automata.thompson import thompson
+from repro.regex.parser import parse_regex
+
+ALPHABET = frozenset({"a", "b"})
+
+
+def dfa_of(text: str):
+    return determinize(thompson(parse_regex(text), ALPHABET))
+
+
+WORDS = [
+    (),
+    ("a",),
+    ("b",),
+    ("a", "a"),
+    ("a", "b"),
+    ("b", "a"),
+    ("b", "b"),
+    ("a", "b", "a"),
+    ("a", "a", "b", "b"),
+]
+
+
+class TestIntersection:
+    def test_semantics(self):
+        left = dfa_of("(a + b)* . a")  # ends in a
+        right = dfa_of("a . (a + b)*")  # starts with a
+        both = intersection(left, right)
+        for word in WORDS:
+            assert both.accepts(word) == (left.accepts(word) and right.accepts(word))
+
+    def test_disjoint_languages_empty(self):
+        both = intersection(dfa_of("a"), dfa_of("b"))
+        for word in WORDS:
+            assert not both.accepts(word)
+
+    def test_requires_equal_alphabets(self):
+        small = determinize(thompson(parse_regex("a")))
+        big = dfa_of("a")
+        with pytest.raises(ValueError):
+            intersection(small, big)
+
+
+class TestDifference:
+    def test_semantics(self):
+        left = dfa_of("(a + b)*")
+        right = dfa_of("(a . b)*")
+        diff = difference(left, right)
+        for word in WORDS:
+            assert diff.accepts(word) == (left.accepts(word) and not right.accepts(word))
+
+    def test_self_difference_empty(self):
+        dfa = dfa_of("(a . b)* + a")
+        diff = difference(dfa, dfa)
+        for word in WORDS:
+            assert not diff.accepts(word)
+
+    def test_difference_with_empty_right(self):
+        left = dfa_of("a + b")
+        right = dfa_of("{}")
+        diff = difference(left, right)
+        for word in WORDS:
+            assert diff.accepts(word) == left.accepts(word)
+
+
+class TestSymmetricDifference:
+    def test_semantics(self):
+        left = dfa_of("a . (a + b)*")
+        right = dfa_of("(a + b)* . b")
+        sym = symmetric_difference(left, right)
+        for word in WORDS:
+            assert sym.accepts(word) == (left.accepts(word) != right.accepts(word))
+
+    def test_equal_languages_give_empty(self):
+        left = dfa_of("(a + b)*")
+        right = dfa_of("(a* . b*)*")
+        sym = symmetric_difference(left, right)
+        for word in WORDS:
+            assert not sym.accepts(word)

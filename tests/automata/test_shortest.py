@@ -1,0 +1,61 @@
+"""Shortest-word extraction (counterexample machinery)."""
+
+from repro.automata.determinize import determinize
+from repro.automata.shortest import (
+    iter_accepted_words,
+    shortest_accepted_word,
+    shortest_accepted_word_nfa,
+)
+from repro.automata.thompson import thompson
+from repro.regex.parser import parse_regex
+
+ALPHABET = frozenset({"a", "b"})
+
+
+def dfa_of(text: str):
+    return determinize(thompson(parse_regex(text), ALPHABET))
+
+
+class TestShortestDfa:
+    def test_empty_word_when_initial_accepting(self):
+        assert shortest_accepted_word(dfa_of("a*")) == ()
+
+    def test_none_for_empty_language(self):
+        assert shortest_accepted_word(dfa_of("{}")) is None
+
+    def test_shortest_length(self):
+        assert shortest_accepted_word(dfa_of("a . a . a + b . b")) == ("b", "b")
+
+    def test_alphabetical_tie_break(self):
+        assert shortest_accepted_word(dfa_of("b + a")) == ("a",)
+
+    def test_long_chain(self):
+        assert shortest_accepted_word(dfa_of("a . b . a . b")) == ("a", "b", "a", "b")
+
+
+class TestShortestNfa:
+    def test_matches_dfa_result(self):
+        nfa = thompson(parse_regex("a . a + b"), ALPHABET)
+        assert shortest_accepted_word_nfa(nfa) == ("b",)
+
+    def test_empty_language(self):
+        nfa = thompson(parse_regex("{}"), ALPHABET)
+        assert shortest_accepted_word_nfa(nfa) is None
+
+    def test_epsilon(self):
+        nfa = thompson(parse_regex("eps"), ALPHABET)
+        assert shortest_accepted_word_nfa(nfa) == ()
+
+
+class TestIterAcceptedWords:
+    def test_enumerates_in_length_lex_order(self):
+        words = list(iter_accepted_words(dfa_of("a* . b"), 3))
+        assert words == [
+            ("b",),
+            ("a", "b"),
+            ("a", "a", "b"),
+        ]
+
+    def test_respects_bound(self):
+        words = list(iter_accepted_words(dfa_of("a*"), 2))
+        assert words == [(), ("a",), ("a", "a")]

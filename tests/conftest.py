@@ -1,0 +1,64 @@
+"""Shared fixtures: paper modules, parsed classes, clean simulated board."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.parse import parse_module
+from repro.micropython.machine import reset_board
+from repro.micropython.timer import reset_clock
+from repro.paper import GOOD_MODULE, SECTION_2_MODULE, SECTOR_MODULE
+
+
+@pytest.fixture(autouse=True)
+def clean_simulation():
+    """Reset the simulated board and clock around every test."""
+    reset_board()
+    reset_clock()
+    yield
+    reset_board()
+    reset_clock()
+
+
+@pytest.fixture(scope="session")
+def section2_module():
+    """Parsed module of Listings 2.1 + 2.2 (Valve + BadSector)."""
+    module, violations = parse_module(SECTION_2_MODULE)
+    assert not violations
+    return module
+
+
+@pytest.fixture(scope="session")
+def sector_module():
+    """Parsed module of Listing 3.1 (Valve + Sector)."""
+    module, violations = parse_module(SECTOR_MODULE)
+    assert not violations
+    return module
+
+
+@pytest.fixture(scope="session")
+def good_module():
+    """Parsed module of the repaired sector (verifies clean)."""
+    module, violations = parse_module(GOOD_MODULE)
+    assert not violations
+    return module
+
+
+@pytest.fixture(scope="session")
+def valve(section2_module):
+    return section2_module.get_class("Valve")
+
+
+@pytest.fixture(scope="session")
+def bad_sector(section2_module):
+    return section2_module.get_class("BadSector")
+
+
+@pytest.fixture(scope="session")
+def sector(sector_module):
+    return sector_module.get_class("Sector")
+
+
+@pytest.fixture(scope="session")
+def good_sector(good_module):
+    return good_module.get_class("GoodSector")

@@ -1,0 +1,140 @@
+"""Temporal-claim verification (FAIL TO MEET REQUIREMENT)."""
+
+from repro.core.claims import check_claims
+from repro.frontend.parse import parse_module
+from repro.paper import VALVE
+from repro.ltlf.semantics import evaluate
+from repro.ltlf.parser import parse_claim
+
+
+def build(decorators: str, body: str):
+    source = VALVE + (
+        f"\n\n{decorators}\n"
+        "@sys(['a', 'b'])\n"
+        "class User:\n"
+        "    def __init__(self):\n"
+        "        self.a = Valve()\n"
+        "        self.b = Valve()\n"
+        f"{body}"
+    )
+    module, violations = parse_module(source)
+    assert violations == []
+    return module.get_class("User")
+
+
+GOOD_BODY = (
+    "    @op_initial_final\n"
+    "    def go(self):\n"
+    "        match self.b.test():\n"
+    "            case ['open']:\n"
+    "                self.b.open()\n"
+    "                match self.a.test():\n"
+    "                    case ['open']:\n"
+    "                        self.a.open()\n"
+    "                        self.a.close()\n"
+    "                    case ['clean']:\n"
+    "                        self.a.clean()\n"
+    "                self.b.close()\n"
+    "                return []\n"
+    "            case ['clean']:\n"
+    "                self.b.clean()\n"
+    "                return []\n"
+)
+
+
+class TestBadSectorClaim:
+    def test_claim_fails(self, bad_sector):
+        result = check_claims(bad_sector)
+        errors = result.by_code("unmet-requirement")
+        assert len(errors) == 1
+        assert errors[0].formula == "(!a.open) W b.open"
+
+    def test_counterexample_violates_the_formula(self, bad_sector):
+        result = check_claims(bad_sector)
+        trace = result.by_code("unmet-requirement")[0].counterexample
+        formula = parse_claim("(!a.open) W b.open")
+        assert not evaluate(formula, trace)
+
+    def test_counterexample_uses_subsystem_events_only(self, bad_sector):
+        result = check_claims(bad_sector)
+        trace = result.by_code("unmet-requirement")[0].counterexample
+        assert all("." in event for event in trace)
+
+    def test_shortest_counterexample(self, bad_sector):
+        result = check_claims(bad_sector)
+        trace = result.by_code("unmet-requirement")[0].counterexample
+        # open_a's open path projected: a.test, a.open — minimal, and
+        # shorter than the paper's (non-minimal) printed trace.
+        assert trace == ("a.test", "a.open")
+
+
+class TestClaimVariants:
+    def test_holding_claim_on_good_usage(self):
+        user = build('@claim("(!a.open) W b.open")', GOOD_BODY)
+        assert check_claims(user).ok
+
+    def test_globally_response_claim_holds(self):
+        user = build('@claim("G (a.open -> F a.close)")', GOOD_BODY)
+        assert check_claims(user).ok
+
+    def test_failing_eventually_claim(self):
+        # F a.open fails: the clean paths never open valve a.
+        user = build('@claim("F a.open")', GOOD_BODY)
+        result = check_claims(user)
+        errors = result.by_code("unmet-requirement")
+        assert len(errors) == 1
+        # The empty lifecycle is the shortest violation.
+        assert errors[0].counterexample == ()
+
+    def test_multiple_claims_checked_independently(self):
+        user = build(
+            '@claim("(!a.open) W b.open")\n@claim("F a.open")', GOOD_BODY
+        )
+        result = check_claims(user)
+        assert len(result.by_code("unmet-requirement")) == 1
+
+    def test_claim_mentioning_own_operations(self):
+        user = build('@claim("F go")', GOOD_BODY)
+        result = check_claims(user)
+        # The empty lifecycle never performs go.
+        errors = result.by_code("unmet-requirement")
+        assert len(errors) == 1
+        assert errors[0].counterexample == ()
+
+    def test_unparsable_claim_reported(self):
+        user = build('@claim("(!a.open W")', GOOD_BODY)
+        result = check_claims(user)
+        assert result.by_code("bad-claim")
+
+    def test_unknown_atom_reported(self):
+        user = build('@claim("F c.open")', GOOD_BODY)
+        result = check_claims(user)
+        errors = result.by_code("bad-claim")
+        assert len(errors) == 1
+        assert "c.open" in errors[0].message
+
+    def test_claim_on_base_class_over_own_ops(self):
+        source = VALVE.replace(
+            "@sys\nclass Valve:",
+            '@claim("G (open -> F close)")\n@sys\nclass Valve:',
+        )
+        module, violations = parse_module(source)
+        assert violations == []
+        valve = module.get_class("Valve")
+        assert check_claims(valve).ok
+
+    def test_failing_claim_on_base_class(self):
+        source = VALVE.replace(
+            "@sys\nclass Valve:",
+            '@claim("G (test -> X open)")\n@sys\nclass Valve:',
+        )
+        module, _ = parse_module(source)
+        valve = module.get_class("Valve")
+        result = check_claims(valve)
+        errors = result.by_code("unmet-requirement")
+        assert len(errors) == 1
+        # test followed by clean violates "test is always followed by open".
+        assert errors[0].counterexample == ("test", "clean")
+
+    def test_no_claims_is_trivially_ok(self, valve):
+        assert check_claims(valve).ok

@@ -1,0 +1,107 @@
+"""Method dependency extraction (§3.1) — including the exact node/arc
+structure the paper spells out for Listing 3.1's Sector (Figure 3)."""
+
+from repro.core.dependency import EntryNode, ExitNode, extract_dependency_graph
+
+
+class TestSectorGraph:
+    """§3.1 narrates this example in full; every sentence is asserted."""
+
+    def test_four_entry_nodes(self, sector):
+        graph = extract_dependency_graph(sector)
+        assert {entry.method for entry in graph.entries} == {
+            "open_a",
+            "clean_a",
+            "close_a",
+            "open_b",
+        }
+
+    def test_one_exit_per_return(self, sector):
+        graph = extract_dependency_graph(sector)
+        # open_a has 2 returns, clean_a 1, close_a 1, open_b 2.
+        assert len(graph.exits_of("open_a")) == 2
+        assert len(graph.exits_of("clean_a")) == 1
+        assert len(graph.exits_of("close_a")) == 1
+        assert len(graph.exits_of("open_b")) == 2
+        assert len(graph.exits) == 6
+
+    def test_entry_links_to_its_exits(self, sector):
+        graph = extract_dependency_graph(sector)
+        entry = graph.entry("open_a")
+        successors = graph.successors(entry)
+        assert set(successors) == set(graph.exits_of("open_a"))
+
+    def test_exit_a_links_to_close_a_and_open_b(self, sector):
+        # "since exit node (A) returns ["close_a", "open_b"], we link exit
+        # node (A) to the entry node of close_a, and to the entry of open_b."
+        graph = extract_dependency_graph(sector)
+        exit_a = next(
+            node
+            for node in graph.exits_of("open_a")
+            if node.next_methods == ("close_a", "open_b")
+        )
+        successors = set(graph.successors(exit_a))
+        assert successors == {graph.entry("close_a"), graph.entry("open_b")}
+
+    def test_exit_b_links_to_clean_a(self, sector):
+        graph = extract_dependency_graph(sector)
+        exit_b = next(
+            node
+            for node in graph.exits_of("open_a")
+            if node.next_methods == ("clean_a",)
+        )
+        assert set(graph.successors(exit_b)) == {graph.entry("clean_a")}
+
+    def test_open_b_exits_are_terminal(self, sector):
+        graph = extract_dependency_graph(sector)
+        for exit_node in graph.exits_of("open_b"):
+            assert graph.successors(exit_node) == ()
+
+    def test_counts(self, sector):
+        graph = extract_dependency_graph(sector)
+        assert graph.node_count == 10
+        # arcs: 6 entry->exit plus (2+1+1+1) exit->entry = 11.
+        assert graph.arc_count == 11
+
+
+class TestValveGraph:
+    def test_structure(self, valve):
+        graph = extract_dependency_graph(valve)
+        assert len(graph.entries) == 4
+        assert len(graph.exits) == 5  # test has 2 returns, others 1 each
+        assert graph.arc_count == 5 + 5  # entry->exit + one successor per exit
+
+    def test_no_dangling_references(self, valve):
+        graph = extract_dependency_graph(valve)
+        assert graph.dangling_references() == ()
+
+
+class TestDanglingReferences:
+    def test_unknown_next_method_reported(self):
+        from repro.frontend.parse import parse_module
+
+        module, _violations = parse_module(
+            "@sys\n"
+            "class C:\n"
+            "    @op_initial_final\n"
+            "    def m(self):\n"
+            "        return ['ghost']\n"
+        )
+        graph = extract_dependency_graph(module.get_class("C"))
+        dangling = graph.dangling_references()
+        assert len(dangling) == 1
+        exit_node, missing = dangling[0]
+        assert missing == "ghost"
+        assert exit_node.method == "m"
+
+
+class TestNodeLabels:
+    def test_entry_label(self):
+        assert EntryNode("open_a").label() == "open_a"
+
+    def test_exit_label_with_methods(self):
+        node = ExitNode("open_a", 0, ("close_a", "open_b"))
+        assert node.label() == "open_a/return [close_a, open_b]"
+
+    def test_exit_label_empty(self):
+        assert ExitNode("open_b", 0, ()).label() == "open_b/return []"

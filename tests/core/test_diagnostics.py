@@ -1,0 +1,104 @@
+"""Diagnostic structures and their rendering."""
+
+from repro.core.diagnostics import (
+    FAIL_TO_MEET_REQUIREMENT,
+    INVALID_SUBSYSTEM_USAGE,
+    CheckResult,
+    Diagnostic,
+    Severity,
+    SubsystemError,
+)
+
+
+def error(code="some-error", **kwargs) -> Diagnostic:
+    return Diagnostic(severity=Severity.ERROR, code=code, message="boom", **kwargs)
+
+
+def warning(code="some-warning", **kwargs) -> Diagnostic:
+    return Diagnostic(severity=Severity.WARNING, code=code, message="hmm", **kwargs)
+
+
+class TestCheckResult:
+    def test_ok_with_no_diagnostics(self):
+        assert CheckResult().ok
+
+    def test_ok_with_warnings_only(self):
+        result = CheckResult(diagnostics=[warning()])
+        assert result.ok
+        assert result.warnings and not result.errors
+
+    def test_not_ok_with_errors(self):
+        result = CheckResult(diagnostics=[warning(), error()])
+        assert not result.ok
+        assert len(result.errors) == 1
+
+    def test_extend_merges(self):
+        left = CheckResult(diagnostics=[warning()])
+        right = CheckResult(diagnostics=[error()])
+        left.extend(right)
+        assert len(left.diagnostics) == 2
+
+    def test_by_code(self):
+        result = CheckResult(diagnostics=[error("x"), error("y"), warning("x")])
+        assert len(result.by_code("x")) == 2
+
+    def test_format_ok_banner(self):
+        assert CheckResult().format() == "OK: specification verified"
+
+    def test_format_joins_with_blank_lines(self):
+        result = CheckResult(diagnostics=[error("x"), error("y")])
+        assert result.format().count("\n\n") == 1
+
+
+class TestRendering:
+    def test_usage_error_shape(self):
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code="invalid-subsystem-usage",
+            message="...",
+            title=INVALID_SUBSYSTEM_USAGE,
+            counterexample=("open_a", "a.test", "a.open"),
+            subsystem_errors=(
+                SubsystemError("Valve", "a", "test, >open< (not final)"),
+            ),
+        )
+        assert diagnostic.format() == (
+            "Error in specification: INVALID SUBSYSTEM USAGE\n"
+            "Counter example: open_a, a.test, a.open\n"
+            "Subsystems errors:\n"
+            "  * Valve 'a': test, >open< (not final)"
+        )
+
+    def test_claim_error_shape(self):
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code="unmet-requirement",
+            message="...",
+            title=FAIL_TO_MEET_REQUIREMENT,
+            formula="(!a.open) W b.open",
+            counterexample=("a.test", "a.open"),
+        )
+        assert diagnostic.format() == (
+            "Error in specification: FAIL TO MEET REQUIREMENT\n"
+            "Formula: (!a.open) W b.open\n"
+            "Counter example: a.test, a.open"
+        )
+
+    def test_plain_error_line(self):
+        diagnostic = error(class_name="Valve", lineno=12)
+        text = diagnostic.format()
+        assert text == "error [Valve] some-error: boom (line 12)"
+
+    def test_plain_warning_line_without_location(self):
+        assert warning().format() == "warning some-warning: hmm"
+
+    def test_empty_counterexample_renders_empty(self):
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code="unmet-requirement",
+            message="...",
+            title=FAIL_TO_MEET_REQUIREMENT,
+            formula="F x",
+            counterexample=(),
+        )
+        assert "Counter example: " in diagnostic.format()

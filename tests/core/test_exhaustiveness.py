@@ -1,0 +1,138 @@
+"""Method invocation analysis and match exhaustiveness (§3, step 3)."""
+
+from repro.core.exhaustiveness import check_invocations, check_match_exhaustiveness
+from repro.core.spec import ClassSpec
+from repro.frontend.parse import parse_module
+from repro.paper import VALVE
+
+
+def build(user_body: str):
+    source = VALVE + (
+        "\n\n@sys(['v'])\n"
+        "class User:\n"
+        "    def __init__(self):\n"
+        "        self.v = Valve()\n"
+        f"{user_body}"
+    )
+    module, violations = parse_module(source)
+    assert violations == []
+    specs = {p.name: ClassSpec.of(p) for p in module.classes}
+    return module.get_class("User"), specs
+
+
+class TestInvocations:
+    def test_paper_classes_clean(self, valve, bad_sector):
+        specs = {"Valve": ClassSpec.of(valve), "BadSector": ClassSpec.of(bad_sector)}
+        assert check_invocations(bad_sector, specs).ok
+
+    def test_undeclared_method_reported(self):
+        user, specs = build(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.v.frobnicate()\n"
+            "        return []\n"
+        )
+        result = check_invocations(user, specs)
+        assert not result.ok
+        errors = result.by_code("undeclared-method")
+        assert len(errors) == 1
+        assert "v.frobnicate" in errors[0].message
+
+    def test_private_helper_methods_also_need_declaration(self):
+        # Even Valve's real (unannotated) methods are not operations.
+        user, specs = build(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.v.__init__()\n"
+            "        return []\n"
+        )
+        result = check_invocations(user, specs)
+        assert result.by_code("undeclared-method")
+
+    def test_unknown_subsystem_class_reported_once(self):
+        source = (
+            "@sys(['x', 'y'])\n"
+            "class User:\n"
+            "    def __init__(self):\n"
+            "        self.x = Mystery()\n"
+            "        self.y = Mystery()\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.x.poke()\n"
+            "        self.x.prod()\n"
+            "        self.y.poke()\n"
+            "        return []\n"
+        )
+        module, _ = parse_module(source)
+        user = module.get_class("User")
+        result = check_invocations(user, {"User": ClassSpec.of(user)})
+        assert len(result.by_code("unknown-subsystem-class")) == 1
+
+
+class TestMatchExhaustiveness:
+    def test_paper_matches_are_exhaustive(self, valve, bad_sector):
+        specs = {"Valve": ClassSpec.of(valve), "BadSector": ClassSpec.of(bad_sector)}
+        assert check_match_exhaustiveness(bad_sector, specs).ok
+
+    def test_missing_exit_point_reported(self):
+        user, specs = build(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        match self.v.test():\n"
+            "            case ['open']:\n"
+            "                self.v.open()\n"
+            "                self.v.close()\n"
+            "                return []\n"
+        )
+        result = check_match_exhaustiveness(user, specs)
+        errors = result.by_code("non-exhaustive-match")
+        assert len(errors) == 1
+        assert "['clean']" in errors[0].message
+
+    def test_wildcard_suppresses_missing_exits(self):
+        user, specs = build(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        match self.v.test():\n"
+            "            case ['open']:\n"
+            "                self.v.open()\n"
+            "                self.v.close()\n"
+            "                return []\n"
+            "            case _:\n"
+            "                self.v.clean()\n"
+            "                return []\n"
+        )
+        result = check_match_exhaustiveness(user, specs)
+        assert not result.by_code("non-exhaustive-match")
+
+    def test_unreachable_case_warned(self):
+        user, specs = build(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        match self.v.test():\n"
+            "            case ['open']:\n"
+            "                self.v.open()\n"
+            "                self.v.close()\n"
+            "                return []\n"
+            "            case ['clean']:\n"
+            "                self.v.clean()\n"
+            "                return []\n"
+            "            case ['bogus']:\n"
+            "                return []\n"
+        )
+        result = check_match_exhaustiveness(user, specs)
+        warnings = result.by_code("unreachable-case")
+        assert len(warnings) == 1
+        assert "['bogus']" in warnings[0].message
+        assert result.ok  # warning, not error
+
+    def test_match_on_undeclared_method_skipped(self):
+        # check_invocations owns that error; no duplicate here.
+        user, specs = build(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        match self.v.ghost():\n"
+            "            case ['x']:\n"
+            "                return []\n"
+        )
+        assert check_match_exhaustiveness(user, specs).ok

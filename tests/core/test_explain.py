@@ -1,0 +1,74 @@
+"""Counterexample explanation."""
+
+from repro.core.explain import explain_counterexample
+from repro.core.spec import ClassSpec
+
+
+def specs_of(*parsed):
+    return {p.name: ClassSpec.of(p) for p in parsed}
+
+
+class TestBadSectorExplanation:
+    TRACE = ("open_a", "a.test", "a.open")
+
+    def test_segments_by_operation(self, valve, bad_sector):
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), self.TRACE
+        )
+        text = explanation.format()
+        assert text.startswith("during open_a:")
+
+    def test_annotates_each_event(self, valve, bad_sector):
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), self.TRACE
+        )
+        text = explanation.format()
+        assert "Valve 'a': test -> exit [open] | [clean]" in text
+        assert "Valve 'a': open -> exit [close]" in text
+
+    def test_ending_names_the_stuck_subsystem(self, valve, bad_sector):
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), self.TRACE
+        )
+        assert "Valve 'a' is not in a final state" in explanation.ending
+        assert "close, clean still required" in explanation.ending
+
+    def test_unused_subsystem_not_mentioned(self, valve, bad_sector):
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), self.TRACE
+        )
+        assert "'b'" not in explanation.ending
+
+
+class TestOtherShapes:
+    def test_not_allowed_event_flagged(self, valve, bad_sector):
+        trace = ("open_a", "a.open")  # open without test
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), trace
+        )
+        text = explanation.format()
+        assert "NOT ALLOWED" in text
+        assert "allowed: test" in text
+
+    def test_clean_trace_ends_cleanly(self, valve, bad_sector):
+        trace = ("open_a", "a.test", "a.clean")
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), trace
+        )
+        assert explanation.ending == "all subsystems completed their lifecycles"
+
+    def test_undeclared_method_annotated(self, valve, bad_sector):
+        trace = ("open_a", "a.explode")
+        explanation = explain_counterexample(
+            bad_sector, specs_of(valve, bad_sector), trace
+        )
+        assert "explode is not a declared operation" in explanation.format()
+
+    def test_steps_expose_structure(self, valve, bad_sector):
+        explanation = explain_counterexample(
+            bad_sector,
+            specs_of(valve, bad_sector),
+            ("open_a", "a.test", "a.open"),
+        )
+        owners = [step.owner_operation for step in explanation.steps]
+        assert owners == [None, "open_a", "open_a"]

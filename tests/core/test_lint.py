@@ -1,0 +1,101 @@
+"""Specification well-formedness lints."""
+
+from repro.core.lint import lint_spec
+from repro.frontend.parse import parse_module
+
+
+def parse_class(source: str, name: str = "C"):
+    module, _violations = parse_module(source)
+    return module.get_class(name)
+
+
+class TestCleanSpecs:
+    def test_paper_classes_lint_clean(self, valve, bad_sector, sector):
+        assert lint_spec(valve).diagnostics == []
+        assert lint_spec(bad_sector).diagnostics == []
+        assert lint_spec(sector).diagnostics == []
+
+
+class TestStructuralErrors:
+    def test_no_initial_operation(self):
+        parsed = parse_class(
+            "@sys\n"
+            "class C:\n"
+            "    @op_final\n"
+            "    def stop(self):\n"
+            "        return []\n"
+        )
+        result = lint_spec(parsed)
+        assert result.by_code("no-initial-operation")
+        assert not result.ok
+
+    def test_unknown_next_method(self):
+        parsed = parse_class(
+            "@sys\n"
+            "class C:\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        return ['ghost']\n"
+        )
+        result = lint_spec(parsed)
+        errors = result.by_code("unknown-next-method")
+        assert len(errors) == 1
+        assert "'ghost'" in errors[0].message
+
+
+class TestWarnings:
+    def test_no_final_operation(self):
+        parsed = parse_class(
+            "@sys\n"
+            "class C:\n"
+            "    @op_initial\n"
+            "    def go(self):\n"
+            "        return ['go']\n"
+        )
+        result = lint_spec(parsed)
+        assert result.by_code("no-final-operation")
+        assert result.ok  # warnings only
+
+    def test_unreachable_operation(self):
+        parsed = parse_class(
+            "@sys\n"
+            "class C:\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        return []\n"
+            "    @op\n"
+            "    def orphan(self):\n"
+            "        return []\n"
+        )
+        result = lint_spec(parsed)
+        warnings = result.by_code("unreachable-operation")
+        assert len(warnings) == 1
+        assert "orphan" in warnings[0].message
+
+    def test_dead_end_exit(self):
+        parsed = parse_class(
+            "@sys\n"
+            "class C:\n"
+            "    @op_initial\n"
+            "    def go(self):\n"
+            "        return ['stuck']\n"
+            "    @op\n"
+            "    def stuck(self):\n"
+            "        return []\n"
+            "    @op_final\n"
+            "    def stop(self):\n"
+            "        return []\n"
+        )
+        result = lint_spec(parsed)
+        assert result.by_code("dead-end-exit")
+        assert result.by_code("unreachable-operation")  # stop is unreachable
+
+    def test_final_with_empty_exit_is_not_dead_end(self, bad_sector):
+        # open_a's clean path returns [] but open_a is final: fine.
+        assert not lint_spec(bad_sector).by_code("dead-end-exit")
+
+    def test_no_operations_warns(self):
+        parsed = parse_class("@sys\nclass C:\n    pass\n")
+        result = lint_spec(parsed)
+        assert result.by_code("no-operations")
+        assert result.ok

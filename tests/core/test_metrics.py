@@ -1,0 +1,67 @@
+"""Model metrics."""
+
+import pytest
+
+from repro.core.metrics import collect_metrics
+
+
+class TestValveMetrics:
+    def test_counts(self, valve):
+        metrics = collect_metrics(valve)
+        assert metrics.class_name == "Valve"
+        assert metrics.operations == 4
+        assert metrics.initial_operations == 1
+        assert metrics.final_operations == 2
+        assert metrics.exit_points == 5
+        assert metrics.dependency_arcs == 10
+
+    def test_minimal_automata_sizes(self, valve):
+        metrics = collect_metrics(valve)
+        # Valve's protocol needs 4 states; base class behavior == spec.
+        assert metrics.spec_states_minimal == 4
+        assert metrics.behavior_states_minimal == metrics.spec_states_minimal
+
+    def test_lifecycle_count(self, valve):
+        metrics = collect_metrics(valve)
+        # Up to length 6: (), tc, toc, tctc, tocte... enumerate = 8.
+        assert metrics.lifecycles_up_to_6 == 8
+
+    def test_constrainedness_in_unit_interval(self, valve):
+        metrics = collect_metrics(valve)
+        assert 0.0 <= metrics.constrainedness <= 1.0
+        # The valve forbids most orders.
+        assert metrics.constrainedness > 0.5
+
+
+class TestBadSectorMetrics:
+    def test_composite_behavior_larger_than_spec(self, bad_sector):
+        metrics = collect_metrics(bad_sector)
+        assert metrics.behavior_states_minimal > metrics.spec_states_minimal
+
+    def test_body_ir_counted(self, bad_sector):
+        metrics = collect_metrics(bad_sector)
+        assert metrics.body_ir_nodes > 20
+
+
+class TestFormatting:
+    def test_format_mentions_everything(self, valve):
+        text = collect_metrics(valve).format()
+        assert "model metrics for Valve:" in text
+        assert "operations            4 (1 initial, 2 final)" in text
+        assert "constrainedness" in text
+
+
+class TestUnconstrainedClass:
+    def test_free_protocol_has_low_constrainedness(self):
+        from repro.frontend.parse import parse_module
+
+        # Any order allowed: one op that is initial+final and allows itself.
+        module, _ = parse_module(
+            "@sys\n"
+            "class Free:\n"
+            "    @op_initial_final\n"
+            "    def step(self):\n"
+            "        return ['step']\n"
+        )
+        metrics = collect_metrics(module.get_class("Free"))
+        assert metrics.constrainedness == pytest.approx(0.0)

@@ -1,0 +1,142 @@
+"""Specification refinement and substitutability."""
+
+from repro.core.refinement import (
+    check_refinement,
+    check_substitutable,
+    equivalent_specs,
+)
+from repro.core.spec import ClassSpec
+from repro.frontend.parse import parse_module
+
+
+def spec_of(source: str, name: str) -> ClassSpec:
+    module, violations = parse_module(source)
+    assert violations == []
+    return ClassSpec.of(module.get_class(name))
+
+
+#: The baseline valve protocol.
+BASE = (
+    "@sys\n"
+    "class Valve:\n"
+    "    @op_initial\n"
+    "    def test(self):\n"
+    "        if x:\n"
+    "            return ['open']\n"
+    "        return ['clean']\n"
+    "    @op\n"
+    "    def open(self):\n"
+    "        return ['close']\n"
+    "    @op_final\n"
+    "    def close(self):\n"
+    "        return ['test']\n"
+    "    @op_final\n"
+    "    def clean(self):\n"
+    "        return ['test']\n"
+)
+
+#: A strictly smaller protocol: the clean path was removed.
+NARROW = (
+    "@sys\n"
+    "class StrictValve:\n"
+    "    @op_initial\n"
+    "    def test(self):\n"
+    "        return ['open']\n"
+    "    @op\n"
+    "    def open(self):\n"
+    "        return ['close']\n"
+    "    @op_final\n"
+    "    def close(self):\n"
+    "        return ['test']\n"
+    "    @op_final\n"
+    "    def clean(self):\n"
+    "        return ['test']\n"
+)
+
+#: A strictly larger protocol: close may be re-tested or re-opened.
+WIDE = (
+    "@sys\n"
+    "class FlexValve:\n"
+    "    @op_initial\n"
+    "    def test(self):\n"
+    "        if x:\n"
+    "            return ['open']\n"
+    "        return ['clean']\n"
+    "    @op\n"
+    "    def open(self):\n"
+    "        if x:\n"
+    "            return ['close']\n"
+    "        return ['open']\n"
+    "    @op_final\n"
+    "    def close(self):\n"
+    "        return ['test']\n"
+    "    @op_final\n"
+    "    def clean(self):\n"
+    "        return ['test']\n"
+)
+
+
+class TestRefinement:
+    def test_narrow_refines_base(self):
+        result = check_refinement(spec_of(BASE, "Valve"), spec_of(NARROW, "StrictValve"))
+        assert result.ok, result.format()
+
+    def test_base_does_not_refine_narrow(self):
+        result = check_refinement(spec_of(NARROW, "StrictValve"), spec_of(BASE, "Valve"))
+        errors = result.by_code("not-a-refinement")
+        assert len(errors) == 1
+        # The clean lifecycle is the shortest extra behavior.
+        assert errors[0].counterexample == ("test", "clean")
+
+    def test_reflexive(self):
+        spec = spec_of(BASE, "Valve")
+        assert check_refinement(spec, spec).ok
+
+    def test_wide_is_not_a_refinement(self):
+        result = check_refinement(spec_of(BASE, "Valve"), spec_of(WIDE, "FlexValve"))
+        errors = result.by_code("not-a-refinement")
+        assert len(errors) == 1
+        assert errors[0].counterexample == ("test", "open", "open", "close")
+
+
+class TestSubstitutability:
+    def test_wide_substitutes_for_base(self):
+        result = check_substitutable(spec_of(BASE, "Valve"), spec_of(WIDE, "FlexValve"))
+        assert result.ok, result.format()
+
+    def test_narrow_does_not_substitute_for_base(self):
+        result = check_substitutable(
+            spec_of(BASE, "Valve"), spec_of(NARROW, "StrictValve")
+        )
+        errors = result.by_code("not-substitutable")
+        assert len(errors) == 1
+        assert errors[0].counterexample == ("test", "clean")
+
+    def test_missing_operation_warned(self):
+        missing = (
+            "@sys\n"
+            "class TwoOp:\n"
+            "    @op_initial\n"
+            "    def test(self):\n"
+            "        return ['open']\n"
+            "    @op_final\n"
+            "    def open(self):\n"
+            "        return []\n"
+        )
+        result = check_substitutable(spec_of(BASE, "Valve"), spec_of(missing, "TwoOp"))
+        warned = {d.message for d in result.by_code("refinement-alphabet")}
+        assert any("'close'" in message for message in warned)
+        assert any("'clean'" in message for message in warned)
+        assert not result.ok  # and the inclusion fails too
+
+
+class TestEquivalence:
+    def test_renamed_class_same_language(self):
+        left = spec_of(BASE, "Valve")
+        right = spec_of(BASE.replace("class Valve", "class Copy"), "Copy")
+        assert equivalent_specs(left, right)
+
+    def test_different_languages(self):
+        assert not equivalent_specs(
+            spec_of(BASE, "Valve"), spec_of(NARROW, "StrictValve")
+        )

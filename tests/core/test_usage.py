@@ -1,0 +1,164 @@
+"""The subsystem-usage inclusion check — the paper's headline verdict."""
+
+from repro.core.spec import ClassSpec
+from repro.core.usage import (
+    check_subsystem_usage,
+    find_usage_violations,
+    replay_against_spec,
+)
+from repro.frontend.parse import parse_module
+from repro.paper import VALVE
+
+
+def specs_of(*parsed_classes):
+    return {parsed.name: ClassSpec.of(parsed) for parsed in parsed_classes}
+
+
+class TestBadSector:
+    def test_violation_found_for_valve_a(self, valve, bad_sector):
+        violations = find_usage_violations(bad_sector, specs_of(valve, bad_sector))
+        assert [v.field_name for v in violations] == ["a"]
+
+    def test_counterexample_matches_paper(self, valve, bad_sector):
+        violations = find_usage_violations(bad_sector, specs_of(valve, bad_sector))
+        assert violations[0].counterexample == ("open_a", "a.test", "a.open")
+
+    def test_valve_b_not_reported(self, valve, bad_sector):
+        # The unused valve b is fine — matching the paper's report, which
+        # only lists valve a.
+        violations = find_usage_violations(bad_sector, specs_of(valve, bad_sector))
+        assert all(v.field_name != "b" for v in violations)
+
+    def test_diagnostic_rendering_matches_paper(self, valve, bad_sector):
+        result = check_subsystem_usage(bad_sector, specs_of(valve, bad_sector))
+        assert len(result.diagnostics) == 1
+        text = result.diagnostics[0].format()
+        assert text == (
+            "Error in specification: INVALID SUBSYSTEM USAGE\n"
+            "Counter example: open_a, a.test, a.open\n"
+            "Subsystems errors:\n"
+            "  * Valve 'a': test, >open< (not final)"
+        )
+
+
+class TestGoodSector:
+    def test_no_violations(self, valve, good_sector):
+        violations = find_usage_violations(good_sector, specs_of(valve, good_sector))
+        assert violations == []
+
+    def test_check_result_ok(self, valve, good_sector):
+        result = check_subsystem_usage(good_sector, specs_of(valve, good_sector))
+        assert result.ok
+
+
+class TestSector31:
+    def test_listing_31_uses_valves_correctly(self, valve, sector):
+        violations = find_usage_violations(sector, specs_of(valve, sector))
+        assert violations == []
+
+
+class TestReplay:
+    def test_not_final_rendering(self, valve):
+        spec = ClassSpec.of(valve)
+        rendered = replay_against_spec(spec, ("x", "a.test", "a.open"), "a.")
+        assert rendered == "test, >open< (not final)"
+
+    def test_not_allowed_rendering(self, valve):
+        spec = ClassSpec.of(valve)
+        rendered = replay_against_spec(spec, ("a.test", "a.close"), "a.")
+        assert rendered == "test, >close< (not allowed)"
+
+    def test_valid_trace_returns_none(self, valve):
+        spec = ClassSpec.of(valve)
+        assert replay_against_spec(spec, ("a.test", "a.clean"), "a.") is None
+
+    def test_foreign_events_ignored(self, valve):
+        spec = ClassSpec.of(valve)
+        trace = ("open_a", "a.test", "b.test", "a.clean", "b.open")
+        assert replay_against_spec(spec, trace, "a.") is None
+
+    def test_empty_projection_is_valid(self, valve):
+        spec = ClassSpec.of(valve)
+        assert replay_against_spec(spec, ("b.test",), "a.") is None
+
+
+class TestMisuseVariants:
+    def make(self, body: str):
+        source = VALVE + (
+            "\n\n@sys(['v'])\n"
+            "class User:\n"
+            "    def __init__(self):\n"
+            "        self.v = Valve()\n"
+            f"{body}"
+        )
+        module, violations = parse_module(source)
+        assert violations == []
+        user = module.get_class("User")
+        valve_parsed = module.get_class("Valve")
+        return user, specs_of(valve_parsed, user)
+
+    def test_calling_open_without_test(self):
+        user, specs = self.make(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.v.open()\n"
+            "        self.v.close()\n"
+            "        return []\n"
+        )
+        violations = find_usage_violations(user, specs)
+        assert violations
+        assert violations[0].counterexample == ("go", "v.open", "v.close")
+
+    def test_ignoring_an_exit_is_fine_when_all_paths_close(self):
+        user, specs = self.make(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        match self.v.test():\n"
+            "            case ['open']:\n"
+            "                self.v.open()\n"
+            "                self.v.close()\n"
+            "                return []\n"
+            "            case ['clean']:\n"
+            "                self.v.clean()\n"
+            "                return []\n"
+        )
+        assert find_usage_violations(user, specs) == []
+
+    def test_loop_usage_valid(self):
+        user, specs = self.make(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        while True:\n"
+            "            match self.v.test():\n"
+            "                case ['open']:\n"
+            "                    self.v.open()\n"
+            "                    self.v.close()\n"
+            "                case ['clean']:\n"
+            "                    self.v.clean()\n"
+            "        return []\n"
+        )
+        assert find_usage_violations(user, specs) == []
+
+    def test_loop_leaving_valve_open_caught(self):
+        user, specs = self.make(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        while True:\n"
+            "            self.v.test()\n"
+            "            self.v.open()\n"
+            "        return []\n"
+        )
+        violations = find_usage_violations(user, specs)
+        assert violations
+        # Shortest counterexample: one iteration then stop.
+        assert violations[0].counterexample == ("go", "v.test", "v.open")
+
+    def test_unknown_subsystem_class_skipped(self):
+        user, _specs = self.make(
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.v.open()\n"
+            "        return []\n"
+        )
+        # Specs without Valve: no inclusion check possible, no crash.
+        assert find_usage_violations(user, {"User": ClassSpec.of(user)}) == []

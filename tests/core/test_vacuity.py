@@ -1,0 +1,115 @@
+"""Vacuity detection for claims."""
+
+from repro.core.vacuity import check_claim_vacuity, find_vacuous_atoms, replace_atom
+from repro.frontend.parse import parse_module
+from repro.ltlf.ast import FALSE, TRUE, atom, neg
+from repro.ltlf.parser import parse_claim
+from repro.paper import VALVE
+
+
+def composite_with_claim(claim: str, body: str):
+    source = VALVE + (
+        f"\n\n@claim(\"{claim}\")\n"
+        "@sys(['a'])\n"
+        "class User:\n"
+        "    def __init__(self):\n"
+        "        self.a = Valve()\n"
+        f"{body}"
+    )
+    module, violations = parse_module(source)
+    assert violations == []
+    return module.get_class("User")
+
+
+CLEAN_ONLY_BODY = (
+    "    @op_initial_final\n"
+    "    def go(self):\n"
+    "        self.a.test()\n"
+    "        self.a.clean()\n"
+    "        return []\n"
+)
+
+OPEN_CLOSE_BODY = (
+    "    @op_initial_final\n"
+    "    def go(self):\n"
+    "        match self.a.test():\n"
+    "            case ['open']:\n"
+    "                self.a.open()\n"
+    "                self.a.close()\n"
+    "                return []\n"
+    "            case ['clean']:\n"
+    "                self.a.clean()\n"
+    "                return []\n"
+)
+
+
+class TestReplaceAtom:
+    def test_replaces_all_occurrences(self):
+        formula = parse_claim("G (x -> F x)")
+        replaced = replace_atom(formula, "x", FALSE)
+        from repro.ltlf.ast import atoms
+
+        assert "x" not in atoms(replaced)
+
+    def test_other_atoms_untouched(self):
+        formula = parse_claim("x U y")
+        replaced = replace_atom(formula, "x", TRUE)
+        from repro.ltlf.ast import atoms
+
+        assert atoms(replaced) == {"y"}
+
+    def test_negation_simplifies(self):
+        assert replace_atom(neg(atom("x")), "x", TRUE) is FALSE
+
+
+class TestVacuityDetection:
+    def test_response_claim_vacuous_when_trigger_never_fires(self):
+        # a.open never happens on the clean-only path: the response
+        # claim holds for the wrong reason — strengthening the consequent
+        # to false (i.e. "a.open never happens") still holds.
+        parsed = composite_with_claim("G (a.open -> F a.close)", CLEAN_ONLY_BODY)
+        result = check_claim_vacuity(parsed)
+        warnings = result.by_code("vacuous-claim")
+        assert warnings
+        assert "a.close" in warnings[0].message
+
+    def test_response_claim_non_vacuous_when_exercised(self):
+        parsed = composite_with_claim("G (a.open -> F a.close)", OPEN_CLOSE_BODY)
+        result = check_claim_vacuity(parsed)
+        assert result.by_code("vacuous-claim") == []
+
+    def test_failing_claim_not_reported_as_vacuous(self):
+        # F a.open fails on the clean-only body: that's the claim
+        # checker's error, not a vacuity warning.
+        parsed = composite_with_claim("F a.open", CLEAN_ONLY_BODY)
+        result = check_claim_vacuity(parsed)
+        assert result.diagnostics == []
+
+    def test_witness_api_names_the_dead_consequent(self):
+        parsed = composite_with_claim("G (a.open -> F a.close)", CLEAN_ONLY_BODY)
+        witnesses = find_vacuous_atoms(parsed, parse_claim("G (a.open -> F a.close)"))
+        assert [(w.atom_name, w.replacement) for w in witnesses] == [
+            ("a.close", "false")
+        ]
+
+    def test_trivially_discharged_weak_until_is_flagged(self):
+        # Every trace of the body starts with a.test, so
+        # (!a.open) W a.test is discharged at position 0 no matter what
+        # a.open does — genuinely vacuous in a.open.
+        parsed = composite_with_claim("(!a.open) W a.test", OPEN_CLOSE_BODY)
+        result = check_claim_vacuity(parsed)
+        warnings = result.by_code("vacuous-claim")
+        assert len(warnings) == 1
+        assert "'a.open'" in warnings[0].message
+
+    def test_paper_claim_on_good_sector_not_vacuous(self, good_sector, valve):
+        # (!a.open) W b.open on GoodSector: strengthening either
+        # occurrence breaks it, so no warning.
+        from repro.core.spec import ClassSpec
+
+        specs = {"Valve": ClassSpec.of(valve), "GoodSector": ClassSpec.of(good_sector)}
+        result = check_claim_vacuity(good_sector, specs=specs)
+        assert result.by_code("vacuous-claim") == []
+
+    def test_no_claims_no_findings(self, valve):
+        assert check_claim_vacuity(valve).diagnostics == []

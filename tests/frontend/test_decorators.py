@@ -1,0 +1,120 @@
+"""The runnable annotation API (Table 1)."""
+
+import pytest
+
+from repro.frontend.decorators import (
+    claim,
+    declared_claims,
+    declared_subsystems,
+    is_system,
+    op,
+    op_final,
+    op_initial,
+    op_initial_final,
+    operation_kind,
+    sys,
+)
+
+
+class TestSysDecorator:
+    def test_bare_sys_marks_base_class(self):
+        @sys
+        class Device:
+            pass
+
+        assert is_system(Device)
+        assert declared_subsystems(Device) == ()
+
+    def test_sys_with_list_marks_composite(self):
+        @sys(["a", "b"])
+        class Composite:
+            pass
+
+        assert is_system(Composite)
+        assert declared_subsystems(Composite) == ("a", "b")
+
+    def test_sys_with_empty_list(self):
+        @sys([])
+        class Base:
+            pass
+
+        assert is_system(Base)
+        assert declared_subsystems(Base) == ()
+
+    def test_sys_rejects_non_string_names(self):
+        with pytest.raises(TypeError):
+            sys([1, 2])
+
+    def test_sys_rejects_other_arguments(self):
+        with pytest.raises(TypeError):
+            sys("a")
+
+    def test_undecorated_class_is_not_system(self):
+        class Plain:
+            pass
+
+        assert not is_system(Plain)
+
+
+class TestClaimDecorator:
+    def test_single_claim(self):
+        @claim("(!a.open) W b.open")
+        @sys(["a", "b"])
+        class Composite:
+            pass
+
+        assert declared_claims(Composite) == ("(!a.open) W b.open",)
+
+    def test_multiple_claims_in_source_order(self):
+        @claim("first")
+        @claim("second")
+        @sys
+        class Device:
+            pass
+
+        assert declared_claims(Device) == ("first", "second")
+
+    def test_claim_requires_string(self):
+        with pytest.raises(TypeError):
+            claim(42)
+
+    def test_claim_rejects_blank(self):
+        with pytest.raises(TypeError):
+            claim("   ")
+
+
+class TestOpDecorators:
+    def test_kinds(self):
+        class Device:
+            @op
+            def middle(self):
+                return []
+
+            @op_initial
+            def first(self):
+                return []
+
+            @op_final
+            def last(self):
+                return []
+
+            @op_initial_final
+            def both(self):
+                return []
+
+            def plain(self):
+                return []
+
+        assert operation_kind(Device.middle) == "middle"
+        assert operation_kind(Device.first) == "initial"
+        assert operation_kind(Device.last) == "final"
+        assert operation_kind(Device.both) == "initial_final"
+        assert operation_kind(Device.plain) is None
+
+    def test_decorated_method_still_callable(self):
+        class Device:
+            @op_initial
+            def start(self):
+                return ["start"]
+
+        assert Device().start() == ["start"]

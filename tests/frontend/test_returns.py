@@ -1,0 +1,118 @@
+"""Return-statement parsing: every row of Table 2 plus the error cases."""
+
+import ast
+
+import pytest
+
+from repro.frontend.returns import ReturnFormError, describe_return, parse_return
+
+
+def return_node(source: str) -> ast.Return:
+    module = ast.parse(f"def f():\n    {source}")
+    statement = module.body[0].body[0]
+    assert isinstance(statement, ast.Return)
+    return statement
+
+
+class TestTable2Rows:
+    def test_row_1_single_method(self):
+        point = parse_return(return_node('return ["close"]'), 0)
+        assert point.next_methods == ("close",)
+        assert not point.has_user_value
+
+    def test_row_2_choice(self):
+        point = parse_return(return_node('return ["open", "clean"]'), 0)
+        assert point.next_methods == ("open", "clean")
+        assert not point.has_user_value
+
+    def test_row_3_single_with_int_value(self):
+        point = parse_return(return_node('return ["close"], 2'), 0)
+        assert point.next_methods == ("close",)
+        assert point.has_user_value
+
+    def test_row_4_single_with_bool_value(self):
+        point = parse_return(return_node('return ["close"], True'), 0)
+        assert point.next_methods == ("close",)
+        assert point.has_user_value
+
+    def test_row_5_choice_with_value(self):
+        point = parse_return(return_node('return ["open", "clean"], 2'), 0)
+        assert point.next_methods == ("open", "clean")
+        assert point.has_user_value
+
+    def test_empty_list_no_successor(self):
+        point = parse_return(return_node("return []"), 0)
+        assert point.next_methods == ()
+
+
+class TestExtras:
+    def test_exit_id_recorded(self):
+        point = parse_return(return_node('return ["x"]'), 7)
+        assert point.exit_id == 7
+
+    def test_lineno_recorded(self):
+        point = parse_return(return_node('return ["x"]'), 0)
+        assert point.lineno == 2
+
+    def test_multiple_user_values(self):
+        point = parse_return(return_node('return ["x"], 1, "extra"'), 0)
+        assert point.next_methods == ("x",)
+        assert point.has_user_value
+
+    def test_bare_tuple_of_strings_rejected_as_ambiguous(self):
+        # ("open", "clean") could be a method pair or (method-list, value);
+        # Table 2 reserves tuples for the user-value form, so this is an
+        # error rather than a guess.
+        with pytest.raises(ReturnFormError):
+            parse_return(return_node('return ("open", "clean")'), 0)
+
+
+class TestErrors:
+    def test_bare_return_rejected(self):
+        with pytest.raises(ReturnFormError):
+            parse_return(return_node("return"), 0)
+
+    def test_non_list_rejected(self):
+        with pytest.raises(ReturnFormError):
+            parse_return(return_node('return "close"'), 0)
+
+    def test_non_string_elements_rejected(self):
+        with pytest.raises(ReturnFormError):
+            parse_return(return_node("return [1, 2]"), 0)
+
+    def test_computed_list_rejected(self):
+        with pytest.raises(ReturnFormError):
+            parse_return(return_node("return methods"), 0)
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(ReturnFormError):
+            parse_return(return_node('return ["x", "x"]'), 0)
+
+    def test_error_carries_lineno_and_violation(self):
+        try:
+            parse_return(return_node("return"), 0)
+        except ReturnFormError as error:
+            violation = error.as_violation("Valve")
+            assert violation.class_name == "Valve"
+            assert violation.lineno == 2
+            assert violation.code == "bad-return-form"
+        else:  # pragma: no cover
+            pytest.fail("expected ReturnFormError")
+
+
+class TestDescribe:
+    def test_single(self):
+        point = parse_return(return_node('return ["close"]'), 0)
+        assert describe_return(point) == "expecting method 'close' to be invoked next"
+
+    def test_choice(self):
+        point = parse_return(return_node('return ["open", "clean"]'), 0)
+        assert "'open' or 'clean'" in describe_return(point)
+
+    def test_empty(self):
+        point = parse_return(return_node("return []"), 0)
+        assert describe_return(point) == "no method may be invoked next"
+
+    def test_user_value_mentioned(self):
+        point = parse_return(return_node('return ["close"], 2'), 0)
+        assert describe_return(point).endswith("(and returns a user value)")

@@ -1,0 +1,85 @@
+"""Module-level subset lints: aliasing and self-invocation."""
+
+from repro.frontend.parse import parse_module
+from repro.frontend.subset import validate_class, validate_module
+
+
+def parse(source: str):
+    module, violations = parse_module(source)
+    assert violations == []
+    return module
+
+
+class TestAliasing:
+    SOURCE = (
+        "@sys(['a'])\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.a = Valve()\n"
+        "    @op_initial_final\n"
+        "    def m(self):\n"
+        "        x = self.a\n"
+        "        return []\n"
+    )
+
+    def test_aliasing_detected_with_source(self):
+        module = parse(self.SOURCE)
+        violations = validate_module(module, self.SOURCE)
+        assert any(v.code == "aliasing" for v in violations)
+
+    def test_no_aliasing_check_without_source(self):
+        module = parse(self.SOURCE)
+        assert validate_module(module) == []
+
+    def test_clean_module_passes(self):
+        source = (
+            "@sys(['a'])\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a = Valve()\n"
+            "    @op_initial_final\n"
+            "    def m(self):\n"
+            "        self.a.test()\n"
+            "        return []\n"
+        )
+        module = parse(source)
+        assert validate_module(module, source) == []
+
+    def test_alias_of_unconstrained_field_allowed(self):
+        source = (
+            "@sys(['a'])\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a = Valve()\n"
+            "        self.led = Pin(2)\n"
+            "    @op_initial_final\n"
+            "    def m(self):\n"
+            "        x = self.led\n"
+            "        return []\n"
+        )
+        module = parse(source)
+        assert validate_module(module, source) == []
+
+
+class TestSelfInvocation:
+    def test_field_shadowing_an_operation_name_flagged(self):
+        # A subsystem field that shares its name with an operation makes
+        # self.<name>.<m>() ambiguous between field access and operation
+        # invocation; the lint reports it.
+        source = (
+            "@sys(['run'])\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.run = Valve()\n"
+            "    @op_initial_final\n"
+            "    def run(self):\n"
+            "        self.run.test()\n"
+            "        return []\n"
+        )
+        parsed, _ = parse_module(source)
+        violations = validate_class(parsed.get_class("C"))
+        assert any(v.code == "self-invocation" for v in violations)
+
+    def test_validate_class_clean_on_paper_classes(self, bad_sector, valve):
+        assert validate_class(valve) == []
+        assert validate_class(bad_sector) == []

@@ -1,0 +1,113 @@
+"""The IR of Figure 4: constructors, traversal, formatting, erasure."""
+
+from repro.lang.ast import (
+    RETURN,
+    SKIP,
+    Call,
+    If,
+    Loop,
+    Return,
+    Seq,
+    calls,
+    choice_all,
+    erase_annotations,
+    format_program,
+    returns,
+    seq_all,
+    size,
+    walk,
+)
+from repro.lang.builder import call, if_, loop, paper_example_program, ret, seq
+
+
+class TestConstructors:
+    def test_seq_all_empty_is_skip(self):
+        assert seq_all([]) is SKIP
+
+    def test_seq_all_single(self):
+        assert seq_all([call("a")]) == call("a")
+
+    def test_seq_all_right_nested(self):
+        program = seq_all([call("a"), call("b"), call("c")])
+        assert isinstance(program, Seq)
+        assert program.first == call("a")
+        assert isinstance(program.second, Seq)
+
+    def test_choice_all_empty_is_skip(self):
+        assert choice_all([]) is SKIP
+
+    def test_choice_all_two_branches(self):
+        program = choice_all([call("a"), call("b")])
+        assert isinstance(program, If)
+
+    def test_choice_all_many_branches_nest(self):
+        program = choice_all([call("a"), call("b"), call("c")])
+        assert isinstance(program, If)
+        assert isinstance(program.else_branch, If)
+
+    def test_builder_if_defaults_else_to_skip(self):
+        program = if_(call("a"))
+        assert program.else_branch is SKIP
+
+    def test_ret_without_annotation_is_singleton(self):
+        assert ret() is RETURN
+
+    def test_ret_with_annotation(self):
+        annotated = ret(["open", "clean"], exit_id=0)
+        assert annotated.next_methods == ("open", "clean")
+        assert annotated.exit_id == 0
+
+
+class TestQueries:
+    def test_calls_collects_labels(self):
+        program = seq(call("a.test"), if_(call("a.open"), call("a.clean")))
+        assert calls(program) == {"a.test", "a.open", "a.clean"}
+
+    def test_returns_in_source_order(self):
+        program = seq(ret([], exit_id=0), if_(ret([], exit_id=1), ret([], exit_id=2)))
+        assert [node.exit_id for node in returns(program)] == [0, 1, 2]
+
+    def test_size(self):
+        assert size(call("a")) == 1
+        assert size(seq(call("a"), call("b"))) == 3
+        assert size(paper_example_program()) == 8
+
+    def test_walk_covers_all_nodes(self):
+        program = loop(seq(call("a"), if_(call("b"), ret())))
+        kinds = [type(node).__name__ for node in walk(program)]
+        assert kinds.count("Call") == 2
+        assert kinds.count("Loop") == 1
+        assert kinds.count("If") == 1
+        assert kinds.count("Return") == 1
+
+
+class TestErasure:
+    def test_erase_strips_annotations(self):
+        annotated = seq(call("a"), ret(["x"], exit_id=3))
+        erased = erase_annotations(annotated)
+        assert returns(erased)[0] is RETURN
+
+    def test_erase_is_identity_on_bare_terms(self):
+        program = paper_example_program()
+        assert erase_annotations(program) == program
+
+    def test_erase_recurses_into_all_shapes(self):
+        program = loop(if_(ret(["x"], exit_id=1), seq(ret(["y"], exit_id=2), SKIP)))
+        erased = erase_annotations(program)
+        assert all(node.next_methods is None for node in returns(erased))
+
+
+class TestFormat:
+    def test_paper_syntax(self):
+        program = paper_example_program()
+        assert (
+            format_program(program)
+            == "loop(*) {a(); if(*) {b(); return} else {c()}}"
+        )
+
+    def test_annotated_return(self):
+        assert format_program(ret(["open"], exit_id=0)) == "return ['open']"
+
+    def test_skip_and_call(self):
+        assert format_program(SKIP) == "skip"
+        assert format_program(call("a.test")) == "a.test()"

@@ -1,0 +1,70 @@
+"""Program-space generators."""
+
+import random
+
+from repro.lang.ast import Call, If, Loop, Program, Return, Seq, Skip, size
+from repro.lang.generator import (
+    all_programs,
+    count_programs,
+    random_program,
+    random_program_of_size,
+)
+
+
+class TestExhaustiveSpace:
+    def test_size_one_atoms(self):
+        programs = list(all_programs(1, ("a",)))
+        kinds = {type(p) for p in programs}
+        assert kinds == {Skip, Return, Call}
+        assert len(programs) == 3
+
+    def test_counts_grow(self):
+        one = count_programs(1)
+        two = count_programs(2)
+        three = count_programs(3)
+        assert one < two < three
+
+    def test_size_respected(self):
+        for program in all_programs(3, ("a",)):
+            assert size(program) <= 3
+
+    def test_contains_every_shape_at_size_three(self):
+        programs = set(all_programs(3, ("a",)))
+        assert Loop(Loop(Skip())) in programs
+        assert Seq(Skip(), Return()) in programs
+        assert If(Call("a"), Skip()) in programs
+
+    def test_no_duplicates(self):
+        programs = list(all_programs(4, ("a",)))
+        assert len(programs) == len(set(programs))
+
+    def test_two_letter_alphabet_count_at_size_one(self):
+        assert count_programs(1, ("a", "b")) == 4  # skip, return, a(), b()
+
+
+class TestRandomPrograms:
+    def test_deterministic_under_seed(self):
+        left = random_program(random.Random(42))
+        right = random_program(random.Random(42))
+        assert left == right
+
+    def test_type_is_program(self):
+        program = random_program(random.Random(7))
+        assert isinstance(program, Program)
+
+    def test_depth_zero_gives_atoms(self):
+        for seed in range(20):
+            program = random_program(random.Random(seed), max_depth=0)
+            assert isinstance(program, (Skip, Return, Call))
+
+    def test_alphabet_respected(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            program = random_program(rng, alphabet=("x",))
+            from repro.lang.ast import calls
+
+            assert calls(program) <= {"x"}
+
+    def test_sized_generator_reaches_target(self):
+        program = random_program_of_size(random.Random(11), 200)
+        assert size(program) >= 200

@@ -1,0 +1,135 @@
+"""Behavior inference ``⟦p⟧`` (Figure 4) including the paper's Example 3."""
+
+from repro.lang.builder import call, if_, loop, paper_example_program, ret, seq, skip
+from repro.lang.inference import behavior, exit_behaviors, infer
+from repro.regex.ast import EMPTY, EPSILON, concat, format_regex, star, symbol, union
+from repro.regex.equivalence import equivalent
+
+A = symbol("a")
+B = symbol("b")
+C = symbol("c")
+
+
+class TestBaseCases:
+    def test_call(self):
+        result = behavior(call("f"))
+        assert result.ongoing == symbol("f")
+        assert result.returned == ()
+
+    def test_skip(self):
+        result = behavior(skip())
+        assert result.ongoing == EPSILON
+        assert result.returned == ()
+
+    def test_return(self):
+        result = behavior(ret())
+        assert result.ongoing is EMPTY
+        assert result.returned_set() == {EPSILON}
+
+
+class TestSeq:
+    def test_ongoing_concatenates(self):
+        result = behavior(seq(call("a"), call("b")))
+        assert result.ongoing == concat(A, B)
+
+    def test_early_return_recorded(self):
+        # a(); return; b() — the b() can never run.
+        program = seq(call("a"), seq(ret(), call("b")))
+        result = behavior(program)
+        assert result.ongoing is EMPTY  # ∅ · b = ∅
+        assert result.returned_set() == {A}
+
+    def test_returns_of_second_prefixed_by_first(self):
+        program = seq(call("a"), ret())
+        result = behavior(program)
+        assert result.returned_set() == {A}
+
+    def test_both_sides_return(self):
+        program = seq(if_(ret(), call("a")), ret())
+        result = behavior(program)
+        # Early return of the If contributes ε; the final return
+        # contributes the ongoing a.
+        assert result.returned_set() == {EPSILON, A}
+
+
+class TestIf:
+    def test_union_of_ongoing(self):
+        result = behavior(if_(call("a"), call("b")))
+        assert result.ongoing == union(A, B)
+
+    def test_returned_union(self):
+        result = behavior(if_(seq(call("a"), ret()), seq(call("b"), ret())))
+        assert result.returned_set() == {A, B}
+
+
+class TestLoop:
+    def test_star_of_body(self):
+        result = behavior(loop(call("a")))
+        assert result.ongoing == star(A)
+        assert result.returned == ()
+
+    def test_returns_prefixed_by_iterations(self):
+        result = behavior(loop(seq(call("a"), ret())))
+        # Body's ongoing is ∅ (a; return never completes an iteration
+        # without returning), so the prefix star is ∅* = ε.
+        assert result.returned_set() == {A}
+
+    def test_example_3(self):
+        """⟦loop(*) {a(); if(*) {b(); return} else {c()}}⟧ —
+        the paper's Example 3, modulo ``b · ∅ = ∅`` canonicalisation."""
+        result = behavior(paper_example_program())
+        assert result.ongoing == star(concat(A, C))
+        assert result.returned_set() == {concat(star(concat(A, C)), concat(A, B))}
+        assert format_regex(result.ongoing) == "(a . c)*"
+
+    def test_example_3_matches_paper_unsimplified_form(self):
+        """The paper's literal output (a·((b·∅)+c))* is language-equal."""
+        result = behavior(paper_example_program())
+        paper_ongoing = star(concat(A, union(concat(B, EMPTY), C)))
+        assert equivalent(result.ongoing, paper_ongoing)
+
+
+class TestInfer:
+    def test_merges_ongoing_and_returned(self):
+        program = paper_example_program()
+        merged = infer(program)
+        expected = union(
+            star(concat(A, C)),
+            concat(star(concat(A, C)), concat(A, B)),
+        )
+        assert merged == expected
+
+    def test_infer_of_pure_ongoing(self):
+        assert infer(call("a")) == A
+
+    def test_infer_of_pure_return(self):
+        assert infer(ret()) == EPSILON
+
+
+class TestExitBehaviors:
+    def test_keyed_by_exit_id(self):
+        program = if_(
+            seq(call("a.open"), ret(["open_b"], exit_id=0)),
+            seq(call("a.clean"), ret([], exit_id=1)),
+        )
+        per_exit = exit_behaviors(program)
+        assert per_exit[0] == symbol("a.open")
+        assert per_exit[1] == symbol("a.clean")
+
+    def test_same_exit_id_unions(self):
+        program = if_(
+            seq(call("x"), ret([], exit_id=0)),
+            seq(call("y"), ret([], exit_id=0)),
+        )
+        per_exit = exit_behaviors(program)
+        assert per_exit[0] == union(symbol("x"), symbol("y"))
+
+    def test_anonymous_returns_share_bucket(self):
+        program = if_(ret(), seq(call("x"), ret()))
+        per_exit = exit_behaviors(program)
+        assert per_exit[-1] == union(EPSILON, symbol("x"))
+
+    def test_loop_prefix_applies_per_exit(self):
+        program = loop(seq(call("a"), if_(ret(["x"], exit_id=0), call("c"))))
+        per_exit = exit_behaviors(program)
+        assert equivalent(per_exit[0], concat(star(concat(A, C)), A))

@@ -1,0 +1,109 @@
+"""Inference edge cases: interactions of loops, choices and returns that
+the paper's Figure 4 implies but never spells out."""
+
+from repro.lang.builder import call, if_, loop, ret, seq, skip
+from repro.lang.inference import behavior, exit_behaviors, infer
+from repro.lang.metatheory import check_completeness, check_soundness
+from repro.lang.semantics import ONGOING, RETURNED, derivable
+from repro.regex.ast import EMPTY, format_regex
+from repro.regex.equivalence import equivalent
+from repro.regex.matching import matches
+from repro.regex.parser import parse_regex
+
+
+class TestLoopReturnInteractions:
+    def test_loop_with_two_returns(self):
+        # loop(*) { if(*) {a(); return} else {b(); return} }
+        program = loop(
+            if_(seq(call("a"), ret(exit_id=0)), seq(call("b"), ret(exit_id=1)))
+        )
+        result = behavior(program)
+        # Body never completes an iteration ongoing, so the loop prefix
+        # is ε; two returned behaviors survive per exit.
+        per_exit = exit_behaviors(program)
+        assert equivalent(per_exit[0], parse_regex("a"))
+        assert equivalent(per_exit[1], parse_regex("b"))
+        assert result.ongoing == parse_regex("eps")
+
+    def test_loop_mixing_return_and_continue(self):
+        # loop(*) { a(); if(*) {return} else {b()} }
+        program = loop(seq(call("a"), if_(ret(), call("b"))))
+        inferred = infer(program)
+        expected = parse_regex("(a . b)* + (a . b)* . a")
+        assert equivalent(inferred, expected)
+        assert check_soundness(program, 6)
+        assert check_completeness(program, 6)
+
+    def test_nested_loops_with_inner_return(self):
+        # loop(*) { loop(*) { a(); return } ; b() }
+        program = loop(seq(loop(seq(call("a"), ret())), call("b")))
+        inferred = infer(program)
+        # The inner loop either runs a();return (escaping everything) or
+        # exits immediately; b() then follows in the outer iteration.
+        assert matches(inferred, ())
+        assert matches(inferred, ("a",))
+        assert matches(inferred, ("b", "b"))
+        assert matches(inferred, ("b", "a"))
+        assert not matches(inferred, ("a", "b"))  # return kills the rest
+        assert check_soundness(program, 6)
+        assert check_completeness(program, 6)
+
+    def test_return_inside_both_branches_then_code(self):
+        # if(*) {return} else {return}; a() — a() is dead code.
+        program = seq(if_(ret(), ret()), call("a"))
+        result = behavior(program)
+        assert result.ongoing is EMPTY
+        assert matches(infer(program), ())
+        assert not matches(infer(program), ("a",))
+
+    def test_derivability_agrees_on_dead_code(self):
+        program = seq(if_(ret(), ret()), call("a"))
+        assert derivable(RETURNED, (), program)
+        assert not derivable(ONGOING, ("a",), program)
+
+
+class TestAnnotatedReturnsThroughControlFlow:
+    def test_exit_ids_survive_loops(self):
+        program = loop(if_(ret(["x"], exit_id=0), seq(call("c"), ret([], exit_id=1))))
+        per_exit = exit_behaviors(program)
+        assert set(per_exit) == {0, 1}
+        assert equivalent(per_exit[1], parse_regex("c")), format_regex(per_exit[1])
+
+    def test_exit_behavior_accumulates_loop_prefix(self):
+        # loop(*) { a(); if(*) {return@0} else {skip} }
+        program = loop(seq(call("a"), if_(ret(exit_id=0), skip())))
+        per_exit = exit_behaviors(program)
+        assert equivalent(per_exit[0], parse_regex("a* . a"))
+
+    def test_unreached_exit_gets_empty_language(self):
+        # return@0; then return@1 is dead.
+        program = seq(ret(exit_id=0), ret(exit_id=1))
+        per_exit = exit_behaviors(program)
+        assert per_exit[0] == parse_regex("eps")
+        assert per_exit[1] is EMPTY
+
+
+class TestInferenceInvariance:
+    def test_skip_unit_laws(self):
+        body = seq(call("a"), call("b"))
+        assert infer(seq(skip(), body)) == infer(body)
+        assert infer(seq(body, skip())) == infer(body)
+
+    def test_if_commutes_semantically(self):
+        left = if_(call("a"), call("b"))
+        right = if_(call("b"), call("a"))
+        assert infer(left) == infer(right)  # canonical unions
+
+    def test_seq_associativity_semantic(self):
+        a, b, c = call("a"), call("b"), call("c")
+        assert infer(seq(seq(a, b), c)) == infer(seq(a, seq(b, c)))
+
+    def test_loop_of_skip_is_epsilon(self):
+        assert infer(loop(skip())) == parse_regex("eps")
+
+    def test_loop_of_return_only(self):
+        program = loop(ret())
+        inferred = infer(program)
+        # LOOP-1 gives eps; LOOP-2 gives the returned eps: language {ε}.
+        assert matches(inferred, ())
+        assert not matches(inferred, ("a",))

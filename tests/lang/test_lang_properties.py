@@ -1,0 +1,82 @@
+"""Hypothesis property tests of the formal core: Theorems 1-2 and the
+proof lemmas on randomly generated programs (larger than the
+bounded-exhaustive space can afford)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.ast import RETURN, SKIP, Call, If, Loop, Program, Seq
+from repro.lang.inference import behavior, infer
+from repro.lang.metatheory import (
+    check_completeness,
+    check_ongoing_lemma,
+    check_returned_lemma,
+    check_soundness,
+)
+from repro.lang.semantics import ONGOING, RETURNED, derivable, traces
+from repro.regex.matching import matches
+
+
+def programs() -> st.SearchStrategy[Program]:
+    atoms = st.sampled_from([SKIP, RETURN, Call("a"), Call("b")])
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: Seq(*pair)),
+            st.tuples(children, children).map(lambda pair: If(*pair)),
+            children.map(Loop),
+        ),
+        max_leaves=9,
+    )
+
+
+@given(programs())
+@settings(max_examples=120, deadline=None)
+def test_theorem_1_soundness(program):
+    assert check_soundness(program, max_length=5)
+
+
+@given(programs())
+@settings(max_examples=120, deadline=None)
+def test_theorem_2_completeness(program):
+    assert check_completeness(program, max_length=5)
+
+
+@given(programs())
+@settings(max_examples=80, deadline=None)
+def test_proof_lemma_ongoing(program):
+    assert check_ongoing_lemma(program, max_length=5)
+
+
+@given(programs())
+@settings(max_examples=80, deadline=None)
+def test_proof_lemma_returned(program):
+    assert check_returned_lemma(program, max_length=5)
+
+
+@given(programs())
+@settings(max_examples=100, deadline=None)
+def test_enumerated_traces_are_derivable(program):
+    """traces() and derivable() implement the same relation."""
+    for status, trace in traces(program, 4):
+        assert derivable(status, trace, program)
+
+
+@given(programs(), st.lists(st.sampled_from(["a", "b"]), max_size=4).map(tuple))
+@settings(max_examples=150, deadline=None)
+def test_derivable_iff_in_inferred_regex(program, word):
+    """The pointwise form of Theorems 1+2 on arbitrary words."""
+    in_language = derivable(ONGOING, word, program) or derivable(
+        RETURNED, word, program
+    )
+    assert in_language == matches(infer(program), word)
+
+
+@given(programs())
+@settings(max_examples=100, deadline=None)
+def test_returned_behaviors_count_matches_return_nodes(program):
+    """⟦p⟧ carries exactly one returned entry per reachable Return node
+    (loops and seqs duplicate none, drop none)."""
+    from repro.lang.ast import returns
+
+    inferred = behavior(program)
+    assert len(inferred.returned) == len(returns(program))

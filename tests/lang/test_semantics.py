@@ -1,0 +1,146 @@
+"""The trace semantics ``s ⊢ l ∈ p``, rule by rule, plus the paper's
+Examples 1 and 2."""
+
+import pytest
+
+from repro.lang.builder import call, if_, loop, paper_example_program, ret, seq, skip
+from repro.lang.semantics import (
+    ONGOING,
+    RETURNED,
+    derivable,
+    language,
+    ongoing_traces,
+    returned_traces,
+    traces,
+)
+
+
+class TestAxioms:
+    def test_rule_call(self):
+        assert derivable(ONGOING, ("f",), call("f"))
+        assert not derivable(RETURNED, ("f",), call("f"))
+        assert not derivable(ONGOING, (), call("f"))
+        assert not derivable(ONGOING, ("g",), call("f"))
+
+    def test_rule_skip(self):
+        assert derivable(ONGOING, (), skip())
+        assert not derivable(RETURNED, (), skip())
+        assert not derivable(ONGOING, ("a",), skip())
+
+    def test_rule_return(self):
+        assert derivable(RETURNED, (), ret())
+        assert not derivable(ONGOING, (), ret())
+        assert not derivable(RETURNED, ("a",), ret())
+
+
+class TestSeq:
+    def test_rule_seq_2_concatenates(self):
+        program = seq(call("a"), call("b"))
+        assert derivable(ONGOING, ("a", "b"), program)
+        assert not derivable(ONGOING, ("a",), program)
+        assert not derivable(ONGOING, ("b", "a"), program)
+
+    def test_rule_seq_1_early_return_swallows_tail(self):
+        program = seq(ret(), call("b"))
+        assert derivable(RETURNED, (), program)
+        assert not derivable(ONGOING, ("b",), program)
+        assert not derivable(RETURNED, ("b",), program)
+
+    def test_return_after_calls(self):
+        program = seq(call("a"), seq(ret(), call("b")))
+        assert derivable(RETURNED, ("a",), program)
+        assert not derivable(RETURNED, ("a", "b"), program)
+
+    def test_status_propagates_from_second(self):
+        program = seq(call("a"), ret())
+        assert derivable(RETURNED, ("a",), program)
+        assert not derivable(ONGOING, ("a",), program)
+
+
+class TestIf:
+    def test_both_branches_contribute(self):
+        program = if_(call("a"), call("b"))
+        assert derivable(ONGOING, ("a",), program)
+        assert derivable(ONGOING, ("b",), program)
+        assert not derivable(ONGOING, ("a", "b"), program)
+
+    def test_statuses_can_differ_across_branches(self):
+        program = if_(ret(), call("b"))
+        assert derivable(RETURNED, (), program)
+        assert derivable(ONGOING, ("b",), program)
+
+
+class TestLoop:
+    def test_rule_loop_1_zero_iterations(self):
+        assert derivable(ONGOING, (), loop(call("a")))
+
+    def test_rule_loop_3_many_iterations(self):
+        program = loop(call("a"))
+        for count in range(1, 5):
+            assert derivable(ONGOING, ("a",) * count, program)
+
+    def test_rule_loop_2_return_inside(self):
+        program = loop(seq(call("a"), ret()))
+        assert derivable(RETURNED, ("a",), program)
+        # Return fires during the second iteration too (LOOP-3 then LOOP-2)?
+        # Body is a; return, so an ongoing iteration is impossible — a
+        # one-iteration return is the only returned shape.
+        assert not derivable(RETURNED, ("a", "a"), program)
+
+    def test_loop_with_branching_body(self):
+        # The paper's Example 1 and 2 program.
+        program = paper_example_program()
+        assert derivable(ONGOING, ("a", "c", "a", "c"), program)  # Example 1
+        assert derivable(RETURNED, ("a", "c", "a", "b"), program)  # Example 2
+
+    def test_example_traces_not_cross_status(self):
+        program = paper_example_program()
+        assert not derivable(RETURNED, ("a", "c", "a", "c"), program)
+        assert not derivable(ONGOING, ("a", "c", "a", "b"), program)
+
+    def test_loop_cannot_stop_mid_iteration(self):
+        program = loop(seq(call("a"), call("b")))
+        assert derivable(ONGOING, ("a", "b"), program)
+        assert not derivable(ONGOING, ("a",), program)
+
+    def test_nested_loops(self):
+        program = loop(loop(call("a")))
+        assert derivable(ONGOING, (), program)
+        assert derivable(ONGOING, ("a", "a", "a"), program)
+
+
+class TestTraceEnumeration:
+    def test_matches_derivable(self):
+        program = paper_example_program()
+        enumerated = traces(program, 5)
+        # Every enumerated judgment is derivable...
+        for status, trace in enumerated:
+            assert derivable(status, trace, program)
+        # ...and spot-check the converse on all words up to length 4.
+        from itertools import product
+
+        for length in range(5):
+            for word in product("abc", repeat=length):
+                for status in (ONGOING, RETURNED):
+                    assert derivable(status, word, program) == (
+                        (status, word) in enumerated
+                    )
+
+    def test_length_bound_respected(self):
+        program = loop(call("a"))
+        for _status, trace in traces(program, 3):
+            assert len(trace) <= 3
+
+    def test_language_merges_statuses(self):
+        program = if_(ret(), call("b"))
+        assert language(program, 2) == {(), ("b",)}
+
+    def test_ongoing_vs_returned_split(self):
+        program = paper_example_program()
+        assert ("a", "c") in ongoing_traces(program, 3)
+        assert ("a", "b") in returned_traces(program, 3)
+        assert ("a", "b") not in ongoing_traces(program, 3)
+
+    def test_call_needs_budget(self):
+        assert traces(call("a"), 0) == frozenset()
+        assert traces(call("a"), 1) == {(ONGOING, ("a",))}

@@ -1,0 +1,114 @@
+"""LTLf formula constructors and their simplification laws."""
+
+import pytest
+
+from repro.ltlf.ast import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Globally,
+    Next,
+    Not,
+    Or,
+    Until,
+    WeakUntil,
+    atom,
+    atoms,
+    conj,
+    disj,
+    format_formula,
+    implies,
+    neg,
+)
+
+A = atom("a.open")
+B = atom("b.open")
+C = atom("c")
+
+
+class TestNeg:
+    def test_double_negation(self):
+        assert neg(neg(A)) == A
+
+    def test_constants(self):
+        assert neg(TRUE) is FALSE
+        assert neg(FALSE) is TRUE
+
+    def test_builds_not(self):
+        assert neg(A) == Not(A)
+
+
+class TestConj:
+    def test_empty_is_true(self):
+        assert conj([]) is TRUE
+
+    def test_true_dropped(self):
+        assert conj([TRUE, A]) == A
+
+    def test_false_absorbs(self):
+        assert conj([A, FALSE, B]) is FALSE
+
+    def test_flattening(self):
+        assert conj([A, conj([B, C])]) == conj([A, B, C])
+
+    def test_dedupe(self):
+        assert conj([A, A]) == A
+
+    def test_contradiction_collapses(self):
+        assert conj([A, neg(A)]) is FALSE
+
+    def test_order_canonical(self):
+        assert conj([A, B]) == conj([B, A])
+
+
+class TestDisj:
+    def test_empty_is_false(self):
+        assert disj([]) is FALSE
+
+    def test_false_dropped(self):
+        assert disj([FALSE, A]) == A
+
+    def test_true_absorbs(self):
+        assert disj([A, TRUE]) is TRUE
+
+    def test_tautology_collapses(self):
+        assert disj([A, neg(A)]) is TRUE
+
+    def test_flatten_and_sort(self):
+        assert disj([disj([B, A]), C]) == disj([C, B, A])
+
+
+class TestHelpers:
+    def test_implies_encoding(self):
+        assert implies(A, B) == disj([neg(A), B])
+
+    def test_atoms_collects_all(self):
+        formula = WeakUntil(neg(A), Until(B, Globally(C)))
+        assert atoms(formula) == {"a.open", "b.open", "c"}
+
+    def test_atom_requires_name(self):
+        with pytest.raises(ValueError):
+            atom("")
+
+
+class TestFormat:
+    def test_paper_claim(self):
+        formula = WeakUntil(neg(A), B)
+        assert format_formula(formula) == "!a.open W b.open"
+
+    def test_nested_temporal_parenthesised(self):
+        formula = Until(Until(A, B), C)
+        assert format_formula(formula) == "(a.open U b.open) U c"
+
+    def test_and_or_precedence(self):
+        formula = disj([conj([A, B]), C])
+        text = format_formula(formula)
+        # Any reconstruction must keep & tighter than |.
+        assert "&" in text and "|" in text
+
+    def test_next_variants(self):
+        assert format_formula(Next(A)) == "X a.open"
+        from repro.ltlf.ast import WeakNext
+
+        assert format_formula(WeakNext(A)) == "X[w] a.open"

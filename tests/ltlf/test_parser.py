@@ -1,0 +1,106 @@
+"""The claim-syntax parser."""
+
+import pytest
+
+from repro.ltlf.ast import (
+    FALSE,
+    TRUE,
+    Eventually,
+    Globally,
+    Next,
+    Release,
+    Until,
+    WeakNext,
+    WeakUntil,
+    atom,
+    conj,
+    disj,
+    neg,
+)
+from repro.ltlf.parser import ClaimSyntaxError, parse_claim
+
+A = atom("a.open")
+B = atom("b.open")
+
+
+class TestAtoms:
+    def test_event_atom(self):
+        assert parse_claim("a.open") == A
+
+    def test_plain_identifier(self):
+        assert parse_claim("open_a") == atom("open_a")
+
+    def test_constants(self):
+        assert parse_claim("true") is TRUE
+        assert parse_claim("false") is FALSE
+
+    def test_reserved_names_rejected_as_atoms(self):
+        with pytest.raises(ClaimSyntaxError):
+            parse_claim("a.open W")  # W with no right operand
+
+
+class TestOperators:
+    def test_paper_claim(self):
+        assert parse_claim("(!a.open) W b.open") == WeakUntil(neg(A), B)
+
+    def test_weak_until_without_parens(self):
+        assert parse_claim("!a.open W b.open") == WeakUntil(neg(A), B)
+
+    def test_until(self):
+        assert parse_claim("a.open U b.open") == Until(A, B)
+
+    def test_release(self):
+        assert parse_claim("a.open R b.open") == Release(A, B)
+
+    def test_temporal_right_associative(self):
+        parsed = parse_claim("a.open U b.open U c")
+        assert parsed == Until(A, Until(B, atom("c")))
+
+    def test_unary_operators(self):
+        assert parse_claim("X a.open") == Next(A)
+        assert parse_claim("X[w] a.open") == WeakNext(A)
+        assert parse_claim("F a.open") == Eventually(A)
+        assert parse_claim("G a.open") == Globally(A)
+
+    def test_stacked_unaries(self):
+        assert parse_claim("G F a.open") == Globally(Eventually(A))
+        assert parse_claim("! X a.open") == neg(Next(A))
+
+    def test_boolean_precedence(self):
+        parsed = parse_claim("a.open & b.open | c")
+        assert parsed == disj([conj([A, B]), atom("c")])
+
+    def test_doubled_boolean_tokens_accepted(self):
+        assert parse_claim("a.open && b.open") == conj([A, B])
+        assert parse_claim("a.open || b.open") == disj([A, B])
+
+    def test_implication(self):
+        parsed = parse_claim("a.open -> F b.open")
+        assert parsed == disj([neg(A), Eventually(B)])
+
+    def test_implication_right_associative(self):
+        parsed = parse_claim("a.open -> b.open -> c")
+        assert parsed == disj([neg(A), disj([neg(B), atom("c")])])
+
+    def test_temporal_binds_tighter_than_and(self):
+        parsed = parse_claim("a.open U b.open & c")
+        assert parsed == conj([Until(A, B), atom("c")])
+
+    def test_useful_response_pattern(self):
+        # G (open -> F close): every open is eventually closed.
+        parsed = parse_claim("G (open -> F close)")
+        assert parsed == Globally(disj([neg(atom("open")), Eventually(atom("close"))]))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "(", "a.open W", "& a", "a.open !", "()", "a.open (b.open)", "->"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ClaimSyntaxError):
+            parse_claim(text)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ClaimSyntaxError):
+            parse_claim("(a.open W b.open")

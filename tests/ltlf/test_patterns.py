@@ -1,0 +1,144 @@
+"""The claim-pattern catalog: each pattern against a direct trace-level
+definition, exhaustively over short traces and randomly via hypothesis."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ltlf.patterns import (
+    absence,
+    alternation,
+    bounded_existence,
+    existence,
+    never_adjacent,
+    precedence,
+    response,
+    succession,
+    universality,
+)
+from repro.ltlf.semantics import evaluate
+
+ALPHABET = ["a", "b", "c"]
+
+
+def all_traces(max_length: int):
+    for length in range(max_length + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+class TestAgainstDirectDefinitions:
+    def test_absence(self):
+        formula = absence("a")
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == ("a" not in trace), trace
+
+    def test_existence(self):
+        formula = existence("a")
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == ("a" in trace), trace
+
+    def test_universality(self):
+        formula = universality("a")
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == all(e == "a" for e in trace), trace
+
+    def test_response(self):
+        formula = response("a", "b")
+
+        def direct(trace):
+            return all(
+                "b" in trace[i:] for i, e in enumerate(trace) if e == "a"
+            )
+
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == direct(trace), trace
+
+    def test_precedence(self):
+        formula = precedence("a", "b")  # b waits for a
+
+        def direct(trace):
+            if "b" not in trace:
+                return True
+            if "a" not in trace:
+                return False
+            return trace.index("a") < trace.index("b")
+
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == direct(trace), trace
+
+    def test_succession(self):
+        formula = succession("a", "b")
+
+        def direct(trace):
+            responds = all("b" in trace[i:] for i, e in enumerate(trace) if e == "a")
+            precedes = ("b" not in trace) or (
+                "a" in trace and trace.index("a") < trace.index("b")
+            )
+            return responds and precedes
+
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == direct(trace), trace
+
+    def test_bounded_existence(self):
+        for bound in (0, 1, 2):
+            formula = bounded_existence("a", bound)
+            for trace in all_traces(4):
+                assert evaluate(formula, trace) == (trace.count("a") <= bound), (
+                    bound,
+                    trace,
+                )
+
+    def test_never_adjacent(self):
+        formula = never_adjacent("a", "b")
+
+        def direct(trace):
+            return all(
+                not (trace[i] == "a" and trace[i + 1] == "b")
+                for i in range(len(trace) - 1)
+            )
+
+        for trace in all_traces(4):
+            assert evaluate(formula, trace) == direct(trace), trace
+
+    def test_alternation(self):
+        formula = alternation("a", "b")
+
+        def direct(trace):
+            # Project onto {a, b}; must be a prefix of (ab)* repetitions.
+            projected = [e for e in trace if e in ("a", "b")]
+            expected = ["a", "b"] * (len(projected) // 2 + 1)
+            return projected == expected[: len(projected)]
+
+        for trace in all_traces(5):
+            assert evaluate(formula, trace) == direct(trace), trace
+
+
+class TestPaperClaimViaPattern:
+    def test_paper_claim_is_a_precedence(self):
+        from repro.ltlf.parser import parse_claim
+
+        pattern = precedence("b.open", "a.open")
+        parsed = parse_claim("(!a.open) W b.open")
+        assert pattern == parsed
+
+
+class TestRandomised:
+    @given(st.lists(st.sampled_from(ALPHABET), max_size=8).map(tuple))
+    @settings(max_examples=150, deadline=None)
+    def test_bounded_existence_random(self, trace):
+        for bound in (0, 1, 3):
+            assert evaluate(bounded_existence("b", bound), trace) == (
+                trace.count("b") <= bound
+            )
+
+    @given(st.lists(st.sampled_from(ALPHABET), max_size=8).map(tuple))
+    @settings(max_examples=150, deadline=None)
+    def test_response_random(self, trace):
+        expected = all("b" in trace[i:] for i, e in enumerate(trace) if e == "a")
+        assert evaluate(response("a", "b"), trace) == expected
+
+    def test_bound_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bounded_existence("a", -1)

@@ -1,0 +1,124 @@
+"""Formula progression: the defining law and empty-trace acceptance."""
+
+from repro.ltlf.ast import (
+    FALSE,
+    TRUE,
+    Eventually,
+    Globally,
+    Next,
+    Release,
+    Until,
+    WeakNext,
+    WeakUntil,
+    atom,
+    conj,
+    disj,
+    neg,
+)
+from repro.ltlf.progression import (
+    accepts_empty,
+    progress,
+    progress_trace,
+    satisfies_by_progression,
+)
+from repro.ltlf.semantics import evaluate
+
+A = atom("a")
+B = atom("b")
+
+
+class TestProgressStep:
+    def test_atom_hit_and_miss(self):
+        assert progress(A, "a") is TRUE
+        assert progress(A, "b") is FALSE
+
+    def test_next_unwraps(self):
+        assert progress(Next(A), "b") == A
+        assert progress(WeakNext(A), "b") == A
+
+    def test_globally_keeps_obligation(self):
+        after = progress(Globally(A), "a")
+        assert after == conj([TRUE, Globally(A)]) == Globally(A)
+
+    def test_globally_fails_fast(self):
+        assert progress(Globally(A), "b") is FALSE
+
+    def test_eventually_satisfied(self):
+        assert progress(Eventually(A), "a") is TRUE
+
+    def test_eventually_keeps_waiting(self):
+        assert progress(Eventually(A), "b") == Eventually(A)
+
+    def test_until_expansion(self):
+        after = progress(Until(A, B), "a")
+        assert after == Until(A, B)
+        assert progress(Until(A, B), "b") is TRUE
+
+    def test_until_dies_without_either(self):
+        assert progress(Until(A, B), "c") is FALSE
+
+    def test_weak_until_same_step_as_until(self):
+        assert progress(WeakUntil(A, B), "a") == WeakUntil(A, B)
+        assert progress(WeakUntil(A, B), "b") is TRUE
+
+    def test_release_expansion(self):
+        after = progress(Release(A, B), "b")
+        assert after == Release(A, B)
+        assert progress(Release(A, B), "c") is FALSE
+
+
+class TestAcceptsEmpty:
+    def test_weak_operators_accept(self):
+        assert accepts_empty(Globally(A))
+        assert accepts_empty(WeakUntil(A, B))
+        assert accepts_empty(Release(A, B))
+        assert accepts_empty(WeakNext(A))
+
+    def test_strong_operators_reject(self):
+        assert not accepts_empty(Eventually(A))
+        assert not accepts_empty(Until(A, B))
+        assert not accepts_empty(Next(A))
+        assert not accepts_empty(A)
+
+    def test_boolean_structure(self):
+        assert accepts_empty(disj([A, Globally(B)]))
+        assert not accepts_empty(conj([A, Globally(B)]))
+        assert accepts_empty(neg(A))
+
+
+class TestAgainstReferenceSemantics:
+    TRACES = [
+        (),
+        ("a",),
+        ("b",),
+        ("a", "b"),
+        ("b", "a"),
+        ("a", "a", "b"),
+        ("b", "b", "b"),
+        ("a", "b", "a", "b"),
+    ]
+    FORMULAS = [
+        A,
+        neg(A),
+        Next(A),
+        WeakNext(A),
+        Eventually(B),
+        Globally(A),
+        Until(A, B),
+        WeakUntil(neg(A), B),
+        Release(A, B),
+        conj([Eventually(A), Eventually(B)]),
+        disj([Globally(A), Globally(B)]),
+        Globally(disj([neg(A), Next(B)])),
+    ]
+
+    def test_progression_equals_direct_evaluation(self):
+        for formula in self.FORMULAS:
+            for trace in self.TRACES:
+                assert satisfies_by_progression(formula, trace) == evaluate(
+                    formula, trace
+                ), (formula, trace)
+
+    def test_progress_trace_short_circuits_on_constants(self):
+        assert progress_trace(Globally(A), ("b", "a", "a")) is FALSE
+        assert progress_trace(Eventually(A), ("a", "b", "b")) is TRUE

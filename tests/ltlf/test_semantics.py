@@ -1,0 +1,137 @@
+"""Finite-trace semantics of LTLf claims, operator by operator."""
+
+from repro.ltlf.ast import (
+    FALSE,
+    TRUE,
+    Eventually,
+    Globally,
+    Next,
+    Release,
+    Until,
+    WeakNext,
+    WeakUntil,
+    atom,
+    conj,
+    disj,
+    neg,
+)
+from repro.ltlf.semantics import evaluate
+
+A = atom("a")
+B = atom("b")
+
+
+class TestPropositional:
+    def test_constants(self):
+        assert evaluate(TRUE, [])
+        assert not evaluate(FALSE, ["a"])
+
+    def test_atom_checks_first_event(self):
+        assert evaluate(A, ["a"])
+        assert evaluate(A, ["a", "b"])
+        assert not evaluate(A, ["b", "a"])
+        assert not evaluate(A, [])
+
+    def test_negation(self):
+        assert evaluate(neg(A), ["b"])
+        assert evaluate(neg(A), [])  # atoms are false on the empty trace
+
+    def test_conj_disj(self):
+        assert evaluate(disj([A, B]), ["b"])
+        assert not evaluate(conj([A, B]), ["a"])  # one event can't be both
+
+
+class TestNext:
+    def test_strong_next_requires_an_event_here(self):
+        assert evaluate(Next(B), ["a", "b"])
+        assert not evaluate(Next(B), ["a"])  # remainder is empty, B fails
+        assert not evaluate(Next(B), [])
+
+    def test_next_of_weak_formula_holds_at_last_event(self):
+        # X (G b) consumes the only event and leaves G b on the empty
+        # remainder, which holds vacuously.
+        assert evaluate(Next(Globally(B)), ["a"])
+        assert not evaluate(Next(Globally(B)), [])
+
+    def test_weak_next_tolerates_empty_trace(self):
+        assert evaluate(WeakNext(B), ["a", "b"])
+        assert evaluate(WeakNext(B), [])
+        # On a non-empty trace weak next equals strong next.
+        assert not evaluate(WeakNext(B), ["a"])
+
+    def test_next_vs_weak_next_differ_only_on_empty_trace(self):
+        for trace in ([], ["a"], ["a", "b"], ["b", "a"], ["b", "b"]):
+            strong = evaluate(Next(B), trace)
+            weak = evaluate(WeakNext(B), trace)
+            if trace:
+                assert strong == weak
+            else:
+                assert weak and not strong
+
+
+class TestEventuallyGlobally:
+    def test_eventually(self):
+        assert evaluate(Eventually(B), ["a", "a", "b"])
+        assert not evaluate(Eventually(B), ["a", "a"])
+        assert not evaluate(Eventually(B), [])
+
+    def test_globally(self):
+        assert evaluate(Globally(A), ["a", "a", "a"])
+        assert not evaluate(Globally(A), ["a", "b"])
+        assert evaluate(Globally(A), [])  # vacuous
+
+    def test_duality(self):
+        for trace in ([], ["a"], ["a", "b"], ["b", "b"]):
+            assert evaluate(Globally(A), trace) == (
+                not evaluate(Eventually(neg(A)), trace)
+            )
+
+
+class TestUntilFamily:
+    def test_until_basic(self):
+        formula = Until(A, B)
+        assert evaluate(formula, ["a", "a", "b"])
+        assert evaluate(formula, ["b"])
+        assert not evaluate(formula, ["a", "a"])  # b never happens
+        assert not evaluate(formula, [])
+
+    def test_until_fails_on_gap(self):
+        # a U b with a c before the b.
+        formula = Until(A, B)
+        assert not evaluate(formula, ["a", "c", "b"])
+
+    def test_weak_until_holds_without_witness(self):
+        formula = WeakUntil(A, B)
+        assert evaluate(formula, ["a", "a"])  # G a branch
+        assert evaluate(formula, ["a", "b"])  # U branch
+        assert evaluate(formula, [])
+
+    def test_weak_until_is_until_or_globally(self):
+        for trace in ([], ["a"], ["a", "b"], ["b"], ["a", "a"], ["c", "b"]):
+            expanded = disj([Until(A, B), Globally(A)])
+            assert evaluate(WeakUntil(A, B), trace) == evaluate(expanded, trace)
+
+    def test_release_duality(self):
+        # a R b  ==  !(!a U !b)
+        for trace in ([], ["b"], ["b", "a"], ["b", "b"], ["a"], ["b", "c"]):
+            direct = evaluate(Release(A, B), trace)
+            dual = not evaluate(Until(neg(A), neg(B)), trace)
+            assert direct == dual, trace
+
+    def test_release_requires_b_through_first_a(self):
+        formula = Release(A, B)
+        assert evaluate(formula, ["b", "b"])
+        assert not evaluate(formula, ["b", "c"])
+        # After a releasing position, b is no longer required.
+        assert not evaluate(formula, ["b", "a"])  # position 1 fails b, a too late
+        assert evaluate(Release(B, B), ["b", "c"])  # b at 0 releases immediately
+
+
+class TestPaperClaim:
+    def test_weak_until_claim(self):
+        # (!a.open) W b.open
+        formula = WeakUntil(neg(atom("a.open")), atom("b.open"))
+        assert evaluate(formula, ["a.test", "b.open", "a.open"])
+        assert not evaluate(formula, ["a.test", "a.open"])
+        assert evaluate(formula, ["a.test", "a.clean"])  # a.open never occurs
+        assert evaluate(formula, [])

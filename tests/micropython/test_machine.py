@@ -1,0 +1,177 @@
+"""The simulated machine module: pins, ADC, PWM, signal, board log."""
+
+from repro.micropython.machine import (
+    ADC,
+    IN,
+    IRQ_FALLING,
+    IRQ_RISING,
+    OUT,
+    PWM,
+    Board,
+    Pin,
+    Signal,
+    default_board,
+)
+
+
+class TestPin:
+    def test_on_off_value(self):
+        pin = Pin(2, OUT)
+        pin.on()
+        assert pin.value() == 1
+        pin.off()
+        assert pin.value() == 0
+
+    def test_value_setter(self):
+        pin = Pin(3, OUT)
+        pin.value(1)
+        assert pin.value() == 1
+        pin.value(0)
+        assert pin.value() == 0
+
+    def test_toggle(self):
+        pin = Pin(4, OUT)
+        pin.toggle()
+        assert pin.value() == 1
+        pin.toggle()
+        assert pin.value() == 0
+
+    def test_default_level_low(self):
+        assert Pin(5, IN).value() == 0
+
+    def test_init_value(self):
+        assert Pin(6, OUT, value=1).value() == 1
+
+    def test_pins_share_board_state(self):
+        writer = Pin(7, OUT)
+        reader = Pin(7, IN)
+        writer.on()
+        assert reader.value() == 1
+
+    def test_event_log_records_mutations(self):
+        pin = Pin(8, OUT)
+        pin.on()
+        pin.off()
+        actions = [e.action for e in default_board().events if e.pin == 8]
+        assert actions == ["on", "off"]
+
+    def test_input_source_sampled(self):
+        board = default_board()
+        board.input_sources[9] = lambda: 1
+        assert Pin(9, IN).value() == 1
+
+    def test_drive_input(self):
+        board = default_board()
+        board.drive_input(10, 1)
+        assert Pin(10, IN).value() == 1
+
+    def test_repr(self):
+        assert repr(Pin(2, OUT)) == "Pin(2, OUT)"
+
+
+class TestIrq:
+    def test_rising_edge_fires(self):
+        pin = Pin(11, OUT)
+        fired = []
+        pin.irq(lambda p: fired.append(p.id), trigger=IRQ_RISING)
+        pin.on()
+        assert fired == [11]
+
+    def test_falling_edge_only(self):
+        pin = Pin(12, OUT)
+        fired = []
+        pin.irq(lambda p: fired.append("fall"), trigger=IRQ_FALLING)
+        pin.on()   # rising: no fire
+        pin.off()  # falling: fire
+        assert fired == ["fall"]
+
+    def test_no_fire_without_level_change(self):
+        pin = Pin(13, OUT)
+        fired = []
+        pin.irq(lambda p: fired.append(1))
+        pin.off()  # already low
+        assert fired == []
+
+
+class TestAdc:
+    def test_reads_source(self):
+        adc = ADC(Pin(26, IN))
+        adc.set_source(lambda: 12345)
+        assert adc.read_u16() == 12345
+
+    def test_clamped_to_16_bits(self):
+        adc = ADC(27)
+        adc.set_source(lambda: 1_000_000)
+        assert adc.read_u16() == 0xFFFF
+        adc.set_source(lambda: -5)
+        assert adc.read_u16() == 0
+
+    def test_reads_logged(self):
+        adc = ADC(28)
+        adc.read_u16()
+        assert any(e.action == "adc" for e in default_board().events)
+
+
+class TestPwm:
+    def test_freq_and_duty(self):
+        pwm = PWM(Pin(15, OUT))
+        pwm.freq(1000)
+        pwm.duty_u16(32768)
+        assert pwm.freq() == 1000
+        assert pwm.duty_u16() == 32768
+
+    def test_duty_clamped(self):
+        pwm = PWM(Pin(16, OUT))
+        pwm.duty_u16(100_000)
+        assert pwm.duty_u16() == 0xFFFF
+
+    def test_deinit_zeroes_duty(self):
+        pwm = PWM(Pin(17, OUT))
+        pwm.duty_u16(100)
+        pwm.deinit()
+        assert pwm.duty_u16() == 0
+
+
+class TestSignal:
+    def test_non_inverted_passthrough(self):
+        signal = Signal(Pin(20, OUT))
+        signal.on()
+        assert signal.value() == 1
+
+    def test_inverted(self):
+        pin = Pin(21, OUT)
+        signal = Signal(pin, invert=True)
+        signal.on()
+        assert pin.value() == 0
+        assert signal.value() == 1
+        signal.off()
+        assert pin.value() == 1
+        assert signal.value() == 0
+
+    def test_inverted_value_setter(self):
+        pin = Pin(22, OUT)
+        signal = Signal(pin, invert=True)
+        signal.value(1)
+        assert pin.value() == 0
+
+
+class TestBoardIsolation:
+    def test_custom_board_isolated(self):
+        private = Board()
+        pin = Pin(2, OUT, board=private)
+        pin.on()
+        assert default_board().levels.get(2, 0) == 0
+        assert private.levels[2] == 1
+
+    def test_reset_clears_everything(self):
+        pin = Pin(2, OUT)
+        pin.on()
+        default_board().reset()
+        assert default_board().events == []
+        assert default_board().levels == {}
+
+    def test_log_formatting(self):
+        pin = Pin(2, OUT)
+        pin.on()
+        log = default_board().log()
+        assert log == ["#0 pin2 on=1"]

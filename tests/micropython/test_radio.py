@@ -1,0 +1,109 @@
+"""The simulated wireless link."""
+
+import pytest
+
+from repro.micropython.radio import Datagram, Ether, Radio, reset_ether
+from repro.micropython.timer import VirtualClock
+
+
+@pytest.fixture
+def ether():
+    return Ether()
+
+
+class TestEther:
+    def test_attach_and_route(self, ether):
+        ether.attach("a")
+        frame = Datagram("b", "a", b"hi", 0)
+        assert ether.transmit(frame)
+        assert ether.pending("a") == 1
+        assert ether.pop("a") == frame
+
+    def test_unknown_destination_dropped(self, ether):
+        frame = Datagram("a", "ghost", b"x", 0)
+        assert not ether.transmit(frame)
+        assert ether.dropped == [frame]
+
+    def test_duplicate_attach_rejected(self, ether):
+        ether.attach("a")
+        with pytest.raises(ValueError):
+            ether.attach("a")
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            Ether(loss_rate=1.0)
+
+    def test_deterministic_loss(self):
+        first = Ether(loss_rate=0.5, seed=7)
+        second = Ether(loss_rate=0.5, seed=7)
+        for medium in (first, second):
+            medium.attach("rx")
+        outcomes_first = [
+            first.transmit(Datagram("tx", "rx", b"x", 0)) for _ in range(20)
+        ]
+        outcomes_second = [
+            second.transmit(Datagram("tx", "rx", b"x", 0)) for _ in range(20)
+        ]
+        assert outcomes_first == outcomes_second
+        assert not all(outcomes_first)
+        assert any(outcomes_first)
+
+    def test_log_records_delivered_only(self):
+        medium = Ether()
+        medium.attach("rx")
+        medium.transmit(Datagram("tx", "rx", b"ok", 0))
+        medium.transmit(Datagram("tx", "ghost", b"no", 0))
+        assert len(medium.log) == 1
+        assert len(medium.dropped) == 1
+
+
+class TestRadio:
+    def test_send_and_receive(self, ether):
+        clock = VirtualClock()
+        sender = Radio("tx", ether=ether, clock=clock)
+        receiver = Radio("rx", ether=ether, clock=clock)
+        assert sender.send("rx", "hello")
+        frame = receiver.recv()
+        assert frame is not None
+        assert frame.payload == b"hello"
+        assert frame.source == "tx"
+
+    def test_recv_empty_returns_none(self, ether):
+        radio = Radio("solo", ether=ether, clock=VirtualClock())
+        assert radio.recv() is None
+
+    def test_recv_all_drains(self, ether):
+        clock = VirtualClock()
+        sender = Radio("tx", ether=ether, clock=clock)
+        receiver = Radio("rx", ether=ether, clock=clock)
+        for index in range(3):
+            sender.send("rx", f"m{index}")
+        frames = receiver.recv_all()
+        assert [f.payload for f in frames] == [b"m0", b"m1", b"m2"]
+        assert receiver.recv() is None
+
+    def test_timestamps_use_virtual_clock(self, ether):
+        clock = VirtualClock()
+        sender = Radio("tx", ether=ether, clock=clock)
+        Radio("rx", ether=ether, clock=clock)
+        clock.sleep_ms(1234)
+        sender.send("rx", "x")
+        assert ether.log[0].sent_at_ms == 1234
+
+    def test_energy_accounting(self, ether):
+        clock = VirtualClock()
+        sender = Radio("tx", ether=ether, clock=clock)
+        receiver = Radio("rx", ether=ether, clock=clock)
+        sender.send("rx", b"12345")  # 5 bytes
+        assert sender.energy_uj == pytest.approx(5 * Radio.SEND_UJ_PER_BYTE)
+        clock.sleep_ms(100)
+        receiver.recv()
+        expected = 100 * Radio.LISTEN_UJ_PER_MS + 5 * Radio.RECV_UJ_PER_BYTE
+        assert receiver.energy_uj == pytest.approx(expected)
+
+    def test_default_ether_reset(self):
+        medium = reset_ether(loss_rate=0.0)
+        radio = Radio("fresh")
+        assert medium.pending("fresh") == 0
+        del radio
+        reset_ether()

@@ -1,0 +1,106 @@
+"""The virtual clock and simulated timers."""
+
+import pytest
+
+from repro.micropython.timer import (
+    Timer,
+    VirtualClock,
+    default_clock,
+    sleep,
+    sleep_ms,
+    ticks_diff,
+    ticks_ms,
+)
+
+
+class TestVirtualClock:
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep_ms(150)
+        assert clock.ticks_ms() == 150
+
+    def test_sleep_seconds(self):
+        clock = VirtualClock()
+        clock.sleep(1.5)
+        assert clock.ticks_ms() == 1500
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep_ms(-1)
+
+    def test_alarms_fire_in_order(self):
+        clock = VirtualClock()
+        order = []
+        clock.schedule(30, lambda: order.append("b"))
+        clock.schedule(10, lambda: order.append("a"))
+        clock.sleep_ms(50)
+        assert order == ["a", "b"]
+
+    def test_alarm_beyond_horizon_not_fired(self):
+        clock = VirtualClock()
+        fired = []
+        clock.schedule(100, lambda: fired.append(1))
+        clock.sleep_ms(50)
+        assert fired == []
+        clock.sleep_ms(60)
+        assert fired == [1]
+
+    def test_alarm_can_schedule_alarm(self):
+        clock = VirtualClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.schedule(10, lambda: fired.append("second"))
+
+        clock.schedule(10, first)
+        clock.sleep_ms(30)
+        assert fired == ["first", "second"]
+
+    def test_module_level_clock(self):
+        start = ticks_ms()
+        sleep_ms(25)
+        sleep(0.005)
+        assert ticks_diff(ticks_ms(), start) == 30
+
+    def test_reset(self):
+        clock = default_clock()
+        clock.sleep_ms(10)
+        clock.reset()
+        assert clock.ticks_ms() == 0
+
+
+class TestTimer:
+    def test_one_shot(self):
+        clock = VirtualClock()
+        fired = []
+        timer = Timer(clock=clock)
+        timer.init(period=20, mode=Timer.ONE_SHOT, callback=lambda t: fired.append(1))
+        clock.sleep_ms(100)
+        assert fired == [1]
+
+    def test_periodic(self):
+        clock = VirtualClock()
+        fired = []
+        timer = Timer(clock=clock)
+        timer.init(period=10, mode=Timer.PERIODIC, callback=lambda t: fired.append(1))
+        clock.sleep_ms(35)
+        assert len(fired) == 3
+
+    def test_deinit_stops(self):
+        clock = VirtualClock()
+        fired = []
+        timer = Timer(clock=clock)
+        timer.init(period=10, mode=Timer.PERIODIC, callback=lambda t: fired.append(1))
+        clock.sleep_ms(15)
+        timer.deinit()
+        clock.sleep_ms(50)
+        assert len(fired) == 1
+
+    def test_callback_receives_timer(self):
+        clock = VirtualClock()
+        received = []
+        timer = Timer(7, clock=clock)
+        timer.init(period=5, mode=Timer.ONE_SHOT, callback=lambda t: received.append(t))
+        clock.sleep_ms(10)
+        assert received == [timer]

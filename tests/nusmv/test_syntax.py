@@ -1,0 +1,67 @@
+"""NuSMV syntax helpers."""
+
+from repro.nusmv.syntax import (
+    case_expression,
+    conjunction,
+    disjunction,
+    enum_declaration,
+    mangle,
+    unique_names,
+)
+
+
+class TestMangle:
+    def test_dotted_label(self):
+        assert mangle("a.open") == "a_open"
+
+    def test_already_clean(self):
+        assert mangle("open_a") == "open_a"
+
+    def test_special_characters(self):
+        assert mangle("exit:open/1") == "exit_open_1"
+
+    def test_leading_digit_prefixed(self):
+        assert mangle("0state") == "s_0state"
+
+    def test_empty_name(self):
+        assert mangle("") == "s_"
+
+
+class TestUniqueNames:
+    def test_collision_resolved(self):
+        mapping = unique_names(["a.open", "a_open"])
+        assert mapping["a.open"] == "a_open"
+        assert mapping["a_open"] == "a_open_2"
+        assert len(set(mapping.values())) == 2
+
+    def test_stable_order(self):
+        mapping = unique_names(["x", "y", "x.z"])
+        assert list(mapping) == ["x", "y", "x.z"]
+
+
+class TestDeclarations:
+    def test_var_declaration(self):
+        text = enum_declaration("state", ["s0", "s1"])
+        assert text == "VAR\n  state : {s0, s1};"
+
+    def test_ivar_declaration(self):
+        text = enum_declaration("event", ["e1"], input_var=True)
+        assert text.startswith("IVAR")
+
+    def test_case_expression(self):
+        text = case_expression([("a = 1", "x"), ("TRUE", "y")])
+        assert "case" in text and "esac" in text
+        assert "a = 1 : x;" in text
+        assert "TRUE : y;" in text
+
+
+class TestBooleanBuilders:
+    def test_conjunction(self):
+        assert conjunction([]) == "TRUE"
+        assert conjunction(["a"]) == "a"
+        assert conjunction(["a", "b"]) == "(a) & (b)"
+
+    def test_disjunction(self):
+        assert disjunction([]) == "FALSE"
+        assert disjunction(["a"]) == "a"
+        assert disjunction(["a", "b"]) == "(a) | (b)"

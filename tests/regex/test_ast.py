@@ -1,0 +1,147 @@
+"""Smart-constructor laws and formatting of the regex algebra."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Star,
+    Symbol,
+    Union,
+    alphabet,
+    concat,
+    concat_all,
+    format_regex,
+    size,
+    star,
+    symbol,
+    union,
+    union_all,
+)
+
+A = symbol("a")
+B = symbol("b")
+C = symbol("c")
+
+
+class TestConcat:
+    def test_empty_annihilates_left(self):
+        assert concat(EMPTY, A) is EMPTY
+
+    def test_empty_annihilates_right(self):
+        assert concat(A, EMPTY) is EMPTY
+
+    def test_epsilon_unit_left(self):
+        assert concat(EPSILON, A) == A
+
+    def test_epsilon_unit_right(self):
+        assert concat(A, EPSILON) == A
+
+    def test_right_nesting(self):
+        built = concat(concat(A, B), C)
+        assert isinstance(built, Concat)
+        assert built.left == A
+        assert isinstance(built.right, Concat)
+
+    def test_associativity_canonical(self):
+        assert concat(concat(A, B), C) == concat(A, concat(B, C))
+
+    def test_concat_all_empty_sequence_is_epsilon(self):
+        assert concat_all([]) == EPSILON
+
+    def test_concat_all_order_preserved(self):
+        built = concat_all([A, B, C])
+        assert format_regex(built) == "a . b . c"
+
+
+class TestUnion:
+    def test_empty_unit(self):
+        assert union(EMPTY, A) == A
+        assert union(A, EMPTY) == A
+
+    def test_idempotence(self):
+        assert union(A, A) == A
+
+    def test_commutativity_canonical(self):
+        assert union(A, B) == union(B, A)
+
+    def test_associativity_canonical(self):
+        assert union(union(A, B), C) == union(A, union(B, C))
+
+    def test_duplicates_across_nesting_removed(self):
+        built = union(union(A, B), union(B, A))
+        assert built == union(A, B)
+
+    def test_union_all_empty_sequence_is_empty(self):
+        assert union_all([]) is EMPTY
+
+    def test_union_of_all_empties(self):
+        assert union(EMPTY, EMPTY) is EMPTY
+
+
+class TestStar:
+    def test_star_of_empty_is_epsilon(self):
+        assert star(EMPTY) == EPSILON
+
+    def test_star_of_epsilon_is_epsilon(self):
+        assert star(EPSILON) == EPSILON
+
+    def test_star_idempotent(self):
+        assert star(star(A)) == star(A)
+
+    def test_star_builds_node(self):
+        assert isinstance(star(A), Star)
+
+
+class TestOperators:
+    def test_mul_is_concat(self):
+        assert A * B == concat(A, B)
+
+    def test_add_is_union(self):
+        assert A + B == union(A, B)
+
+    def test_star_method(self):
+        assert A.star() == star(A)
+
+
+class TestSymbols:
+    def test_symbol_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            symbol("")
+
+    def test_dotted_event_labels(self):
+        assert Symbol("a.open").name == "a.open"
+
+    def test_alphabet_collects_all(self):
+        built = (A + B) * star(C)
+        assert alphabet(built) == {"a", "b", "c"}
+
+    def test_alphabet_of_constants_is_empty(self):
+        assert alphabet(EMPTY) == frozenset()
+        assert alphabet(EPSILON) == frozenset()
+
+
+class TestSizeAndFormat:
+    def test_size_counts_nodes(self):
+        assert size(A) == 1
+        assert size(A * B) == 3
+        assert size(star(A + B)) == 4
+
+    def test_format_paper_example(self):
+        # The (simplified) Example 3 shape.
+        built = star(A * C) * A * B
+        assert format_regex(built) == "(a . c)* . a . b"
+
+    def test_format_precedence_union_in_concat(self):
+        assert format_regex(A * (B + C)) == "a . (b + c)"
+
+    def test_format_star_of_symbol_needs_no_parens(self):
+        assert format_regex(star(A)) == "a*"
+
+    def test_format_constants(self):
+        assert format_regex(EMPTY) == "{}"
+        assert format_regex(EPSILON) == "eps"
+
+    def test_union_formats_without_parens_at_top(self):
+        assert format_regex(A + B * C) == "a + b . c"

@@ -1,0 +1,97 @@
+"""Brzozowski derivatives: nullability, derivation laws, the DFA table."""
+
+import pytest
+
+from repro.regex.ast import EMPTY, EPSILON, concat, star, symbol, union
+from repro.regex.derivatives import (
+    derivative,
+    derivative_dfa_table,
+    derivative_word,
+    nullable,
+)
+
+A = symbol("a")
+B = symbol("b")
+
+
+class TestNullable:
+    def test_constants(self):
+        assert not nullable(EMPTY)
+        assert nullable(EPSILON)
+
+    def test_symbol_not_nullable(self):
+        assert not nullable(A)
+
+    def test_star_always_nullable(self):
+        assert nullable(star(A))
+
+    def test_concat_requires_both(self):
+        assert not nullable(concat(A, star(B)))
+        assert not nullable(concat(star(A), B))
+        assert nullable(concat(star(A), star(B)))
+
+    def test_union_requires_either(self):
+        assert nullable(union(A, EPSILON))
+        assert not nullable(union(A, B))
+
+
+class TestDerivative:
+    def test_symbol_hit(self):
+        assert derivative(A, "a") == EPSILON
+
+    def test_symbol_miss(self):
+        assert derivative(A, "b") is EMPTY
+
+    def test_epsilon_derivative_empty(self):
+        assert derivative(EPSILON, "a") is EMPTY
+
+    def test_concat_without_nullable_head(self):
+        assert derivative(concat(A, B), "a") == B
+        assert derivative(concat(A, B), "b") is EMPTY
+
+    def test_concat_with_nullable_head_unions_both(self):
+        regex = concat(star(A), B)
+        assert derivative(regex, "b") == EPSILON
+        assert derivative(regex, "a") == regex
+
+    def test_union_pointwise(self):
+        assert derivative(union(A, B), "a") == EPSILON
+        assert derivative(union(A, B), "b") == EPSILON
+
+    def test_star_unrolls(self):
+        regex = star(concat(A, B))
+        assert derivative(regex, "a") == concat(B, regex)
+
+    def test_derivative_word_accepting(self):
+        regex = star(concat(A, B))
+        assert nullable(derivative_word(regex, ("a", "b", "a", "b")))
+
+    def test_derivative_word_rejecting(self):
+        regex = star(concat(A, B))
+        assert not nullable(derivative_word(regex, ("a", "a")))
+
+    def test_derivative_word_dead_short_circuits(self):
+        assert derivative_word(A, ("b", "a", "a")) is EMPTY
+
+
+class TestDerivativeDfaTable:
+    def test_table_contains_initial(self):
+        table, initial = derivative_dfa_table(A, {"a", "b"})
+        assert initial == A
+        assert A in table
+
+    def test_table_is_closed(self):
+        table, _initial = derivative_dfa_table(star(concat(A, B)), {"a", "b"})
+        for successors in table.values():
+            for target in successors.values():
+                assert target in table
+
+    def test_canonical_terms_keep_table_small(self):
+        # (a+b)* has exactly 2 derivative states: itself and EMPTY-free self.
+        regex = star(union(A, B))
+        table, _initial = derivative_dfa_table(regex, {"a", "b"})
+        assert len(table) <= 2
+
+    def test_overflow_guard(self):
+        with pytest.raises(RuntimeError):
+            derivative_dfa_table(star(concat(A, B)), {"a", "b"}, max_states=1)

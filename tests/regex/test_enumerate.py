@@ -1,0 +1,76 @@
+"""Bounded word enumeration (the engine behind the metatheory checks)."""
+
+from repro.regex.ast import EMPTY, EPSILON, concat, star, symbol, union
+from repro.regex.enumerate_words import (
+    count_words,
+    iter_words,
+    shortest_word,
+    words_up_to,
+)
+
+A = symbol("a")
+B = symbol("b")
+
+
+class TestWordsUpTo:
+    def test_empty_language(self):
+        assert words_up_to(EMPTY, 5) == frozenset()
+
+    def test_epsilon(self):
+        assert words_up_to(EPSILON, 5) == {()}
+
+    def test_star_generates_all_lengths(self):
+        assert words_up_to(star(A), 3) == {(), ("a",), ("a", "a"), ("a", "a", "a")}
+
+    def test_union_merges(self):
+        assert words_up_to(union(A, B), 1) == {("a",), ("b",)}
+
+    def test_concat_products(self):
+        regex = concat(union(A, B), union(A, B))
+        assert words_up_to(regex, 2) == {
+            ("a", "a"),
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "b"),
+        }
+
+    def test_bound_respected(self):
+        words = words_up_to(star(A), 4)
+        assert all(len(word) <= 4 for word in words)
+
+    def test_negative_bound_empty(self):
+        assert words_up_to(star(A), -1) == frozenset()
+
+
+class TestIterOrder:
+    def test_length_lex_order(self):
+        regex = star(union(A, B))
+        listed = list(iter_words(regex, 2))
+        assert listed == [
+            (),
+            ("a",),
+            ("b",),
+            ("a", "a"),
+            ("a", "b"),
+            ("b", "a"),
+            ("b", "b"),
+        ]
+
+    def test_count_words(self):
+        assert count_words(star(union(A, B)), 2) == 7
+
+
+class TestShortestWord:
+    def test_none_for_empty(self):
+        assert shortest_word(EMPTY) is None
+        assert shortest_word(concat(A, EMPTY)) is None
+
+    def test_epsilon_shortest(self):
+        assert shortest_word(star(A)) == ()
+
+    def test_prefers_shorter(self):
+        regex = union(concat(A, B), A)
+        assert shortest_word(regex) == ("a",)
+
+    def test_alphabetical_tie_break(self):
+        assert shortest_word(union(B, A)) == ("a",)

@@ -1,0 +1,69 @@
+"""Regex equivalence/inclusion by derivative bisimulation."""
+
+from repro.regex.ast import EMPTY, EPSILON, concat, star, symbol, union
+from repro.regex.equivalence import counterexample, equivalent, included
+
+A = symbol("a")
+B = symbol("b")
+
+
+class TestEquivalent:
+    def test_reflexive(self):
+        regex = star(concat(A, B))
+        assert equivalent(regex, regex)
+
+    def test_kleene_unfolding(self):
+        # a* == eps + a . a*
+        left = star(A)
+        right = union(EPSILON, concat(A, star(A)))
+        assert equivalent(left, right)
+
+    def test_star_of_union_vs_interleavings(self):
+        # (a+b)* == (a* . b*)* — a classic non-syntactic equality.
+        left = star(union(A, B))
+        right = star(concat(star(A), star(B)))
+        assert equivalent(left, right)
+
+    def test_inequivalent_by_nullability(self):
+        assert not equivalent(A, star(A))
+
+    def test_inequivalent_deep(self):
+        # ab(ab)* vs a(ba)*b are equal; ab(ab)* vs a(ab)*b are not.
+        equal_left = concat(concat(A, B), star(concat(A, B)))
+        equal_right = concat(A, concat(star(concat(B, A)), B))
+        assert equivalent(equal_left, equal_right)
+        unequal = concat(A, concat(star(concat(A, B)), B))
+        assert not equivalent(equal_left, unequal)
+
+    def test_empty_vs_unsatisfiable_concat(self):
+        assert equivalent(EMPTY, concat(A, EMPTY))
+
+
+class TestIncluded:
+    def test_star_includes_symbol(self):
+        assert included(A, star(A))
+        assert not included(star(A), A)
+
+    def test_union_includes_arms(self):
+        assert included(A, union(A, B))
+        assert included(B, union(A, B))
+
+    def test_empty_included_in_everything(self):
+        assert included(EMPTY, A)
+        assert included(EMPTY, EMPTY)
+
+    def test_incomparable(self):
+        assert not included(A, B)
+        assert not included(B, A)
+
+
+class TestCounterexample:
+    def test_none_when_equivalent(self):
+        assert counterexample(star(A), union(EPSILON, concat(A, star(A)))) is None
+
+    def test_shortest_difference(self):
+        # a vs a+b differ exactly on "b".
+        assert counterexample(A, union(A, B)) == ("b",)
+
+    def test_empty_word_difference(self):
+        assert counterexample(A, star(A)) == ()

@@ -1,0 +1,72 @@
+"""Membership testing and structural emptiness."""
+
+from repro.regex.ast import EMPTY, EPSILON, concat, star, symbol, union
+from repro.regex.matching import is_empty_language, matches
+
+A = symbol("a")
+B = symbol("b")
+C = symbol("c")
+
+
+class TestMatches:
+    def test_epsilon_matches_only_empty(self):
+        assert matches(EPSILON, [])
+        assert not matches(EPSILON, ["a"])
+
+    def test_empty_matches_nothing(self):
+        assert not matches(EMPTY, [])
+        assert not matches(EMPTY, ["a"])
+
+    def test_symbol(self):
+        assert matches(A, ["a"])
+        assert not matches(A, [])
+        assert not matches(A, ["a", "a"])
+
+    def test_concat(self):
+        regex = concat(A, B)
+        assert matches(regex, ["a", "b"])
+        assert not matches(regex, ["b", "a"])
+
+    def test_union(self):
+        regex = union(A, B)
+        assert matches(regex, ["a"])
+        assert matches(regex, ["b"])
+        assert not matches(regex, ["c"])
+
+    def test_star(self):
+        regex = star(concat(A, B))
+        assert matches(regex, [])
+        assert matches(regex, ["a", "b"])
+        assert matches(regex, ["a", "b", "a", "b"])
+        assert not matches(regex, ["a", "b", "a"])
+
+    def test_paper_example_language(self):
+        # infer of Example 3: (a.c)* + (a.c)*.a.b
+        body = concat(A, C)
+        regex = union(star(body), concat(star(body), concat(A, B)))
+        assert matches(regex, [])
+        assert matches(regex, ["a", "c", "a", "c"])  # Example 1's trace
+        assert matches(regex, ["a", "c", "a", "b"])  # Example 2's trace
+        assert not matches(regex, ["a", "b", "a", "c"])  # nothing after b
+
+    def test_dotted_event_labels(self):
+        regex = concat(symbol("a.test"), symbol("a.open"))
+        assert matches(regex, ["a.test", "a.open"])
+        assert not matches(regex, ["a.open", "a.test"])
+
+
+class TestEmptiness:
+    def test_empty_constant(self):
+        assert is_empty_language(EMPTY)
+
+    def test_epsilon_not_empty(self):
+        assert not is_empty_language(EPSILON)
+
+    def test_concat_with_empty_part(self):
+        assert is_empty_language(concat(A, EMPTY))
+
+    def test_union_with_one_inhabited_arm(self):
+        assert not is_empty_language(union(EMPTY, A))
+
+    def test_star_never_empty(self):
+        assert not is_empty_language(star(EMPTY))

@@ -1,0 +1,79 @@
+"""The regex concrete-syntax parser."""
+
+import pytest
+
+from repro.regex.ast import EMPTY, EPSILON, concat, format_regex, star, symbol, union
+from repro.regex.parser import RegexSyntaxError, parse_regex
+
+A = symbol("a")
+B = symbol("b")
+C = symbol("c")
+
+
+class TestAtoms:
+    def test_symbol(self):
+        assert parse_regex("a") == A
+
+    def test_eps(self):
+        assert parse_regex("eps") == EPSILON
+
+    def test_empty_set(self):
+        assert parse_regex("{}") is EMPTY
+
+    def test_dotted_label_is_one_symbol(self):
+        assert parse_regex("a.open") == symbol("a.open")
+
+
+class TestOperators:
+    def test_concat_requires_spaced_dot(self):
+        assert parse_regex("a . b") == concat(A, B)
+
+    def test_union(self):
+        assert parse_regex("a + b") == union(A, B)
+
+    def test_star_binds_tightest(self):
+        assert parse_regex("a . b*") == concat(A, star(B))
+
+    def test_parens_override(self):
+        assert parse_regex("(a . b)*") == star(concat(A, B))
+
+    def test_precedence_union_lowest(self):
+        assert parse_regex("a + b . c") == union(A, concat(B, C))
+
+    def test_double_star(self):
+        assert parse_regex("a**") == star(A)
+
+    def test_paper_example(self):
+        parsed = parse_regex("(a . c)* + (a . c)* . a . b")
+        expected = union(
+            star(concat(A, C)), concat(star(concat(A, C)), concat(A, B))
+        )
+        assert parsed == expected
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "eps",
+            "{}",
+            "a . b . c",
+            "a + b + c",
+            "(a + b)* . c",
+            "(a . c)* . a . b",
+            "a.test . (a.open + a.clean)",
+        ],
+    )
+    def test_format_parse_identity(self, text):
+        parsed = parse_regex(text)
+        assert parse_regex(format_regex(parsed)) == parsed
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text", ["", "(a", "a +", "+ a", "a b", "*", "a . ", "a )"]
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(RegexSyntaxError):
+            parse_regex(text)

@@ -1,0 +1,106 @@
+"""Hypothesis property tests of the regex algebra.
+
+Strategy: generate random regex terms over a small alphabet, then check
+the algebraic laws semantically — membership via derivatives must be
+invariant under the smart constructors' canonicalisation and must agree
+with bounded enumeration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Regex,
+    concat,
+    format_regex,
+    star,
+    symbol,
+    union,
+)
+from repro.regex.derivatives import derivative, nullable
+from repro.regex.enumerate_words import words_up_to
+from repro.regex.equivalence import equivalent, included
+from repro.regex.matching import matches
+from repro.regex.parser import parse_regex
+
+ALPHABET = ["a", "b"]
+
+
+def regexes() -> st.SearchStrategy[Regex]:
+    atoms = st.sampled_from([EMPTY, EPSILON, symbol("a"), symbol("b")])
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda pair: concat(*pair)),
+            st.tuples(children, children).map(lambda pair: union(*pair)),
+            children.map(star),
+        ),
+        max_leaves=12,
+    )
+
+
+def words():
+    return st.lists(st.sampled_from(ALPHABET), max_size=6).map(tuple)
+
+
+@given(regexes(), words())
+@settings(max_examples=200, deadline=None)
+def test_derivative_characterises_membership(regex, word):
+    """l ∈ r  iff  nullable(d_l(r)) — the defining law of derivatives."""
+    current = regex
+    for event in word:
+        current = derivative(current, event)
+    assert matches(regex, word) == nullable(current)
+
+
+@given(regexes())
+@settings(max_examples=150, deadline=None)
+def test_enumeration_agrees_with_matching(regex):
+    enumerated = words_up_to(regex, 4, frozenset(ALPHABET))
+    from itertools import product
+
+    for length in range(5):
+        for word in product(ALPHABET, repeat=length):
+            assert (word in enumerated) == matches(regex, word)
+
+
+@given(regexes(), regexes())
+@settings(max_examples=150, deadline=None)
+def test_union_is_least_upper_bound(left, right):
+    joined = union(left, right)
+    assert included(left, joined)
+    assert included(right, joined)
+
+
+@given(regexes())
+@settings(max_examples=100, deadline=None)
+def test_star_laws(regex):
+    starred = star(regex)
+    # r* = (r*)* and r ⊆ r* and ε ∈ r*.
+    assert equivalent(starred, star(starred))
+    assert included(regex, starred)
+    assert matches(starred, ())
+
+
+@given(regexes(), regexes(), regexes())
+@settings(max_examples=100, deadline=None)
+def test_concat_distributes_over_union(left, mid, right):
+    distributed = union(concat(left, right), concat(mid, right))
+    factored = concat(union(left, mid), right)
+    assert equivalent(distributed, factored)
+
+
+@given(regexes())
+@settings(max_examples=150, deadline=None)
+def test_format_parse_round_trip(regex):
+    assert parse_regex(format_regex(regex)) == regex
+
+
+@given(regexes(), words())
+@settings(max_examples=150, deadline=None)
+def test_equivalence_respects_membership(regex, word):
+    # Any regex is equivalent to itself re-built through the parser;
+    # membership must be identical.
+    rebuilt = parse_regex(format_regex(regex))
+    assert matches(rebuilt, word) == matches(regex, word)

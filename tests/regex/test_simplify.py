@@ -1,0 +1,112 @@
+"""The regex simplifier: targeted laws plus semantic preservation."""
+
+import pytest
+
+from repro.regex.ast import format_regex, size
+from repro.regex.equivalence import equivalent
+from repro.regex.parser import parse_regex
+from repro.regex.simplify import simplify
+
+
+def simplified(text: str) -> str:
+    return format_regex(simplify(parse_regex(text)))
+
+
+class TestLaws:
+    def test_star_unrolling_collapses(self):
+        assert simplified("eps + a . a*") == "a*"
+
+    def test_star_unrolling_right_form(self):
+        assert simplified("eps + a* . a") == "a*"
+
+    def test_left_factoring(self):
+        assert simplified("a . b + a . c") == "a . (b + c)"
+
+    def test_right_factoring(self):
+        assert simplified("a . c + b . c") == "(a + b) . c"
+
+    def test_star_star_concat(self):
+        assert simplified("a* . a*") == "a*"
+
+    def test_star_absorbs_body(self):
+        assert simplified("a + a*") == "a*"
+
+    def test_star_absorbs_epsilon(self):
+        assert simplified("eps + a*") == "a*"
+
+    def test_epsilon_under_star_dropped(self):
+        assert simplified("(eps + a)*") == "a*"
+
+    def test_star_under_star_unwrapped(self):
+        assert simplified("(a* + b)*") == "(a + b)*"
+
+    def test_example_3_regex(self):
+        assert simplified("(a . c)* + (a . c)* . a . b") == "(a . c)* . (eps + a . b)"
+
+    def test_already_minimal_untouched(self):
+        for text in ["a", "a . b", "a + b", "(a . b)*", "{}", "eps"]:
+            regex = parse_regex(text)
+            assert simplify(regex) == regex
+
+
+class TestPreservation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "eps + a . a* + b . b*",
+            "a . b . c + a . b . d + a . e",
+            "(a . a* + eps) . b",
+            "((a + eps)* . b)* + eps",
+            "a . (b + c) + a . (c + b)",
+            "(a . c)* + (a . c)* . a . b",
+        ],
+    )
+    def test_language_preserved(self, text):
+        regex = parse_regex(text)
+        reduced = simplify(regex)
+        assert equivalent(regex, reduced), format_regex(reduced)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "eps + a . a*",
+            "a . b + a . c",
+            "a* . a*",
+            "a + a* + eps",
+        ],
+    )
+    def test_size_reduced(self, text):
+        regex = parse_regex(text)
+        assert size(simplify(regex)) < size(regex)
+
+    def test_idempotent(self):
+        regex = parse_regex("eps + a . a* + b . c + b . d")
+        once = simplify(regex)
+        assert simplify(once) == once
+
+
+class TestWithHypothesis:
+    def test_random_regexes_preserved(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.regex.ast import EMPTY, EPSILON, concat, star, symbol, union
+
+        atoms = st.sampled_from([EMPTY, EPSILON, symbol("a"), symbol("b")])
+        regexes = st.recursive(
+            atoms,
+            lambda children: st.one_of(
+                st.tuples(children, children).map(lambda p: concat(*p)),
+                st.tuples(children, children).map(lambda p: union(*p)),
+                children.map(star),
+            ),
+            max_leaves=10,
+        )
+
+        @given(regexes)
+        @settings(max_examples=200, deadline=None)
+        def check(regex):
+            reduced = simplify(regex)
+            assert equivalent(regex, reduced)
+            assert size(reduced) <= size(regex)
+
+        check()

@@ -1,0 +1,209 @@
+"""Dynamic enforcement of extracted models."""
+
+import pytest
+
+from repro.frontend.decorators import op, op_final, op_initial, sys
+from repro.runtime.monitor import (
+    IncompleteLifecycleError,
+    OrderViolationError,
+    SpecMismatchError,
+    finalize,
+    history_of,
+    lifecycle,
+    monitored,
+)
+from repro.runtime.trace import TraceRecorder
+
+
+def make_valve_class():
+    """A fresh annotated Valve class (runtime flavour, no pins)."""
+
+    @sys
+    class Valve:
+        def __init__(self):
+            self.is_open = False
+            self.needs_cleaning = False
+
+        @op_initial
+        def test(self):
+            if self.needs_cleaning:
+                return ["clean"]
+            return ["open"]
+
+        @op
+        def open(self):
+            self.is_open = True
+            return ["close"]
+
+        @op_final
+        def close(self):
+            self.is_open = False
+            return ["test"]
+
+        @op_final
+        def clean(self):
+            return ["test"]
+
+    return Valve
+
+
+@pytest.fixture
+def valve_class():
+    return monitored(make_valve_class())
+
+
+class TestHappyPath:
+    def test_valid_lifecycle(self, valve_class):
+        valve = valve_class()
+        valve.test()
+        valve.open()
+        valve.close()
+        finalize(valve)
+        assert history_of(valve) == ("test", "open", "close")
+
+    def test_empty_lifecycle_finalizes(self, valve_class):
+        finalize(valve_class())
+
+    def test_repeated_cycles(self, valve_class):
+        valve = valve_class()
+        valve.test()
+        valve.open()
+        valve.close()
+        valve.test()
+        valve.open()
+        valve.close()
+        finalize(valve)
+
+    def test_lifecycle_context_manager(self, valve_class):
+        with lifecycle(valve_class()) as valve:
+            valve.test()
+            valve.open()
+            valve.close()
+
+    def test_return_values_pass_through(self, valve_class):
+        valve = valve_class()
+        assert valve.test() == ["open"]
+
+
+class TestViolations:
+    def test_non_initial_first_call(self, valve_class):
+        valve = valve_class()
+        with pytest.raises(OrderViolationError) as exc:
+            valve.open()
+        assert "allowed now: test" in str(exc.value)
+
+    def test_out_of_order_call(self, valve_class):
+        valve = valve_class()
+        valve.test()
+        with pytest.raises(OrderViolationError):
+            valve.close()  # close requires open first
+
+    def test_finalize_mid_lifecycle(self, valve_class):
+        valve = valve_class()
+        valve.test()
+        valve.open()
+        with pytest.raises(IncompleteLifecycleError) as exc:
+            finalize(valve)
+        assert "test, open" in str(exc.value)
+
+    def test_call_after_finalize(self, valve_class):
+        valve = valve_class()
+        finalize(valve)
+        with pytest.raises(OrderViolationError):
+            valve.test()
+
+    def test_lifecycle_context_raises_on_incomplete(self, valve_class):
+        with pytest.raises(IncompleteLifecycleError):
+            with lifecycle(valve_class()) as valve:
+                valve.test()
+                valve.open()
+
+    def test_instances_tracked_independently(self, valve_class):
+        first, second = valve_class(), valve_class()
+        first.test()
+        first.open()
+        second.test()  # second instance starts fresh
+        first.close()
+        finalize(first)
+
+
+class TestSpecMismatch:
+    def test_undeclared_next_set(self):
+        # The published spec says go returns ["go"]; the implementation
+        # returns a next-set no exit point declares.
+        from repro.core.spec import ClassSpec
+        from repro.frontend.parse import parse_module
+
+        module, _ = parse_module(
+            "@sys\n"
+            "class Liar:\n"
+            "    @op_initial\n"
+            "    def go(self):\n"
+            "        return ['go']\n"
+        )
+        spec = ClassSpec.of(module.get_class("Liar"))
+
+        class Liar:
+            def go(self):
+                return ["undeclared"]
+
+        wrapped = monitored(Liar, spec=spec)
+        with pytest.raises(SpecMismatchError):
+            wrapped().go()
+
+    def test_non_list_return(self):
+        # The declared spec is clean; the implementation misbehaves at
+        # run time by returning a bare int.  Supplying the spec
+        # explicitly mimics checking firmware against a published model.
+        from repro.core.spec import ClassSpec
+        from repro.frontend.parse import parse_module
+
+        module, _ = parse_module(
+            "@sys\n"
+            "class Broken:\n"
+            "    @op_initial\n"
+            "    def go(self):\n"
+            "        return ['go']\n"
+        )
+        spec = ClassSpec.of(module.get_class("Broken"))
+
+        class Broken:
+            def go(self):
+                return 42
+
+        wrapped = monitored(Broken, spec=spec)
+        with pytest.raises(SpecMismatchError):
+            wrapped().go()
+
+
+class TestUserValueForm:
+    def test_tuple_returns_narrow_state(self):
+        @sys
+        class Meter:
+            @op_initial
+            def read(self):
+                return ["stop"], 42
+
+            @op_final
+            def stop(self):
+                return []
+
+        wrapped = monitored(Meter)
+        meter = wrapped()
+        follow, value = meter.read()
+        assert (follow, value) == (["stop"], 42)
+        meter.stop()
+        finalize(meter)
+
+
+class TestRecorder:
+    def test_recorder_captures_events(self):
+        recorder = TraceRecorder()
+        wrapped = monitored(make_valve_class(), recorder=recorder)
+        valve = wrapped()
+        valve.test()
+        valve.open()
+        valve.close()
+        assert recorder.as_trace() == ("test", "open", "close")
+        assert recorder.format() == "test, open, close"
+        assert len(recorder) == 3

@@ -1,0 +1,116 @@
+"""Monitoring composites and their subsystems simultaneously.
+
+The composite's own operations are guarded by its spec; its subsystem
+instances carry their own monitors.  A buggy composite body trips the
+*subsystem's* monitor mid-operation — the dynamic mirror of the static
+INVALID SUBSYSTEM USAGE verdict.
+"""
+
+import pytest
+
+from repro.frontend.decorators import op, op_final, op_initial, op_initial_final, sys
+from repro.runtime.monitor import (
+    IncompleteLifecycleError,
+    OrderViolationError,
+    finalize,
+    history_of,
+    monitored,
+)
+
+
+def build_classes():
+    @sys
+    class Pump:
+        @op_initial
+        def prime(self):
+            return ["run"]
+
+        @op
+        def run(self):
+            return ["stop"]
+
+        @op_final
+        def stop(self):
+            return ["prime"]
+
+    @sys(["p"])
+    class GoodStation:
+        def __init__(self):
+            self.p = Pump()
+
+        @op_initial_final
+        def cycle(self):
+            self.p.prime()
+            self.p.run()
+            self.p.stop()
+            return ["cycle"]
+
+    @sys(["p"])
+    class BadStation:
+        def __init__(self):
+            self.p = Pump()
+
+        @op_initial_final
+        def cycle(self):
+            self.p.run()  # BUG: run before prime
+            return []
+
+    monitored(Pump)
+    monitored(GoodStation)
+    monitored(BadStation)
+    return Pump, GoodStation, BadStation
+
+
+class TestCompositeMonitoring:
+    def test_good_station_runs_clean(self):
+        _pump, good_station, _bad = build_classes()
+        station = good_station()
+        station.cycle()
+        station.cycle()
+        finalize(station)
+        finalize(station.p)
+        assert history_of(station) == ("cycle", "cycle")
+        assert history_of(station.p) == ("prime", "run", "stop") * 2
+
+    def test_bad_station_trips_subsystem_monitor(self):
+        _pump, _good, bad_station = build_classes()
+        station = bad_station()
+        with pytest.raises(OrderViolationError) as exc:
+            station.cycle()
+        assert "Pump.run" in str(exc.value)
+
+    def test_composite_own_order_enforced(self):
+        _pump, good_station, _bad = build_classes()
+        station = good_station()
+        station.cycle()
+        finalize(station)
+        with pytest.raises(OrderViolationError):
+            station.cycle()  # finalized instances reject further calls
+
+    def test_subsystem_left_open_caught_at_finalize(self):
+        @sys
+        class Door:
+            @op_initial
+            def unlock(self):
+                return ["lock"]
+
+            @op_final
+            def lock(self):
+                return ["unlock"]
+
+        monitored(Door)
+        door = Door()
+        door.unlock()
+        with pytest.raises(IncompleteLifecycleError):
+            finalize(door)
+
+    def test_two_stations_do_not_interfere(self):
+        _pump, good_station, _bad = build_classes()
+        first, second = good_station(), good_station()
+        first.cycle()
+        second.cycle()
+        finalize(first)
+        # second is also finalizable independently.
+        finalize(second)
+        assert history_of(first.p) == ("prime", "run", "stop")
+        assert history_of(second.p) == ("prime", "run", "stop")

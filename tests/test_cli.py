@@ -1,0 +1,168 @@
+"""The command-line interface, end to end (in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.paper import GOOD_MODULE, SECTION_2_MODULE, SECTOR_MODULE
+
+
+@pytest.fixture
+def section2(tmp_path):
+    path = tmp_path / "section2.py"
+    path.write_text(SECTION_2_MODULE, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def good(tmp_path):
+    path = tmp_path / "good.py"
+    path.write_text(GOOD_MODULE, encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def sector(tmp_path):
+    path = tmp_path / "sector.py"
+    path.write_text(SECTOR_MODULE, encoding="utf-8")
+    return str(path)
+
+
+class TestCheck:
+    def test_failing_module_exits_1(self, section2, capsys):
+        assert main(["check", section2]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID SUBSYSTEM USAGE" in out
+        assert "FAIL TO MEET REQUIREMENT" in out
+
+    def test_passing_module_exits_0(self, good, capsys):
+        assert main(["check", good]) == 0
+        assert "OK: specification verified" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["check", "/nonexistent/file.py"])
+
+
+class TestModel:
+    def test_prints_inferred_regexes(self, section2, capsys):
+        assert main(["model", section2]) == 0
+        out = capsys.readouterr().out
+        assert "a.test . a.open" in out
+        assert "class BadSector:" in out
+
+
+class TestDeps:
+    def test_text_output(self, sector, capsys):
+        assert main(["deps", sector, "Sector"]) == 0
+        out = capsys.readouterr().out
+        assert "4 entry node(s), 6 exit node(s)" in out
+
+    def test_dot_output(self, sector, capsys):
+        assert main(["deps", sector, "Sector", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_class_required_when_ambiguous(self, sector):
+        with pytest.raises(SystemExit):
+            main(["deps", sector])
+
+    def test_unknown_class(self, sector):
+        with pytest.raises(SystemExit):
+            main(["deps", sector, "Ghost"])
+
+
+class TestViz:
+    def test_text(self, section2, capsys):
+        assert main(["viz", section2, "Valve"]) == 0
+        assert "-> test [initial]" in capsys.readouterr().out
+
+    def test_dot(self, section2, capsys):
+        assert main(["viz", section2, "Valve", "--dot"]) == 0
+        assert '"test" -> "open";' in capsys.readouterr().out
+
+    def test_output_file(self, section2, tmp_path, capsys):
+        target = tmp_path / "valve.dot"
+        assert main(["viz", section2, "Valve", "--dot", "-o", str(target)]) == 0
+        assert target.read_text(encoding="utf-8").startswith("digraph")
+
+
+class TestExplain:
+    def test_narrates_usage_error(self, section2, capsys):
+        assert main(["explain", section2]) == 1
+        out = capsys.readouterr().out
+        assert "Explanation for BadSector:" in out
+        assert "during open_a:" in out
+        assert "not in a final state" in out
+
+    def test_clean_module_has_no_explanations(self, good, capsys):
+        assert main(["explain", good]) == 0
+        out = capsys.readouterr().out
+        assert "Explanation" not in out
+
+
+class TestExport:
+    def test_spec_json(self, section2, capsys):
+        import json
+
+        assert main(["export", section2, "Valve", "--what", "spec"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "class-spec"
+        assert payload["name"] == "Valve"
+
+    def test_deps_json(self, sector, capsys):
+        import json
+
+        assert main(["export", sector, "Sector", "--what", "deps"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "dependency-graph"
+        assert len(payload["entries"]) == 4
+
+    def test_dfa_json_round_trips(self, section2, capsys):
+        import json
+
+        from repro.core.model_io import dfa_from_dict
+
+        assert main(["export", section2, "BadSector", "--what", "dfa"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        dfa = dfa_from_dict(payload)
+        assert dfa.accepts(["open_a", "a.test", "a.open"])
+
+
+class TestNusmv:
+    def test_emits_module(self, section2, capsys):
+        assert main(["nusmv", section2, "BadSector"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("MODULE main")
+        assert "LTLSPEC" in out  # the claim is emitted
+
+
+class TestSuite:
+    def test_prints_sequences(self, section2, capsys):
+        assert main(["suite", section2, "Valve"]) == 0
+        out = capsys.readouterr().out
+        assert "(empty lifecycle)" in out
+        assert "test, open, close" in out
+
+    def test_max_caps_output(self, section2, capsys):
+        assert main(["suite", section2, "Valve", "--max", "2"]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 2
+
+
+class TestReport:
+    def test_prints_markdown(self, section2, capsys):
+        assert main(["report", section2]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Verification report")
+        assert "## class `BadSector`" in out
+
+    def test_writes_file(self, good, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", good, "-o", str(target)]) == 0
+        assert target.read_text(encoding="utf-8").startswith("# Verification report")
+
+
+class TestTheorems:
+    def test_runs_and_passes(self, capsys):
+        assert main(["theorems", "--size", "3", "--length", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("HOLDS") == 5

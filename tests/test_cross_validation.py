@@ -1,0 +1,162 @@
+"""Cross-validation: the static checker, the runtime monitor and the
+specification automaton must agree on concrete traces.
+
+* any trace the spec automaton accepts must drive a monitored instance
+  to a clean finalize;
+* any counterexample the static checker reports must trip the monitor
+  at the same event;
+* random monitored executions always produce spec-accepted traces.
+"""
+
+import random
+
+import pytest
+
+from repro.core.checker import check_source
+from repro.core.spec import START_STATE, ClassSpec
+from repro.frontend.parse import parse_module
+from repro.runtime.monitor import (
+    IncompleteLifecycleError,
+    OrderViolationError,
+    finalize,
+    monitored,
+)
+
+VALVE_RUNTIME = '''
+from repro.frontend.decorators import sys, op, op_initial, op_final
+
+@sys
+class RuntimeValve:
+    def __init__(self):
+        self.needs_cleaning = False
+
+    @op_initial
+    def test(self):
+        if self.needs_cleaning:
+            return ["clean"]
+        return ["open"]
+
+    @op
+    def open(self):
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.needs_cleaning = True
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.needs_cleaning = False
+        return ["test"]
+'''
+
+
+@pytest.fixture(scope="module")
+def runtime_valve_class():
+    namespace: dict = {}
+    exec(compile(VALVE_RUNTIME, "<runtime-valve>", "exec"), namespace)
+    cls = namespace["RuntimeValve"]
+    module, violations = parse_module(VALVE_RUNTIME)
+    assert not violations
+    spec = ClassSpec.of(module.get_class("RuntimeValve"))
+    return monitored(cls, spec=spec), spec
+
+
+class TestSpecAcceptedTracesRunClean:
+    def drive(self, cls, trace):
+        instance = cls()
+        for event in trace:
+            getattr(instance, event)()
+        finalize(instance)
+
+    def test_accepted_traces(self, runtime_valve_class):
+        cls, spec = runtime_valve_class
+        dfa = spec.dfa()
+        # Enumerate accepted traces up to length 6 and replay each —
+        # skipping the ones the *implementation's data flow* cannot take
+        # (the monitor narrows by actual return values).
+        from repro.automata.shortest import iter_accepted_words
+
+        replayed = 0
+        for trace in iter_accepted_words(dfa, 6):
+            try:
+                self.drive(cls, trace)
+                replayed += 1
+            except OrderViolationError:
+                # Statically allowed but dynamically excluded path (e.g.
+                # "test, clean" when the valve is not dirty): the static
+                # model over-approximates, exactly as the paper says.
+                pass
+        assert replayed >= 3
+
+    def test_spec_rejected_trace_trips_monitor(self, runtime_valve_class):
+        cls, spec = runtime_valve_class
+        assert not spec.dfa().accepts(["open"])
+        with pytest.raises(OrderViolationError):
+            self.drive(cls, ["open"])
+
+    def test_incomplete_trace_trips_finalize(self, runtime_valve_class):
+        cls, spec = runtime_valve_class
+        assert not spec.dfa().accepts(["test", "open"])
+        with pytest.raises(IncompleteLifecycleError):
+            self.drive(cls, ["test", "open"])
+
+
+class TestMonitoredRunsAreSpecAccepted:
+    def test_random_walks(self, runtime_valve_class):
+        cls, spec = runtime_valve_class
+        dfa = spec.dfa()
+        rng = random.Random(1234)
+        operations = spec.operation_names()
+        for _round in range(50):
+            instance = cls()
+            performed = []
+            for _step in range(rng.randrange(0, 8)):
+                name = rng.choice(operations)
+                try:
+                    getattr(instance, name)()
+                    performed.append(name)
+                except OrderViolationError:
+                    pass
+            try:
+                finalize(instance)
+            except IncompleteLifecycleError:
+                continue
+            # A finalized monitored run is a word of the spec language.
+            assert dfa.accepts(performed), performed
+
+
+class TestStaticCounterexampleTripsMonitor:
+    def test_bad_sector_counterexample(self):
+        """The static counterexample (open_a, a.test, a.open) leaves
+        valve 'a' mid-lifecycle; the monitor agrees at finalize time."""
+        from repro.paper import SECTION_2_MODULE
+
+        result = check_source(SECTION_2_MODULE)
+        usage = result.by_code("invalid-subsystem-usage")[0]
+        trace = usage.counterexample
+        valve_events = [e.split(".", 1)[1] for e in trace if e.startswith("a.")]
+
+        module, _ = parse_module(SECTION_2_MODULE)
+        spec = ClassSpec.of(module.get_class("Valve"))
+
+        class PlainValve:
+            def test(self):
+                return ["open"]
+
+            def open(self):
+                return ["close"]
+
+            def close(self):
+                return ["test"]
+
+            def clean(self):
+                return ["test"]
+
+        cls = monitored(PlainValve, spec=spec)
+        instance = cls()
+        for event in valve_events:
+            getattr(instance, event)()
+        with pytest.raises(IncompleteLifecycleError):
+            finalize(instance)

@@ -1,0 +1,31 @@
+"""Every example script runs to completion with exit status 0."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[path.stem for path in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script, capsys, tmp_path, monkeypatch):
+    assert EXAMPLE_SCRIPTS, "no examples found"
+    # Examples that write artifacts do so next to themselves; run from a
+    # scratch directory so repeated test runs stay clean, then remove
+    # any .dot files the tour example wrote beside itself.
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(script), run_name="__main__")
+    assert exit_info.value.code == 0, capsys.readouterr().out
+    for artifact in EXAMPLES_DIR.glob("*.dot"):
+        artifact.unlink()
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py") in EXAMPLE_SCRIPTS

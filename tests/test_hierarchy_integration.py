@@ -1,0 +1,164 @@
+"""Integration on deeper hierarchies: three levels, shared subsystem
+classes, mixed verdicts, and diagnostics interplay."""
+
+from repro.core.checker import check_source
+from repro.paper import VALVE
+
+THREE_LEVELS = VALVE + '''
+
+@sys(["v"])
+class Zone:
+    def __init__(self):
+        self.v = Valve()
+
+    @op_initial_final
+    def water(self):
+        match self.v.test():
+            case ["open"]:
+                self.v.open()
+                self.v.close()
+                return ["water"], True
+            case ["clean"]:
+                self.v.clean()
+                return ["water"], False
+
+
+@sys(["north", "south"])
+class Field:
+    def __init__(self):
+        self.north = Zone()
+        self.south = Zone()
+
+    @op_initial
+    def morning(self):
+        self.north.water()
+        return ["evening"]
+
+    @op_final
+    def evening(self):
+        self.south.water()
+        return []
+
+
+@claim("(!f.evening) W f.morning")
+@sys(["f"])
+class Farm:
+    def __init__(self):
+        self.f = Field()
+
+    @op_initial_final
+    def day(self):
+        self.f.morning()
+        self.f.evening()
+        return []
+'''
+
+
+class TestThreeLevels:
+    def test_whole_hierarchy_verifies(self):
+        result = check_source(THREE_LEVELS)
+        assert result.ok, result.format()
+
+    def test_bug_at_bottom_blames_the_right_level(self):
+        # Zone leaves the valve open: Zone fails, its users' own
+        # subsystem usage of Zone (as a unit) is still judged against
+        # Zone's *spec*, which is unchanged — only Zone errs.
+        broken = THREE_LEVELS.replace("                self.v.close()\n", "")
+        result = check_source(broken)
+        usage = result.by_code("invalid-subsystem-usage")
+        assert [d.class_name for d in usage] == ["Zone"]
+
+    def test_bug_in_the_middle(self):
+        # Field waters only north: Zone 'south' of Field is never used,
+        # which is legal (unused subsystems carry no obligation).
+        broken = THREE_LEVELS.replace("        self.south.water()\n", "        pass\n")
+        result = check_source(broken)
+        assert result.ok, result.format()
+
+    def test_claims_cannot_reach_through_two_levels(self):
+        # Farm observes Field's operations (f.morning, f.evening), not
+        # Field's own subsystem events: a claim naming north.water two
+        # levels down is reported, not silently mis-checked.
+        broken = THREE_LEVELS.replace(
+            '(!f.evening) W f.morning', '(!south.water) W north.water'
+        )
+        result = check_source(broken)
+        errors = result.by_code("bad-claim")
+        assert len(errors) == 1
+        assert "north.water" in errors[0].message
+
+    def test_claim_violation_at_top(self):
+        # Swap the farm's ordering: south before north.
+        broken = THREE_LEVELS.replace(
+            "        self.f.morning()\n        self.f.evening()\n",
+            "        self.f.evening()\n        self.f.morning()\n",
+        )
+        result = check_source(broken)
+        usage = result.by_code("invalid-subsystem-usage")
+        # Field requires morning before evening: Farm misuses Field.
+        assert [d.class_name for d in usage] == ["Farm"]
+
+    def test_double_morning_rejected(self):
+        broken = THREE_LEVELS.replace(
+            "        self.f.morning()\n        self.f.evening()\n",
+            "        self.f.morning()\n        self.f.morning()\n        self.f.evening()\n",
+        )
+        result = check_source(broken)
+        usage = result.by_code("invalid-subsystem-usage")
+        assert len(usage) == 1
+        # Counterexamples are complete Farm lifecycles, so the trailing
+        # f.evening of day's body is part of the witness.
+        assert usage[0].counterexample == (
+            "day",
+            "f.morning",
+            "f.morning",
+            "f.evening",
+        )
+
+
+class TestSharedSubsystemClass:
+    def test_same_class_used_by_two_composites(self):
+        source = VALVE + (
+            "\n\n@sys(['v'])\n"
+            "class UserOne:\n"
+            "    def __init__(self):\n"
+            "        self.v = Valve()\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.v.test()\n"
+            "        self.v.clean()\n"
+            "        return []\n"
+            "\n\n@sys(['v'])\n"
+            "class UserTwo:\n"
+            "    def __init__(self):\n"
+            "        self.v = Valve()\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.v.test()\n"
+            "        self.v.open()\n"
+            "        return []\n"
+        )
+        result = check_source(source)
+        usage = result.by_code("invalid-subsystem-usage")
+        assert [d.class_name for d in usage] == ["UserTwo"]
+
+    def test_two_fields_same_class_one_bad(self):
+        source = VALVE + (
+            "\n\n@sys(['good', 'bad'])\n"
+            "class Mixed:\n"
+            "    def __init__(self):\n"
+            "        self.good = Valve()\n"
+            "        self.bad = Valve()\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        self.good.test()\n"
+            "        self.good.clean()\n"
+            "        self.bad.test()\n"
+            "        self.bad.open()\n"
+            "        return []\n"
+        )
+        result = check_source(source)
+        usage = result.by_code("invalid-subsystem-usage")
+        assert len(usage) == 1
+        fields = {e.field_name for d in usage for e in d.subsystem_errors}
+        assert fields == {"bad"}

@@ -1,0 +1,154 @@
+"""Robustness: hostile and degenerate inputs must fail *controlledly* —
+defined exceptions or diagnostics, never crashes or silent nonsense."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checker import check_source
+from repro.frontend.model_ast import FrontendError
+from repro.ltlf.parser import ClaimSyntaxError, parse_claim
+from repro.regex.parser import RegexSyntaxError, parse_regex
+
+
+class TestParserFuzz:
+    @given(st.text(alphabet="abWUXFG!&|()-> .+*", max_size=30))
+    @settings(max_examples=300, deadline=None)
+    def test_claim_parser_never_crashes(self, text):
+        try:
+            formula = parse_claim(text)
+        except ClaimSyntaxError:
+            return
+        # Whatever parsed must be a well-formed formula: evaluable.
+        from repro.ltlf.semantics import evaluate
+
+        evaluate(formula, ["a", "b"])
+
+    @given(st.text(alphabet="ab.+*(){} eps", max_size=30))
+    @settings(max_examples=300, deadline=None)
+    def test_regex_parser_never_crashes(self, text):
+        try:
+            regex = parse_regex(text)
+        except RegexSyntaxError:
+            return
+        from repro.regex.matching import matches
+
+        matches(regex, ["a"])
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_checker_never_crashes_on_arbitrary_text(self, source):
+        try:
+            result = check_source(source)
+        except FrontendError:
+            return
+        assert result is not None
+
+
+class TestDegenerateModules:
+    def test_class_with_only_init(self):
+        result = check_source(
+            "@sys\n"
+            "class OnlyInit:\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+        )
+        assert result.ok  # warned, not errored
+        assert result.by_code("no-operations")
+
+    def test_operation_returning_itself_forever(self):
+        result = check_source(
+            "@sys\n"
+            "class Loop:\n"
+            "    @op_initial\n"
+            "    def spin(self):\n"
+            "        return ['spin']\n"
+        )
+        # No final op: warning; language is empty of complete lifecycles.
+        assert result.ok
+        assert result.by_code("no-final-operation")
+
+    def test_composite_with_empty_operation_bodies(self):
+        result = check_source(
+            "@sys\n"
+            "class Base:\n"
+            "    @op_initial_final\n"
+            "    def once(self):\n"
+            "        return []\n"
+            "\n"
+            "@sys(['b'])\n"
+            "class User:\n"
+            "    def __init__(self):\n"
+            "        self.b = Base()\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        return []\n"
+        )
+        # Never using b is legal.
+        assert result.ok, result.format()
+
+    def test_deeply_nested_control_flow(self):
+        depth = 25
+        body = ""
+        for level in range(depth):
+            body += "    " * (level + 2) + "if x:\n"
+        body += "    " * (depth + 2) + "self.b.once()\n"
+        source = (
+            "@sys\n"
+            "class Base:\n"
+            "    @op_initial_final\n"
+            "    def once(self):\n"
+            "        return []\n"
+            "\n"
+            "@sys(['b'])\n"
+            "class User:\n"
+            "    def __init__(self):\n"
+            "        self.b = Base()\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            f"{body}"
+            "        return []\n"
+        )
+        result = check_source(source)
+        assert result.ok, result.format()
+
+    def test_operation_with_many_exits(self):
+        cases = "".join(
+            f"        if c{i}:\n            return []\n" for i in range(30)
+        )
+        source = (
+            "@sys\n"
+            "class ManyExits:\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            f"{cases}"
+            "        return []\n"
+        )
+        result = check_source(source)
+        assert result.ok, result.format()
+
+    def test_huge_next_method_fan_out(self):
+        names = [f"op{i}" for i in range(20)]
+        listed = ", ".join(repr(n) for n in names)
+        methods = "".join(
+            f"    @op_final\n    def {name}(self):\n        return []\n"
+            for name in names
+        )
+        source = (
+            "@sys\n"
+            "class FanOut:\n"
+            "    @op_initial\n"
+            "    def start(self):\n"
+            f"        return [{listed}]\n"
+            f"{methods}"
+        )
+        result = check_source(source)
+        assert result.ok, result.format()
+
+    def test_unicode_identifiers(self):
+        result = check_source(
+            "@sys\n"
+            "class Grün:\n"
+            "    @op_initial_final\n"
+            "    def gießen(self):\n"
+            "        return []\n"
+        )
+        assert result.ok, result.format()

@@ -1,0 +1,136 @@
+"""The synthetic workload generators themselves."""
+
+import random
+
+import pytest
+
+from repro.core.checker import check_source
+from repro.frontend.parse import parse_module
+from repro.workloads.formulas import (
+    next_tower,
+    ordering_claims,
+    random_formula,
+    response_chain,
+    until_chain,
+)
+from repro.workloads.hierarchy import (
+    HierarchyShape,
+    base_class_source,
+    composite_class_source,
+    lifecycle_claim,
+    module_source,
+)
+
+
+class TestHierarchyGenerator:
+    def test_base_class_parses_clean(self):
+        module, violations = parse_module(base_class_source("Device", 5))
+        assert violations == []
+        parsed = module.get_class("Device")
+        assert len(parsed.operations) == 5
+        assert parsed.operations[0].kind.is_initial
+        assert parsed.operations[-1].kind.is_final
+
+    def test_back_edges_stay_well_formed(self):
+        source = base_class_source("Device", 8, random.Random(3))
+        result = check_source(source)
+        assert result.ok, result.format()
+
+    def test_correct_modules_verify(self):
+        for seed in range(3):
+            shape = HierarchyShape(
+                base_operations=4, subsystems=3, composite_operations=2, seed=seed
+            )
+            result = check_source(module_source(shape, correct=True))
+            assert result.ok, result.format()
+
+    def test_buggy_modules_fail_with_usage_error(self):
+        for seed in range(3):
+            shape = HierarchyShape(
+                base_operations=4, subsystems=3, composite_operations=2, seed=seed
+            )
+            result = check_source(module_source(shape, correct=False))
+            assert not result.ok
+            assert result.by_code("invalid-subsystem-usage")
+
+    def test_lifecycle_claim_holds_on_correct_module(self):
+        shape = HierarchyShape(base_operations=3, subsystems=2, seed=11)
+        source = module_source(shape, correct=True, claim=lifecycle_claim(shape))
+        result = check_source(source)
+        assert result.ok, result.format()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyShape(base_operations=1)
+        with pytest.raises(ValueError):
+            HierarchyShape(subsystems=0)
+        with pytest.raises(ValueError):
+            HierarchyShape(composite_operations=0)
+
+    def test_composite_distributes_subsystems(self):
+        shape = HierarchyShape(base_operations=3, subsystems=4, composite_operations=2)
+        source = composite_class_source("C", "Device", shape)
+        module, _ = parse_module(base_class_source("Device", 3) + "\n" + source)
+        composite = module.get_class("C")
+        run0 = composite.operation("run0")
+        run1 = composite.operation("run1")
+        fields0 = {label.split(".")[0] for label in run0.calls}
+        fields1 = {label.split(".")[0] for label in run1.calls}
+        assert fields0 == {"s0", "s2"}
+        assert fields1 == {"s1", "s3"}
+
+    def test_deterministic_per_seed(self):
+        shape = HierarchyShape(base_operations=5, subsystems=2, seed=42)
+        assert module_source(shape) == module_source(shape)
+
+
+class TestFormulaFamilies:
+    def test_response_chain_depth(self):
+        from repro.ltlf.ast import atoms
+
+        formula = response_chain(3)
+        assert atoms(formula) == {"e0", "e1", "e2", "e3"}
+
+    def test_response_chain_semantics(self):
+        from repro.ltlf.semantics import evaluate
+
+        formula = response_chain(1)  # G (e0 -> F e1)
+        assert evaluate(formula, ["e0", "e1"])
+        assert not evaluate(formula, ["e0"])
+        assert evaluate(formula, ["e1"])  # vacuous
+
+    def test_until_chain_semantics(self):
+        from repro.ltlf.semantics import evaluate
+
+        formula = until_chain(2)  # e0 U (e1 U e2)
+        assert evaluate(formula, ["e0", "e0", "e1", "e2"])
+        assert evaluate(formula, ["e2"])
+        assert not evaluate(formula, ["e1"])  # e2 never arrives
+
+    def test_ordering_claims_semantics(self):
+        from repro.ltlf.semantics import evaluate
+
+        formula = ordering_claims(3)
+        assert evaluate(formula, ["e0", "e1", "e2"])
+        assert not evaluate(formula, ["e1", "e0", "e2"])
+        assert evaluate(formula, [])
+
+    def test_ordering_claims_needs_two_events(self):
+        with pytest.raises(ValueError):
+            ordering_claims(1)
+
+    def test_next_tower_counts(self):
+        from repro.ltlf.semantics import evaluate
+
+        formula = next_tower(3)
+        assert evaluate(formula, ["f", "f", "f", "e"])
+        assert not evaluate(formula, ["f", "f", "e"])
+
+    def test_random_formula_deterministic(self):
+        left = random_formula(random.Random(5), depth=4)
+        right = random_formula(random.Random(5), depth=4)
+        assert left == right
+
+    def test_response_chain_validation(self):
+        with pytest.raises(ValueError):
+            response_chain(0)

@@ -1,0 +1,50 @@
+"""Text twins of the diagrams."""
+
+from repro.core.dependency import extract_dependency_graph
+from repro.core.spec import ClassSpec
+from repro.viz.ascii_art import dependency_text, spec_text, summary_table
+
+
+class TestSpecText:
+    def test_valve_rendering(self, valve):
+        text = spec_text(ClassSpec.of(valve))
+        assert text.splitlines()[0] == "Valve"
+        assert "-> test [initial]" in text
+        assert "test [initial] -> open | clean" in text
+        assert "close [final] -> test" in text
+
+    def test_empty_exit_rendered_as_end(self, bad_sector):
+        text = spec_text(ClassSpec.of(bad_sector))
+        assert "(end)" in text
+
+    def test_initial_final_markers_combined(self, bad_sector):
+        text = spec_text(ClassSpec.of(bad_sector))
+        assert "open_a [initial, final]" in text
+
+
+class TestDependencyText:
+    def test_counts_line(self, sector):
+        text = dependency_text(extract_dependency_graph(sector))
+        assert text.splitlines()[0] == (
+            "Sector: 4 entry node(s), 6 exit node(s), 11 arc(s)"
+        )
+
+    def test_adjacency_lines(self, sector):
+        text = dependency_text(extract_dependency_graph(sector))
+        assert "entry open_a" in text
+        assert "-> exit open_a/return [close_a, open_b]" in text
+        assert "-> entry close_a" in text
+
+
+class TestSummaryTable:
+    def test_row_per_class(self, valve, bad_sector):
+        table = summary_table([ClassSpec.of(valve), ClassSpec.of(bad_sector)])
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[2].startswith("Valve")
+        assert lines[3].startswith("BadSector")
+
+    def test_counts_in_row(self, valve):
+        table = summary_table([ClassSpec.of(valve)])
+        row = table.splitlines()[2].split()
+        assert row == ["Valve", "4", "1", "2", "5"]

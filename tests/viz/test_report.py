@@ -1,0 +1,69 @@
+"""The Markdown report renderer."""
+
+from repro.frontend.parse import parse_module
+from repro.paper import GOOD_MODULE, SECTION_2_MODULE
+from repro.viz.report import render_report
+
+
+def render(source: str) -> str:
+    module, violations = parse_module(source)
+    return render_report(module, violations, title="test-module")
+
+
+class TestSection2Report:
+    def test_title_and_summary(self):
+        text = render(SECTION_2_MODULE)
+        assert text.startswith("# Verification report — test-module")
+        assert "Valve" in text and "BadSector" in text
+
+    def test_class_sections(self):
+        text = render(SECTION_2_MODULE)
+        assert "## class `Valve`" in text
+        assert "## class `BadSector`" in text
+        assert "*Kind*: base `@sys` class." in text
+        assert "*Kind*: composite `@sys` class." in text
+
+    def test_subsystems_and_claims_listed(self):
+        text = render(SECTION_2_MODULE)
+        assert "`a: Valve`" in text
+        assert "- `(!a.open) W b.open`" in text
+
+    def test_inferred_behaviors_table(self):
+        text = render(SECTION_2_MODULE)
+        assert "| `open_a` | 0 | open_b | `a.test . a.open` |" in text
+        assert "| `open_b` | 1 | (end) | `b.test . b.clean . a.close` |" in text
+
+    def test_verdicts(self):
+        text = render(SECTION_2_MODULE)
+        assert "**Verdict: PASS** — specification verified." in text  # Valve
+        assert "**Verdict: FAIL**" in text  # BadSector
+        assert "INVALID SUBSYSTEM USAGE" in text
+        assert "FAIL TO MEET REQUIREMENT" in text
+
+    def test_error_blocks_are_fenced(self):
+        text = render(SECTION_2_MODULE)
+        assert text.count("```") % 2 == 0
+
+
+class TestOtherModules:
+    def test_clean_module_all_pass(self):
+        text = render(GOOD_MODULE)
+        assert "**Verdict: FAIL**" not in text
+
+    def test_empty_module(self):
+        module, violations = parse_module("x = 1\n")
+        text = render_report(module, violations)
+        assert "No `@sys` classes found." in text
+
+    def test_subset_violations_section(self):
+        source = (
+            "@sys\n"
+            "class C:\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        raise ValueError()\n"
+            "        return []\n"
+        )
+        text = render(source)
+        assert "## Subset violations" in text
+        assert "unsupported-construct" in text
