@@ -1,0 +1,70 @@
+"""Ablation — the batch engine against the serial checker.
+
+Three measurements on the ``workloads/hierarchy`` project workload:
+
+* serial engine (``jobs=1``) — overhead over the plain ``Checker`` must
+  be negligible (same pure check function, same report);
+* parallel engine (``jobs=4``, thread pool) — wave-scheduled concurrent
+  checking; wall-clock wins scale with available cores and released GIL
+  time, the harness only asserts identical output here;
+* warm cache — every verdict from ``.repro-cache`` content hashes; this
+  is the production re-check path and must beat cold checking by a wide
+  margin regardless of core count.
+"""
+
+import pytest
+
+from repro.core.checker import Checker
+from repro.engine import BatchVerifier, InferenceCache
+from repro.frontend.parse import parse_module
+from repro.workloads.hierarchy import HierarchyShape, project_source
+
+PAIRS = 4
+
+
+@pytest.fixture(scope="module")
+def project():
+    shape = HierarchyShape(base_operations=5, subsystems=2, seed=11)
+    module, violations = parse_module(project_source(shape, pairs=PAIRS))
+    reference = Checker(module, violations).check().format()
+    return module, violations, reference
+
+
+def test_engine_serial_matches_checker(benchmark, project):
+    module, violations, reference = project
+
+    def run():
+        return BatchVerifier(module, violations, jobs=1).run()
+
+    result = benchmark(run)
+    assert result.merged().format() == reference
+    assert result.metrics.classes == 2 * PAIRS
+
+
+def test_engine_parallel_matches_checker(benchmark, project):
+    module, violations, reference = project
+
+    def run():
+        return BatchVerifier(module, violations, jobs=4).run()
+
+    result = benchmark(run)
+    assert result.merged().format() == reference
+    assert result.metrics.waves == 2
+
+
+def test_engine_warm_cache(benchmark, project, tmp_path_factory):
+    module, violations, reference = project
+    root = tmp_path_factory.mktemp("repro-cache")
+    cold = BatchVerifier(module, violations, cache=InferenceCache(root)).run()
+    assert cold.metrics.class_misses == 2 * PAIRS
+
+    def run():
+        return BatchVerifier(module, violations, cache=InferenceCache(root)).run()
+
+    result = benchmark(run)
+    assert result.merged().format() == reference
+    assert result.metrics.fully_cached
+    print(
+        f"\nwarm cache: {result.metrics.class_hits}/{result.metrics.classes} "
+        "verdicts from cache"
+    )

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so environments
+whose toolchain cannot build PEP 660 editable wheels (no ``wheel``
+package, as on minimal offline images) can still register the package
+and its ``repro`` console script via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

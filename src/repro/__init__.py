@@ -19,6 +19,7 @@ Package map (details in DESIGN.md):
 * :mod:`repro.ltlf` -- temporal claims on finite traces,
 * :mod:`repro.frontend` -- annotations and MicroPython parsing,
 * :mod:`repro.core` -- extraction + verification pipeline,
+* :mod:`repro.engine` -- parallel batch verification + inference cache,
 * :mod:`repro.micropython` -- simulated ``machine`` substrate,
 * :mod:`repro.runtime` -- dynamic monitoring of the same models,
 * :mod:`repro.nusmv` -- NuSMV emission, :mod:`repro.viz` -- diagrams,
@@ -27,6 +28,7 @@ Package map (details in DESIGN.md):
 
 from repro.core.checker import Checker, check_path, check_source
 from repro.core.dependency import extract_dependency_graph
+from repro.engine import BatchVerifier, InferenceCache, verify_path
 from repro.core.diagnostics import CheckResult, Diagnostic, Severity
 from repro.core.spec import ClassSpec
 from repro.frontend.decorators import (
@@ -47,8 +49,10 @@ from repro.runtime.monitor import finalize, lifecycle, monitored
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchVerifier",
     "Checker",
     "CheckResult",
+    "InferenceCache",
     "ClassSpec",
     "Diagnostic",
     "Severity",
@@ -72,4 +76,5 @@ __all__ = [
     "parse_file",
     "parse_module",
     "sys",
+    "verify_path",
 ]

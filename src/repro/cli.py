@@ -2,7 +2,9 @@
 
 Subcommands::
 
-    repro check FILE          verify a module (paper-style error reports)
+    repro check FILE          verify a module or project directory
+                              (--jobs N --cache for the batch engine;
+                              paper-style error reports either way)
     repro explain FILE        verify and narrate each usage counterexample
     repro model FILE          print each operation's inferred behavior regex
     repro deps FILE [CLASS]   print the §3.1 dependency graph
@@ -62,9 +64,26 @@ def _select_class(module: ParsedModule, name: str | None, path: str):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.engine import BatchVerifier, EngineError, InferenceCache
+
     module, violations = _load(args.file)
-    result = Checker(module, violations).check()
+    cache = InferenceCache(args.cache_dir) if args.cache else None
+    try:
+        verifier = BatchVerifier(
+            module,
+            violations,
+            jobs=args.jobs,
+            executor=args.executor,
+            cache=cache,
+        )
+    except EngineError as error:
+        raise SystemExit(f"error: {error}")
+    batch = verifier.run()
+    result = batch.merged()
     print(result.format())
+    if args.stats:
+        print()
+        print(batch.metrics.format())
     return 0 if result.ok else 1
 
 
@@ -214,8 +233,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    check = subparsers.add_parser("check", help="verify a module")
+    check = subparsers.add_parser("check", help="verify a module or project")
     check.add_argument("file")
+    check.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker count for the batch engine (default: 1, serial)",
+    )
+    check.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool backend (default: thread)",
+    )
+    check.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse and persist the content-addressed inference cache",
+    )
+    check.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="cache location (default: .repro-cache)",
+    )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine metrics (cache hits, per-class wall time)",
+    )
     check.set_defaults(func=_cmd_check)
 
     explain = subparsers.add_parser(

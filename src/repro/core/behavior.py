@@ -23,6 +23,8 @@ automaton itself — one uniform code path for both cases.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.automata.nfa import NFA, NFABuilder
 from repro.automata.thompson import thompson
 from repro.core.spec import START_STATE, ClassSpec, exit_state
@@ -41,8 +43,29 @@ def operation_exit_regexes(operation: OperationDef) -> dict[int, Regex]:
     }
 
 
-def behavior_nfa(parsed: ParsedClass) -> NFA:
-    """Build the behavior automaton of ``parsed``."""
+def class_exit_regexes(parsed: ParsedClass) -> dict[str, dict[int, Regex]]:
+    """Every operation's inferred per-exit behavior, keyed by name.
+
+    This is the pure, hashable-input form the batch engine caches: the
+    value depends only on each operation's body term and declared exits.
+    """
+    return {
+        operation.name: operation_exit_regexes(operation)
+        for operation in parsed.operations
+    }
+
+
+def behavior_nfa(
+    parsed: ParsedClass,
+    exit_regexes: Mapping[str, Mapping[int, Regex]] | None = None,
+) -> NFA:
+    """Build the behavior automaton of ``parsed``.
+
+    ``exit_regexes`` optionally supplies precomputed (e.g. cached)
+    inferred behaviors per operation name; operations not covered fall
+    back to on-the-fly inference.  The construction itself is a pure
+    function of the parsed class and those regexes.
+    """
     spec = ClassSpec.of(parsed)
     builder = NFABuilder()
     builder.mark_initial(START_STATE)
@@ -53,9 +76,16 @@ def behavior_nfa(parsed: ParsedClass) -> NFA:
     # Splice each operation's per-exit body fragments once.
     for operation in parsed.operations:
         builder.add_state(entered[operation.name])
-        exit_regexes = operation_exit_regexes(operation)
+        supplied = None if exit_regexes is None else exit_regexes.get(operation.name)
+        if supplied is None:
+            per_exit = operation_exit_regexes(operation)
+        else:
+            per_exit = {
+                point.exit_id: supplied.get(point.exit_id, EPSILON)
+                for point in operation.returns
+            }
         for point in operation.returns:
-            fragment = thompson(exit_regexes[point.exit_id])
+            fragment = thompson(per_exit[point.exit_id])
             rename = {
                 state: ("body", operation.name, point.exit_id, state)
                 for state in fragment.states

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping
 
 from repro.automata.determinize import determinize
+from repro.automata.dfa import DFA
 from repro.core.behavior import behavior_nfa
 from repro.core.claims import check_claims
 from repro.core.diagnostics import CheckResult, from_subset_violation
@@ -38,6 +40,55 @@ from repro.core.vacuity import check_claim_vacuity
 from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
 from repro.frontend.parse import parse_file, parse_module
 from repro.frontend.subset import validate_module
+from repro.regex.ast import Regex
+
+
+def check_parsed_class(
+    parsed: ParsedClass,
+    specs: Mapping[str, ClassSpec],
+    exit_regexes: Mapping[str, Mapping[int, Regex]] | None = None,
+) -> tuple[CheckResult, DFA | None]:
+    """Run the full pipeline on one class — a pure function.
+
+    Everything the verdict depends on is in the arguments: the parsed
+    class, the specs in scope, and (optionally) precomputed inferred
+    behaviors per operation.  No module state, no ordering constraints —
+    which is what makes the verdict cacheable by content hash and safe
+    to compute concurrently across classes (see :mod:`repro.engine`).
+
+    Returns the diagnostics plus the determinized behavior DFA when the
+    check computed one (composite classes past the structural gate).
+    """
+    result = CheckResult()
+    result.extend(lint_spec(parsed))
+    structural_errors = not result.ok
+    if parsed.is_composite:
+        result.extend(check_invocations(parsed, specs))
+        result.extend(check_match_exhaustiveness(parsed, specs))
+    if structural_errors:
+        # The behavior automaton would be built from a broken spec;
+        # usage/claim verdicts on it would be noise.
+        return result, None
+    behavior = behavior_nfa(parsed, exit_regexes=exit_regexes)
+    dfa: DFA | None = None
+    if parsed.is_composite:
+        dfa = determinize(behavior)
+        result.extend(check_subsystem_usage(parsed, specs, dfa))
+    result.extend(check_claims(parsed, behavior, specs))
+    result.extend(check_claim_vacuity(parsed, behavior, specs))
+    return result, dfa
+
+
+def module_diagnostics(
+    module: ParsedModule, violations: list[SubsetViolation]
+) -> CheckResult:
+    """The module-level diagnostics: frontend + whole-module subset checks."""
+    result = CheckResult()
+    for violation in violations:
+        result.diagnostics.append(from_subset_violation(violation))
+    for violation in validate_module(module):
+        result.diagnostics.append(from_subset_violation(violation))
+    return result
 
 
 @dataclass
@@ -56,32 +107,12 @@ class Checker:
 
     def check_class(self, parsed: ParsedClass) -> CheckResult:
         """Run the full pipeline on one class."""
-        result = CheckResult()
-        result.extend(lint_spec(parsed))
-        structural_errors = not result.ok
-        if parsed.is_composite:
-            result.extend(check_invocations(parsed, self.specs))
-            result.extend(check_match_exhaustiveness(parsed, self.specs))
-        if structural_errors:
-            # The behavior automaton would be built from a broken spec;
-            # usage/claim verdicts on it would be noise.
-            return result
-        behavior = behavior_nfa(parsed)
-        if parsed.is_composite:
-            result.extend(
-                check_subsystem_usage(parsed, self.specs, determinize(behavior))
-            )
-        result.extend(check_claims(parsed, behavior, self.specs))
-        result.extend(check_claim_vacuity(parsed, behavior, self.specs))
+        result, _dfa = check_parsed_class(parsed, self.specs)
         return result
 
     def check(self) -> CheckResult:
         """Check the whole module."""
-        result = CheckResult()
-        for violation in self.violations:
-            result.diagnostics.append(from_subset_violation(violation))
-        for violation in validate_module(self.module):
-            result.diagnostics.append(from_subset_violation(violation))
+        result = module_diagnostics(self.module, self.violations)
         for parsed in self.module.classes:
             result.extend(self.check_class(parsed))
         return result

@@ -1,0 +1,55 @@
+"""Parallel batch verification with a content-addressed inference cache.
+
+The scaling substrate on top of :mod:`repro.core` (see docs/engine.md):
+
+* :mod:`repro.engine.scheduler` — topological waves over the ``@sys``
+  subsystem dependency DAG,
+* :mod:`repro.engine.engine` — the worker-pool :class:`BatchVerifier`,
+* :mod:`repro.engine.cache` — the persistent ``.repro-cache/`` store,
+* :mod:`repro.engine.fingerprint` — SHA-256 content keys,
+* :mod:`repro.engine.metrics` — cache counters and per-class wall time,
+* :mod:`repro.engine.serialize` — exact diagnostic round trips.
+
+Quickstart::
+
+    from repro.engine import BatchVerifier, InferenceCache
+    result = BatchVerifier(module, violations, jobs=4,
+                           cache=InferenceCache(".repro-cache")).run()
+    print(result.merged().format())
+    print(result.metrics.format())
+"""
+
+from repro.engine.cache import CacheStats, InferenceCache
+from repro.engine.engine import (
+    BatchResult,
+    BatchVerifier,
+    EngineError,
+    cached_behavior_dfa,
+    verify_module,
+    verify_path,
+)
+from repro.engine.fingerprint import class_key, method_key, spec_fingerprint
+from repro.engine.metrics import ClassTiming, EngineMetrics
+from repro.engine.scheduler import schedule, subsystem_dependencies, topological_waves
+from repro.engine.serialize import diagnostic_from_dict, diagnostic_to_dict
+
+__all__ = [
+    "BatchResult",
+    "BatchVerifier",
+    "CacheStats",
+    "ClassTiming",
+    "EngineError",
+    "EngineMetrics",
+    "InferenceCache",
+    "cached_behavior_dfa",
+    "class_key",
+    "diagnostic_from_dict",
+    "diagnostic_to_dict",
+    "method_key",
+    "schedule",
+    "spec_fingerprint",
+    "subsystem_dependencies",
+    "topological_waves",
+    "verify_module",
+    "verify_path",
+]

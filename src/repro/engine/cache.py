@@ -1,0 +1,166 @@
+"""Content-addressed inference cache.
+
+Two namespaces, both keyed by SHA-256 fingerprints from
+:mod:`repro.engine.fingerprint`:
+
+* ``method`` — the inferred behavior of one body term: the ongoing regex
+  and the per-exit regexes, stored in the paper's concrete syntax (the
+  parser/printer pair round-trips canonical terms exactly);
+* ``class`` — a class's check verdict: the diagnostic list, plus the
+  determinized behavior DFA when the check computed one (composites).
+
+Layout on disk (the directory is safe to delete at any time)::
+
+    .repro-cache/
+        CACHEDIR.TAG
+        method/<k[:2]>/<k>.json
+        class/<k[:2]>/<k>.json
+
+Every payload is wrapped in an envelope carrying ``cache_version``;
+entries written by an incompatible build, as well as unreadable or
+truncated files, are treated as misses — the cache can only ever cost a
+recomputation, never wrong output.  Writes go through a temp file +
+``os.replace`` so concurrent runs see whole entries or nothing.
+
+The in-memory layer makes repeated lookups within one process free and
+is guarded by a lock, so a thread-pool engine can share one instance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Bump together with payload shape changes.
+CACHE_VERSION = 1
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_NAMESPACES = ("method", "class")
+
+_CACHEDIR_TAG = (
+    "Signature: 8a477f597d28d172789f06886806bc55\n"
+    "# This directory holds the repro inference cache; safe to delete.\n"
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters, per namespace."""
+
+    hits: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
+    misses: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
+    writes: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
+
+    def hit_rate(self, namespace: str) -> float:
+        total = self.hits[namespace] + self.misses[namespace]
+        return self.hits[namespace] / total if total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "writes": dict(self.writes),
+        }
+
+
+class InferenceCache:
+    """Content-addressed store for inference and verdict payloads.
+
+    ``root=None`` keeps the cache purely in memory (one process, no
+    persistence) — useful for tests and for the engine's default when
+    the user did not opt into ``--cache``.
+    """
+
+    def __init__(self, root: str | Path | None = DEFAULT_CACHE_DIR):
+        self.root = None if root is None else Path(root)
+        self.stats = CacheStats()
+        self._memory: dict[tuple[str, str], dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tag = self.root / "CACHEDIR.TAG"
+            if not tag.exists():
+                tag.write_text(_CACHEDIR_TAG, encoding="utf-8")
+
+    # ------------------------------------------------------------------
+
+    def _path(self, namespace: str, key: str) -> Path:
+        assert self.root is not None
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    def get(self, namespace: str, key: str) -> dict[str, Any] | None:
+        """The stored payload, or ``None`` on any kind of miss."""
+        if namespace not in _NAMESPACES:
+            raise ValueError(f"unknown cache namespace: {namespace!r}")
+        with self._lock:
+            payload = self._memory.get((namespace, key))
+        if payload is None and self.root is not None:
+            payload = self._read_file(namespace, key)
+            if payload is not None:
+                with self._lock:
+                    self._memory[(namespace, key)] = payload
+        if payload is None:
+            self.stats.misses[namespace] += 1
+            return None
+        self.stats.hits[namespace] += 1
+        return payload
+
+    def _read_file(self, namespace: str, key: str) -> dict[str, Any] | None:
+        path = self._path(namespace, key)
+        try:
+            envelope = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("cache_version") != CACHE_VERSION
+            or not isinstance(envelope.get("payload"), dict)
+        ):
+            return None
+        return envelope["payload"]
+
+    def put(self, namespace: str, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload``; persists when the cache has a root."""
+        if namespace not in _NAMESPACES:
+            raise ValueError(f"unknown cache namespace: {namespace!r}")
+        with self._lock:
+            self._memory[(namespace, key)] = payload
+        self.stats.writes[namespace] += 1
+        if self.root is None:
+            return
+        path = self._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {"cache_version": CACHE_VERSION, "payload": payload}
+        text = json.dumps(envelope, sort_keys=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(text)
+            os.replace(temp_name, path)
+        except OSError:
+            try:  # best effort: a failed write must not kill the check
+                os.unlink(temp_name)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of entries on disk (0 for memory-only caches)."""
+        if self.root is None:
+            return len(self._memory)
+        count = 0
+        for namespace in _NAMESPACES:
+            directory = self.root / namespace
+            if directory.is_dir():
+                count += sum(1 for _ in directory.rglob("*.json"))
+        return count

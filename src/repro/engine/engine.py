@@ -1,0 +1,390 @@
+"""The parallel batch-verification engine.
+
+Takes a parsed project (one :class:`ParsedModule`, possibly merged from
+a directory), schedules its classes into topological waves over the
+``@sys`` subsystem DAG (:mod:`repro.engine.scheduler`), and checks the
+classes of each wave concurrently on a ``concurrent.futures`` pool.
+Verification of a class is the pure function
+:func:`repro.core.checker.check_parsed_class`, so workers share nothing
+and the merged report is byte-identical to the serial
+:class:`repro.core.checker.Checker` regardless of ``jobs``.
+
+With an :class:`~repro.engine.cache.InferenceCache` attached, two cache
+layers short-circuit work (keys in :mod:`repro.engine.fingerprint`):
+
+* the **verdict layer** returns a class's diagnostics (and behavior DFA,
+  when one was computed) without re-running anything;
+* the **inference layer** returns each unchanged method's inferred
+  per-exit regexes, so editing one method of a class only re-infers that
+  method before the automaton is rebuilt.
+
+A warm re-run of an unchanged project therefore performs no inference,
+determinization or minimization at all — it parses, hashes and prints.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.checker import check_parsed_class, module_diagnostics
+from repro.core.diagnostics import CheckResult
+from repro.core.model_io import dfa_to_dict
+from repro.core.spec import ClassSpec
+from repro.engine.cache import InferenceCache
+from repro.engine.fingerprint import class_key, method_key
+from repro.engine.metrics import ClassTiming, EngineMetrics
+from repro.engine.scheduler import schedule
+from repro.engine.serialize import diagnostics_from_list, diagnostics_to_list
+from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
+from repro.regex.ast import Regex, format_regex
+from repro.regex.parser import RegexSyntaxError, parse_regex
+
+EXECUTORS = ("thread", "process")
+
+
+class EngineError(ValueError):
+    """Raised on invalid engine configuration."""
+
+
+# ----------------------------------------------------------------------
+# The worker task (module-level so a process pool can pickle it)
+# ----------------------------------------------------------------------
+
+def _exit_regexes_from_payload(
+    parsed: ParsedClass, payloads: dict[str, dict[str, Any]]
+) -> tuple[dict[str, dict[int, Regex]], int, int, dict[str, dict[str, Any]]]:
+    """Reconstruct cached inferred behaviors; compute the rest.
+
+    Returns (exit regexes per operation, hits, misses, new payloads to
+    persist).  A malformed payload counts as a miss — the worker then
+    recomputes and re-emits it.
+    """
+    from repro.core.behavior import operation_exit_regexes
+    from repro.lang.inference import behavior
+
+    exit_regexes: dict[str, dict[int, Regex]] = {}
+    fresh: dict[str, dict[str, Any]] = {}
+    hits = misses = 0
+    for operation in parsed.operations:
+        payload = payloads.get(operation.name)
+        if payload is not None:
+            try:
+                exit_regexes[operation.name] = {
+                    int(exit_id): parse_regex(text)
+                    for exit_id, text in payload["exits"].items()
+                }
+                hits += 1
+                continue
+            except (KeyError, TypeError, ValueError, RegexSyntaxError):
+                pass  # corrupt entry: fall through to recomputation
+        misses += 1
+        per_exit = operation_exit_regexes(operation)
+        exit_regexes[operation.name] = per_exit
+        fresh[operation.name] = {
+            "ongoing": format_regex(behavior(operation.body).ongoing),
+            "exits": {
+                str(exit_id): format_regex(regex)
+                for exit_id, regex in per_exit.items()
+            },
+        }
+    return exit_regexes, hits, misses, fresh
+
+
+def _check_class_task(
+    parsed: ParsedClass,
+    scope: dict[str, ParsedClass],
+    method_payloads: dict[str, dict[str, Any]],
+) -> dict[str, Any]:
+    """Check one class; everything in and out is picklable.
+
+    ``scope`` carries the parsed classes whose specs the check may read
+    (the class itself plus its direct subsystem dependencies).
+    """
+    started = time.perf_counter()
+    exit_regexes, hits, misses, fresh = _exit_regexes_from_payload(
+        parsed, method_payloads
+    )
+    specs: Mapping[str, ClassSpec] = {
+        name: ClassSpec.of(cls) for name, cls in scope.items()
+    }
+    result, dfa = check_parsed_class(parsed, specs, exit_regexes=exit_regexes)
+    return {
+        "class": parsed.name,
+        "diagnostics": diagnostics_to_list(result.diagnostics),
+        "dfa": None if dfa is None else dfa_to_dict(dfa),
+        "seconds": time.perf_counter() - started,
+        "method_hits": hits,
+        "method_misses": misses,
+        "new_methods": fresh,
+    }
+
+
+# ----------------------------------------------------------------------
+# Batch results
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Everything one engine run produced."""
+
+    module: ParsedModule
+    module_result: CheckResult
+    class_results: tuple[tuple[str, CheckResult], ...]
+    metrics: EngineMetrics
+
+    def merged(self) -> CheckResult:
+        """One report, ordered exactly like ``Checker.check()``:
+        module-level diagnostics first, then classes in source order."""
+        result = CheckResult(diagnostics=list(self.module_result.diagnostics))
+        for _name, class_result in self.class_results:
+            result.extend(class_result)
+        return result
+
+    @property
+    def ok(self) -> bool:
+        return self.merged().ok
+
+    def result_for(self, class_name: str) -> CheckResult | None:
+        for name, class_result in self.class_results:
+            if name == class_name:
+                return class_result
+        return None
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class BatchVerifier:
+    """Verify a parsed project: DAG-scheduled, pooled, cached."""
+
+    def __init__(
+        self,
+        module: ParsedModule,
+        violations: list[SubsetViolation] | None = None,
+        *,
+        jobs: int = 1,
+        executor: str = "thread",
+        cache: InferenceCache | None = None,
+    ):
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        if executor not in EXECUTORS:
+            raise EngineError(
+                f"executor must be one of {', '.join(EXECUTORS)}; got {executor!r}"
+            )
+        self.module = module
+        self.violations = list(violations or [])
+        self.jobs = jobs
+        self.executor = executor
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+
+    def _make_pool(self, width: int) -> Executor:
+        workers = min(self.jobs, width)
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def _scope_for(self, parsed: ParsedClass) -> dict[str, ParsedClass]:
+        """The class itself plus its direct subsystem dependencies —
+        the only specs :func:`check_parsed_class` can consult."""
+        scope = {parsed.name: parsed}
+        for declaration in parsed.subsystems:
+            dependency = self.module.get_class(declaration.class_name)
+            if dependency is not None:
+                scope[dependency.name] = dependency
+        return scope
+
+    def _method_payloads(self, parsed: ParsedClass) -> dict[str, dict[str, Any]]:
+        if self.cache is None:
+            return {}
+        payloads: dict[str, dict[str, Any]] = {}
+        for operation in parsed.operations:
+            payload = self.cache.get("method", method_key(operation))
+            if payload is not None:
+                payloads[operation.name] = payload
+        return payloads
+
+    def run(self) -> BatchResult:
+        started = time.perf_counter()
+        classes_by_name = {parsed.name: parsed for parsed in self.module.classes}
+        waves = schedule(self.module)
+
+        outcomes: dict[str, CheckResult] = {}
+        timings: list[ClassTiming] = []
+        class_hits = class_misses = method_hits = method_misses = 0
+        cache_writes = 0
+
+        for wave_index, wave in enumerate(waves):
+            pending: list[tuple[str, str | None]] = []
+            for name in wave:
+                parsed = classes_by_name[name]
+                key: str | None = None
+                if self.cache is not None:
+                    lookup_started = time.perf_counter()
+                    key = class_key(parsed, classes_by_name)
+                    payload = self.cache.get("class", key)
+                    if payload is not None:
+                        try:
+                            diagnostics = diagnostics_from_list(
+                                payload["diagnostics"]
+                            )
+                        except (KeyError, TypeError, ValueError):
+                            diagnostics = None
+                        if diagnostics is not None:
+                            outcomes[name] = CheckResult(diagnostics=diagnostics)
+                            class_hits += 1
+                            timings.append(
+                                ClassTiming(
+                                    class_name=name,
+                                    seconds=time.perf_counter() - lookup_started,
+                                    from_cache=True,
+                                    wave=wave_index,
+                                )
+                            )
+                            continue
+                pending.append((name, key))
+
+            if not pending:
+                continue
+            class_misses += len(pending)
+
+            tasks = [
+                (
+                    classes_by_name[name],
+                    self._scope_for(classes_by_name[name]),
+                    self._method_payloads(classes_by_name[name]),
+                )
+                for name, _key in pending
+            ]
+            if self.jobs == 1 or len(pending) == 1:
+                raw = [_check_class_task(*task) for task in tasks]
+            else:
+                with self._make_pool(len(pending)) as pool:
+                    raw = list(
+                        pool.map(
+                            _check_class_task,
+                            *zip(*tasks),
+                        )
+                    )
+
+            for (name, key), outcome in zip(pending, raw):
+                outcomes[name] = CheckResult(
+                    diagnostics=diagnostics_from_list(outcome["diagnostics"])
+                )
+                method_hits += outcome["method_hits"]
+                method_misses += outcome["method_misses"]
+                timings.append(
+                    ClassTiming(
+                        class_name=name,
+                        seconds=outcome["seconds"],
+                        from_cache=False,
+                        wave=wave_index,
+                    )
+                )
+                if self.cache is not None and key is not None:
+                    for operation_name, payload in outcome["new_methods"].items():
+                        operation = classes_by_name[name].operation(operation_name)
+                        if operation is not None:
+                            self.cache.put("method", method_key(operation), payload)
+                            cache_writes += 1
+                    self.cache.put(
+                        "class",
+                        key,
+                        {
+                            "class": name,
+                            "diagnostics": outcome["diagnostics"],
+                            "dfa": outcome["dfa"],
+                            "seconds": outcome["seconds"],
+                        },
+                    )
+                    cache_writes += 1
+
+        ordered = tuple(
+            (parsed.name, outcomes[parsed.name]) for parsed in self.module.classes
+        )
+        metrics = EngineMetrics(
+            classes=len(self.module.classes),
+            waves=len(waves),
+            jobs=self.jobs,
+            executor=self.executor,
+            wall_seconds=time.perf_counter() - started,
+            class_hits=class_hits,
+            class_misses=class_misses,
+            method_hits=method_hits,
+            method_misses=method_misses,
+            cache_writes=cache_writes,
+            timings=tuple(sorted(timings, key=lambda t: (t.wave, t.class_name))),
+        )
+        return BatchResult(
+            module=self.module,
+            module_result=module_diagnostics(self.module, self.violations),
+            class_results=ordered,
+            metrics=metrics,
+        )
+
+
+# ----------------------------------------------------------------------
+# Convenience entry points
+# ----------------------------------------------------------------------
+
+def verify_module(
+    module: ParsedModule,
+    violations: list[SubsetViolation] | None = None,
+    *,
+    jobs: int = 1,
+    executor: str = "thread",
+    cache: InferenceCache | None = None,
+) -> BatchResult:
+    """Run the batch engine on an already-parsed module/project."""
+    return BatchVerifier(
+        module, violations, jobs=jobs, executor=executor, cache=cache
+    ).run()
+
+
+def cached_behavior_dfa(
+    cache: InferenceCache,
+    parsed: ParsedClass,
+    classes_in_scope: Mapping[str, ParsedClass],
+):
+    """The behavior DFA stored with a cached verdict, if any.
+
+    Only composite classes that passed the structural gate carry one
+    (base-class checks never determinize).  Returns ``None`` on a cache
+    miss or when no DFA was recorded.
+    """
+    from repro.core.model_io import ModelFormatError, dfa_from_dict
+
+    payload = cache.get("class", class_key(parsed, classes_in_scope))
+    if payload is None or payload.get("dfa") is None:
+        return None
+    try:
+        return dfa_from_dict(payload["dfa"])
+    except ModelFormatError:
+        return None
+
+
+def verify_path(
+    path: str | Path,
+    *,
+    jobs: int = 1,
+    executor: str = "thread",
+    cache: InferenceCache | None = None,
+) -> BatchResult:
+    """Parse a file or project directory and run the batch engine."""
+    from repro.frontend.parse import parse_file
+    from repro.frontend.project import parse_project
+
+    if Path(path).is_dir():
+        module, violations = parse_project(path)
+    else:
+        module, violations = parse_file(path)
+    return verify_module(
+        module, violations, jobs=jobs, executor=executor, cache=cache
+    )

@@ -1,0 +1,95 @@
+"""Engine observability: cache counters and per-class wall time.
+
+Mirrors the style of :mod:`repro.core.metrics` (a frozen summary with a
+``format`` method), but measures the *run*, not the model: how the wave
+schedule shaped up, how the worker pool was configured, and how the
+content-addressed cache performed per namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ClassTiming:
+    """Wall time of one class's check and where the verdict came from."""
+
+    class_name: str
+    seconds: float
+    from_cache: bool
+    wave: int
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """Quantitative summary of one batch-verification run."""
+
+    classes: int
+    waves: int
+    jobs: int
+    executor: str
+    wall_seconds: float
+    class_hits: int
+    class_misses: int
+    method_hits: int
+    method_misses: int
+    cache_writes: int
+    timings: tuple[ClassTiming, ...]
+
+    @property
+    def class_hit_rate(self) -> float:
+        total = self.class_hits + self.class_misses
+        return self.class_hits / total if total else 0.0
+
+    @property
+    def fully_cached(self) -> bool:
+        """Did every class verdict come out of the cache (a warm run)?"""
+        return self.classes > 0 and self.class_misses == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "classes": self.classes,
+            "waves": self.waves,
+            "jobs": self.jobs,
+            "executor": self.executor,
+            "wall_seconds": self.wall_seconds,
+            "cache": {
+                "class_hits": self.class_hits,
+                "class_misses": self.class_misses,
+                "method_hits": self.method_hits,
+                "method_misses": self.method_misses,
+                "writes": self.cache_writes,
+            },
+            "per_class": [
+                {
+                    "class": timing.class_name,
+                    "seconds": timing.seconds,
+                    "from_cache": timing.from_cache,
+                    "wave": timing.wave,
+                }
+                for timing in self.timings
+            ],
+        }
+
+    def format(self) -> str:
+        lines = [
+            "engine metrics:",
+            f"  classes               {self.classes} in {self.waves} wave(s)",
+            f"  workers               {self.jobs} ({self.executor})",
+            f"  wall time             {self.wall_seconds * 1000.0:.1f} ms",
+            f"  verdict cache         {self.class_hits} hit(s), "
+            f"{self.class_misses} miss(es) "
+            f"({self.class_hit_rate * 100.0:.0f}% hit rate)",
+            f"  inference cache       {self.method_hits} hit(s), "
+            f"{self.method_misses} miss(es)",
+            f"  cache writes          {self.cache_writes}",
+        ]
+        for timing in self.timings:
+            origin = "cache" if timing.from_cache else "checked"
+            lines.append(
+                f"  class {timing.class_name:<15} wave {timing.wave}  "
+                f"{timing.seconds * 1000.0:8.2f} ms  [{origin}]"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Topological scheduling over the ``@sys`` subsystem dependency DAG.
+
+A class *depends on* every class it instantiates as a constrained
+subsystem field (``self.a = Valve()`` makes the composite depend on
+``Valve``).  Verification of one class only ever reads the *parsed
+specs* of its dependencies — never their verdicts — so any order is
+sound; scheduling bottom-up still pays twice over:
+
+* wave ``k`` only contains classes whose dependencies sit in earlier
+  waves, so all classes of one wave are independent and can be checked
+  concurrently without coordination;
+* base classes (the leaves) warm the method-inference cache before the
+  composites that embed their alphabets arrive.
+
+Dependencies on classes *outside* the module (library classes checked
+elsewhere) are ignored here; the checker reports them separately.  An
+ill-formed cyclic hierarchy cannot be levelled — the classes on cycles
+are appended as one final wave so every class is still checked exactly
+once and the lint diagnostics get their chance to explain the cycle.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.model_ast import ParsedModule
+
+
+def subsystem_dependencies(module: ParsedModule) -> dict[str, frozenset[str]]:
+    """Class name → names of in-module classes it uses as subsystems."""
+    known = set(module.class_names())
+    return {
+        parsed.name: frozenset(
+            decl.class_name
+            for decl in parsed.subsystems
+            if decl.class_name in known and decl.class_name != parsed.name
+        )
+        for parsed in module.classes
+    }
+
+
+def topological_waves(dependencies: dict[str, frozenset[str]]) -> list[tuple[str, ...]]:
+    """Kahn-style level schedule: each wave lists, sorted, the classes
+    whose dependencies are all in earlier waves.
+
+    Classes trapped on dependency cycles form one trailing wave.
+    """
+    remaining = {name: set(deps) for name, deps in dependencies.items()}
+    waves: list[tuple[str, ...]] = []
+    placed: set[str] = set()
+    while remaining:
+        ready = sorted(
+            name for name, deps in remaining.items() if deps <= placed
+        )
+        if not ready:
+            waves.append(tuple(sorted(remaining)))
+            break
+        waves.append(tuple(ready))
+        placed.update(ready)
+        for name in ready:
+            del remaining[name]
+    return waves
+
+
+def schedule(module: ParsedModule) -> list[tuple[str, ...]]:
+    """The wave schedule of a parsed module/project."""
+    return topological_waves(subsystem_dependencies(module))

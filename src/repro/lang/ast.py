@@ -18,7 +18,7 @@ is stated and tested on the annotation-erased view.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 

@@ -17,16 +17,22 @@ from repro.workloads.hierarchy import (
     HierarchyShape,
     base_class_source,
     composite_class_source,
+    layered_project_source,
     lifecycle_claim,
     module_source,
+    project_files,
+    project_source,
 )
 
 __all__ = [
     "HierarchyShape",
     "base_class_source",
     "composite_class_source",
+    "layered_project_source",
     "lifecycle_claim",
     "module_source",
+    "project_files",
+    "project_source",
     "next_tower",
     "ordering_claims",
     "random_formula",

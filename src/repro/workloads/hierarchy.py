@@ -141,3 +141,110 @@ def lifecycle_claim(shape: HierarchyShape) -> str:
     """A claim that holds on correct modules: subsystem 0 finishes last
     only after it started (a simple weak-until shape like the paper's)."""
     return f"(!s0.step{shape.base_operations - 1}) W s0.step0"
+
+
+def project_source(
+    shape: HierarchyShape,
+    pairs: int = 4,
+    correct: bool = True,
+    claim: str | None = None,
+) -> str:
+    """A wide project: ``pairs`` independent (base, composite) class pairs.
+
+    ``Device0``/``Controller0`` … ``Device{n-1}``/``Controller{n-1}`` share
+    no subsystems, so the batch engine's DAG schedule is two waves (all
+    bases, then all composites) with full parallelism inside each — the
+    scaling workload for ``repro check --jobs N``.  With
+    ``correct=False`` only the *last* pair carries the planted bug, so
+    the expected verdict is exactly one usage violation.
+    """
+    if pairs < 1:
+        raise ValueError("a project needs at least one class pair")
+    rng = random.Random(shape.seed)
+    sections: list[str] = []
+    for index in range(pairs):
+        pair_correct = correct or index < pairs - 1
+        sections.append(
+            base_class_source(f"Device{index}", shape.base_operations, rng)
+        )
+        sections.append(
+            composite_class_source(
+                f"Controller{index}",
+                f"Device{index}",
+                shape,
+                correct=pair_correct,
+                claim=claim,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def project_files(
+    shape: HierarchyShape,
+    pairs: int,
+    root,
+    correct: bool = True,
+    claim: str | None = None,
+) -> list:
+    """Write :func:`project_source` as one file per pair under ``root``.
+
+    Returns the written paths; feed ``root`` to ``repro check`` (or
+    :func:`repro.engine.verify_path`) to exercise the directory frontend
+    and the engine together.
+    """
+    from pathlib import Path
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    rng = random.Random(shape.seed)
+    written = []
+    for index in range(pairs):
+        pair_correct = correct or index < pairs - 1
+        source = (
+            base_class_source(f"Device{index}", shape.base_operations, rng)
+            + "\n\n"
+            + composite_class_source(
+                f"Controller{index}",
+                f"Device{index}",
+                shape,
+                correct=pair_correct,
+                claim=claim,
+            )
+        )
+        path = root / f"pair_{index:03d}.py"
+        path.write_text(source, encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def layered_project_source(shape: HierarchyShape, depth: int = 3) -> str:
+    """A deep project: a chain ``Layer0 ← Layer1 ← … ← Layer{depth}``.
+
+    ``Layer0`` is a base class; every ``Layer{k}`` above drives one
+    instance of ``Layer{k-1}`` through its complete lifecycle inside a
+    single initial+final operation.  The subsystem DAG is a path, so the
+    engine's schedule degenerates to ``depth + 1`` single-class waves —
+    the worst case for parallelism and the best case for testing that
+    topological ordering is respected.
+    """
+    if depth < 1:
+        raise ValueError("a layered project needs at least one composite layer")
+    sections = [base_class_source("Layer0", shape.base_operations)]
+    previous_methods = [f"step{i}" for i in range(shape.base_operations)]
+    for level in range(1, depth + 1):
+        field = "inner"
+        lines = [
+            f"@sys(['{field}'])",
+            f"class Layer{level}:",
+            "    def __init__(self):",
+            f"        self.{field} = Layer{level - 1}()",
+            "    @op_initial_final",
+            "    def cycle(self):",
+        ]
+        lines.extend(
+            f"        self.{field}.{method}()" for method in previous_methods
+        )
+        lines.append("        return []")
+        sections.append("\n".join(lines) + "\n")
+        previous_methods = ["cycle"]
+    return "\n\n".join(sections)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.automata.determinize import determinize
-from repro.automata.nfa import NFABuilder
 from repro.automata.operations import (
     concat_nfa,
     equivalence_counterexample,

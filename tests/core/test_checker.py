@@ -1,6 +1,5 @@
 """The end-to-end pipeline on whole modules — golden paper verdicts."""
 
-import pytest
 
 from repro.core.checker import check_source
 from repro.paper import GOOD_MODULE, SECTION_2_MODULE, SECTOR_MODULE, VALVE

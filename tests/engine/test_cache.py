@@ -1,0 +1,95 @@
+"""The content-addressed cache: persistence, tolerance, stats."""
+
+import json
+
+import pytest
+
+from repro.engine.cache import CACHE_VERSION, CacheStats, InferenceCache
+
+
+class TestMemoryCache:
+    def test_roundtrip(self):
+        cache = InferenceCache(None)
+        assert cache.get("method", "k1") is None
+        cache.put("method", "k1", {"ongoing": "a . b"})
+        assert cache.get("method", "k1") == {"ongoing": "a . b"}
+
+    def test_namespaces_are_disjoint(self):
+        cache = InferenceCache(None)
+        cache.put("method", "k", {"kind": "method"})
+        assert cache.get("class", "k") is None
+        cache.put("class", "k", {"kind": "class"})
+        assert cache.get("method", "k") == {"kind": "method"}
+        assert cache.get("class", "k") == {"kind": "class"}
+
+    def test_unknown_namespace_rejected(self):
+        cache = InferenceCache(None)
+        with pytest.raises(ValueError):
+            cache.get("regex", "k")
+        with pytest.raises(ValueError):
+            cache.put("regex", "k", {})
+
+    def test_stats_count_hits_misses_writes(self):
+        cache = InferenceCache(None)
+        cache.get("method", "absent")
+        cache.put("method", "present", {"x": 1})
+        cache.get("method", "present")
+        cache.get("method", "present")
+        assert cache.stats.misses["method"] == 1
+        assert cache.stats.hits["method"] == 2
+        assert cache.stats.writes["method"] == 1
+        assert cache.stats.hit_rate("method") == pytest.approx(2 / 3)
+        assert cache.stats.hit_rate("class") == 0.0
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        InferenceCache(tmp_path).put("class", "deadbeef", {"verdict": "ok"})
+        fresh = InferenceCache(tmp_path)
+        assert fresh.get("class", "deadbeef") == {"verdict": "ok"}
+        assert fresh.stats.hits["class"] == 1
+
+    def test_layout_is_sharded_with_cachedir_tag(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "abcdef", {"v": 1})
+        assert (tmp_path / "CACHEDIR.TAG").read_text().startswith("Signature:")
+        assert (tmp_path / "method" / "ab" / "abcdef.json").is_file()
+        assert cache.entry_count() == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "abcdef", {"v": 1})
+        (tmp_path / "method" / "ab" / "abcdef.json").write_text("{ truncated")
+        assert InferenceCache(tmp_path).get("method", "abcdef") is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "abcdef", {"v": 1})
+        path = tmp_path / "method" / "ab" / "abcdef.json"
+        envelope = json.loads(path.read_text())
+        envelope["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert InferenceCache(tmp_path).get("method", "abcdef") is None
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        path = tmp_path / "method" / "ab" / "abcdef.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"cache_version": CACHE_VERSION, "payload": [1]}))
+        assert cache.get("method", "abcdef") is None
+
+    def test_memory_layer_serves_repeat_lookups(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "abcdef", {"v": 1})
+        # Delete the file; the same instance still answers from memory.
+        (tmp_path / "method" / "ab" / "abcdef.json").unlink()
+        assert cache.get("method", "abcdef") == {"v": 1}
+
+
+class TestCacheStats:
+    def test_to_dict_shape(self):
+        stats = CacheStats()
+        stats.hits["method"] += 3
+        as_dict = stats.to_dict()
+        assert as_dict["hits"]["method"] == 3
+        assert set(as_dict) == {"hits", "misses", "writes"}

@@ -1,0 +1,131 @@
+"""Content fingerprints: stability, sensitivity, and scoping."""
+
+from repro.engine.fingerprint import (
+    class_key,
+    method_key,
+    program_text,
+    spec_fingerprint,
+)
+from repro.frontend.parse import parse_module
+
+BASE = (
+    "@sys\n"
+    "class Valve:\n"
+    "    @op_initial\n"
+    "    def test(self):\n"
+    "        return ['open']\n"
+    "    @op_final\n"
+    "    def open(self):\n"
+    "        return []\n"
+)
+
+COMPOSITE = (
+    "@sys(['a'])\n"
+    "class Sector:\n"
+    "    def __init__(self):\n"
+    "        self.a = Valve()\n"
+    "    @op_initial_final\n"
+    "    def run(self):\n"
+    "        self.a.test()\n"
+    "        self.a.open()\n"
+    "        return []\n"
+)
+
+
+def _classes(source):
+    module, violations = parse_module(source)
+    assert violations == []
+    return {parsed.name: parsed for parsed in module.classes}
+
+
+class TestMethodKey:
+    def test_deterministic_across_parses(self):
+        op1 = _classes(BASE + COMPOSITE)["Sector"].operation("run")
+        op2 = _classes(BASE + COMPOSITE)["Sector"].operation("run")
+        assert method_key(op1) == method_key(op2)
+
+    def test_body_change_changes_key(self):
+        original = _classes(BASE + COMPOSITE)["Sector"].operation("run")
+        edited = _classes(
+            BASE + COMPOSITE.replace("self.a.open()\n        ", "")
+        )["Sector"].operation("run")
+        assert method_key(original) != method_key(edited)
+
+    def test_independent_of_method_position(self):
+        shifted = "# a leading comment shifts every lineno\n" + BASE + COMPOSITE
+        original = _classes(BASE + COMPOSITE)["Sector"].operation("run")
+        moved = _classes(shifted)["Sector"].operation("run")
+        assert method_key(original) == method_key(moved)
+
+    def test_program_text_is_injective_on_structure(self):
+        classes = _classes(BASE + COMPOSITE)
+        texts = {
+            program_text(op.body)
+            for parsed in classes.values()
+            for op in parsed.operations
+        }
+        assert len(texts) == 3  # test, open, run all differ
+
+
+class TestClassKey:
+    def test_stable_for_same_source(self):
+        first = _classes(BASE + COMPOSITE)
+        second = _classes(BASE + COMPOSITE)
+        assert class_key(first["Sector"], first) == class_key(
+            second["Sector"], second
+        )
+
+    def test_lineno_shift_invalidates(self):
+        # Diagnostics carry line numbers, so cached verdicts must not
+        # survive a pure downward shift of the class.
+        first = _classes(BASE + COMPOSITE)
+        shifted = _classes(BASE + "\n\n" + COMPOSITE)
+        assert class_key(first["Sector"], first) != class_key(
+            shifted["Sector"], shifted
+        )
+
+    def test_dependency_spec_change_invalidates_composite(self):
+        first = _classes(BASE + COMPOSITE)
+        # Add an operation to Valve: its *spec* changed.
+        grown = _classes(
+            BASE
+            + "    @op\n"
+            + "    def clean(self):\n"
+            + "        return ['open']\n"
+            + COMPOSITE
+        )
+        assert class_key(first["Sector"], first) != class_key(
+            grown["Sector"], grown
+        )
+
+    def test_dependency_body_change_preserves_composite_key(self):
+        # Editing a *body* of Valve does not change Valve's spec, so
+        # Sector's verdict must stay cached.  Claims/usage only read
+        # annotation structure of dependencies.  (Valve lives in its own
+        # file here so the edit cannot shift Sector's line numbers.)
+        sector = _classes(COMPOSITE)["Sector"]
+        valve = _classes(BASE)["Valve"]
+        edited_valve = _classes(
+            BASE.replace(
+                "    def open(self):\n        return []\n",
+                "    def open(self):\n        pass\n        return []\n",
+            )
+        )["Valve"]
+        assert spec_fingerprint(valve) == spec_fingerprint(edited_valve)
+        assert class_key(sector, {"Valve": valve, "Sector": sector}) == class_key(
+            sector, {"Valve": edited_valve, "Sector": sector}
+        )
+
+    def test_unrelated_class_change_preserves_key(self):
+        extra = (
+            "@sys\n"
+            "class Bystander:\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        return []\n"
+        )
+        first = _classes(BASE + COMPOSITE)
+        augmented = _classes(BASE + COMPOSITE + extra)
+        assert class_key(first["Sector"], first) == class_key(
+            augmented["Sector"], augmented
+        )

@@ -1,0 +1,85 @@
+"""Wave scheduling over the subsystem dependency DAG."""
+
+from repro.engine.scheduler import (
+    schedule,
+    subsystem_dependencies,
+    topological_waves,
+)
+from repro.frontend.parse import parse_module
+from repro.workloads.hierarchy import (
+    HierarchyShape,
+    layered_project_source,
+    project_source,
+)
+
+
+class TestTopologicalWaves:
+    def test_independent_classes_form_one_wave(self):
+        waves = topological_waves(
+            {"A": frozenset(), "B": frozenset(), "C": frozenset()}
+        )
+        assert waves == [("A", "B", "C")]
+
+    def test_chain_forms_singleton_waves(self):
+        waves = topological_waves(
+            {"A": frozenset(), "B": frozenset("A"), "C": frozenset("B")}
+        )
+        assert waves == [("A",), ("B",), ("C",)]
+
+    def test_diamond(self):
+        waves = topological_waves(
+            {
+                "Base": frozenset(),
+                "Left": frozenset({"Base"}),
+                "Right": frozenset({"Base"}),
+                "Top": frozenset({"Left", "Right"}),
+            }
+        )
+        assert waves == [("Base",), ("Left", "Right"), ("Top",)]
+
+    def test_cycle_becomes_trailing_wave(self):
+        waves = topological_waves(
+            {
+                "Free": frozenset(),
+                "A": frozenset({"B"}),
+                "B": frozenset({"A"}),
+            }
+        )
+        assert waves == [("Free",), ("A", "B")]
+
+    def test_empty(self):
+        assert topological_waves({}) == []
+
+
+class TestModuleScheduling:
+    def test_wide_project_is_two_waves(self):
+        shape = HierarchyShape(base_operations=3, subsystems=2)
+        module, _violations = parse_module(project_source(shape, pairs=3))
+        waves = schedule(module)
+        assert waves == [
+            ("Device0", "Device1", "Device2"),
+            ("Controller0", "Controller1", "Controller2"),
+        ]
+
+    def test_layered_project_is_a_path(self):
+        shape = HierarchyShape(base_operations=3)
+        module, _violations = parse_module(layered_project_source(shape, depth=3))
+        assert schedule(module) == [
+            ("Layer0",),
+            ("Layer1",),
+            ("Layer2",),
+            ("Layer3",),
+        ]
+
+    def test_external_dependencies_ignored(self):
+        module, _violations = parse_module(
+            "@sys(['a'])\n"
+            "class Lonely:\n"
+            "    def __init__(self):\n"
+            "        self.a = NotInThisModule()\n"
+            "    @op_initial_final\n"
+            "    def run(self):\n"
+            "        return []\n"
+        )
+        assert subsystem_dependencies(module) == {"Lonely": frozenset()}
+        assert schedule(module) == [("Lonely",)]

@@ -1,0 +1,50 @@
+"""Diagnostic serialization must round-trip exactly (cache correctness)."""
+
+import json
+
+from repro.core.checker import Checker
+from repro.engine.serialize import (
+    diagnostic_from_dict,
+    diagnostic_to_dict,
+    diagnostics_from_list,
+    diagnostics_to_list,
+)
+from repro.frontend.parse import parse_module
+from repro.paper import SECTION_2_MODULE
+from repro.workloads.hierarchy import HierarchyShape, lifecycle_claim, module_source
+
+
+def _diagnostics(source):
+    module, violations = parse_module(source)
+    return Checker(module, violations).check().diagnostics
+
+
+class TestRoundTrip:
+    def test_counterexample_diagnostics_round_trip(self):
+        originals = _diagnostics(SECTION_2_MODULE)
+        assert originals  # BadSector fails
+        for original in originals:
+            assert diagnostic_from_dict(diagnostic_to_dict(original)) == original
+
+    def test_claim_diagnostics_round_trip(self):
+        shape = HierarchyShape(base_operations=3, subsystems=2, seed=1)
+        source = module_source(shape, correct=False, claim=lifecycle_claim(shape))
+        originals = _diagnostics(source)
+        assert diagnostics_from_list(diagnostics_to_list(originals)) == originals
+
+    def test_payload_survives_json(self):
+        originals = _diagnostics(SECTION_2_MODULE)
+        reloaded = diagnostics_from_list(
+            json.loads(json.dumps(diagnostics_to_list(originals)))
+        )
+        assert reloaded == originals
+
+    def test_formatting_is_preserved(self):
+        from repro.core.diagnostics import CheckResult
+
+        originals = _diagnostics(SECTION_2_MODULE)
+        reloaded = diagnostics_from_list(diagnostics_to_list(originals))
+        assert (
+            CheckResult(diagnostics=reloaded).format()
+            == CheckResult(diagnostics=list(originals)).format()
+        )

@@ -3,7 +3,7 @@
 import ast
 
 from repro.frontend.translate import translate_body
-from repro.lang.ast import Call, If, Loop, Return, Seq, Skip, calls, format_program
+from repro.lang.ast import calls, format_program
 
 FIELDS = frozenset({"a", "b"})
 

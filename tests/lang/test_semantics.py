@@ -1,7 +1,6 @@
 """The trace semantics ``s ⊢ l ∈ p``, rule by rule, plus the paper's
 Examples 1 and 2."""
 
-import pytest
 
 from repro.lang.builder import call, if_, loop, paper_example_program, ret, seq, skip
 from repro.lang.semantics import (

@@ -5,12 +5,9 @@ import pytest
 from repro.ltlf.ast import (
     FALSE,
     TRUE,
-    And,
-    Atom,
     Globally,
     Next,
     Not,
-    Or,
     Until,
     WeakUntil,
     atom,

@@ -4,7 +4,6 @@ import itertools
 
 import pytest
 
-from repro.ltlf.ast import atom, neg
 from repro.ltlf.parser import parse_claim
 from repro.ltlf.semantics import evaluate
 from repro.ltlf.to_regex import formula_to_regex, violation_regex

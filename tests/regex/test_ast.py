@@ -8,7 +8,6 @@ from repro.regex.ast import (
     Concat,
     Star,
     Symbol,
-    Union,
     alphabet,
     concat,
     concat_all,

@@ -157,5 +157,15 @@ class TestCheckResultHelpers:
         import importlib.metadata as metadata
 
         entry_points = metadata.entry_points()
-        scripts = entry_points.select(group="console_scripts", name="repro")
-        assert list(scripts), "repro console script must be installed"
+        scripts = list(entry_points.select(group="console_scripts", name="repro"))
+        assert scripts, (
+            "repro console script must be installed: run `pip install -e .` "
+            "(or `python setup.py develop` where the wheel package is missing) "
+            "so the [project.scripts] entry of pyproject.toml is registered"
+        )
+        entry = scripts[0]
+        assert entry.value == "repro.cli:main"
+        loaded = entry.load()
+        from repro.cli import main
+
+        assert loaded is main

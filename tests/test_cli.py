@@ -43,6 +43,44 @@ class TestCheck:
             main(["check", "/nonexistent/file.py"])
 
 
+class TestCheckBatch:
+    def test_jobs_flag_keeps_output_identical(self, section2, capsys):
+        assert main(["check", section2]) == 1
+        serial = capsys.readouterr().out
+        assert main(["check", section2, "--jobs", "4"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_cache_warm_run_identical_and_fully_hit(self, good, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["check", good, "--cache", "--cache-dir", cache_dir, "--stats"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "engine metrics:" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "OK: specification verified" in warm
+        assert "[cache]" in warm
+        assert "[checked]" not in warm
+
+    def test_directory_project(self, tmp_path, capsys):
+        from repro.workloads.hierarchy import HierarchyShape, project_files
+
+        root = tmp_path / "project"
+        root.mkdir()
+        project_files(HierarchyShape(base_operations=3), 2, root)
+        assert main(["check", str(root), "--jobs", "2", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "4 in 2 wave(s)" in out
+
+    def test_process_executor(self, good, capsys):
+        assert main(["check", good, "-j", "2", "--executor", "process"]) == 0
+        assert "OK: specification verified" in capsys.readouterr().out
+
+    def test_rejects_bad_jobs(self, good):
+        with pytest.raises(SystemExit):
+            main(["check", good, "--jobs", "0"])
+
+
 class TestModel:
     def test_prints_inferred_regexes(self, section2, capsys):
         assert main(["model", section2]) == 0

@@ -13,7 +13,7 @@ import random
 import pytest
 
 from repro.core.checker import check_source
-from repro.core.spec import START_STATE, ClassSpec
+from repro.core.spec import ClassSpec
 from repro.frontend.parse import parse_module
 from repro.runtime.monitor import (
     IncompleteLifecycleError,

@@ -1,7 +1,6 @@
 """Every example script runs to completion with exit status 0."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

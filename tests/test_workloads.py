@@ -17,8 +17,11 @@ from repro.workloads.hierarchy import (
     HierarchyShape,
     base_class_source,
     composite_class_source,
+    layered_project_source,
     lifecycle_claim,
     module_source,
+    project_files,
+    project_source,
 )
 
 
@@ -82,6 +85,52 @@ class TestHierarchyGenerator:
     def test_deterministic_per_seed(self):
         shape = HierarchyShape(base_operations=5, subsystems=2, seed=42)
         assert module_source(shape) == module_source(shape)
+
+
+class TestProjectGenerators:
+    SHAPE = HierarchyShape(base_operations=3, subsystems=2, seed=9)
+
+    def test_project_source_verifies_when_correct(self):
+        result = check_source(project_source(self.SHAPE, pairs=3))
+        assert result.ok, result.format()
+
+    def test_project_source_bug_lands_in_last_pair_only(self):
+        result = check_source(project_source(self.SHAPE, pairs=3, correct=False))
+        assert not result.ok
+        failing = {d.class_name for d in result.by_code("invalid-subsystem-usage")}
+        assert failing == {"Controller2"}
+
+    def test_project_source_class_count(self):
+        module, violations = parse_module(project_source(self.SHAPE, pairs=4))
+        assert violations == []
+        assert len(module.classes) == 8
+
+    def test_project_files_round_trips_through_directory_frontend(self, tmp_path):
+        from repro.frontend.project import parse_project
+
+        paths = project_files(self.SHAPE, 3, tmp_path)
+        assert len(paths) == 3
+        assert all(path.is_file() for path in paths)
+        module, violations = parse_project(tmp_path)
+        assert violations == []
+        assert len(module.classes) == 6
+
+    def test_layered_project_is_a_verifying_chain(self):
+        source = layered_project_source(self.SHAPE, depth=3)
+        module, violations = parse_module(source)
+        assert violations == []
+        assert [parsed.name for parsed in module.classes] == [
+            "Layer0",
+            "Layer1",
+            "Layer2",
+            "Layer3",
+        ]
+        result = check_source(source)
+        assert result.ok, result.format()
+
+    def test_layered_project_depth_validation(self):
+        with pytest.raises(ValueError):
+            layered_project_source(self.SHAPE, depth=0)
 
 
 class TestFormulaFamilies:
