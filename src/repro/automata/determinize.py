@@ -5,6 +5,14 @@ missing transitions encode rejection.  States are frozensets of NFA
 states, preserved so diagnostics can map DFA states back to the model's
 entry/exit points; call :meth:`repro.automata.dfa.DFA.renumbered` when
 opaque integer states are preferable.
+
+The construction is the one step of the pipeline that can genuinely
+explode (worst case ``2^n`` subsets), so it is **budgeted**: it explores
+at most ``max_states`` subsets (default
+:data:`repro.core.limits.DEFAULT_MAX_STATES`, aligning with the caps in
+:mod:`repro.regex.derivatives` and :mod:`repro.ltlf.translate`) and
+checks an optional cooperative ``deadline``, raising
+:class:`repro.core.limits.BudgetExceeded` on either trip.
 """
 
 from __future__ import annotations
@@ -14,17 +22,47 @@ from collections import deque
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
 
+#: How many subset expansions happen between deadline checks; keeps the
+#: clock out of the hot loop while bounding overshoot.
+_DEADLINE_STRIDE = 256
 
-def determinize(nfa: NFA) -> DFA:
-    """Determinize ``nfa`` by the subset construction."""
+
+def determinize(
+    nfa: NFA,
+    *,
+    max_states: int | None = None,
+    deadline: float | None = None,
+) -> DFA:
+    """Determinize ``nfa`` by the subset construction.
+
+    ``max_states=None`` applies the default cap
+    (:data:`~repro.core.limits.DEFAULT_MAX_STATES`); ``max_states <= 0``
+    disables it.  ``deadline`` is an absolute :func:`time.monotonic`
+    timestamp checked every few expansions.  Either limit tripping
+    raises :class:`~repro.core.limits.BudgetExceeded`.
+    """
+    # Imported lazily: repro.core.spec imports this module back, so a
+    # top-level import would be order-sensitive during package init.
+    from repro.core.limits import (
+        DEFAULT_MAX_STATES,
+        charge_states,
+        check_deadline,
+        effective_cap,
+    )
+
+    cap = effective_cap(max_states, DEFAULT_MAX_STATES)
     initial = nfa.epsilon_closure(nfa.initial_states)
     states: set[frozenset] = {initial}
     transitions: dict[tuple[frozenset, str], frozenset] = {}
     accepting: set[frozenset] = set()
     queue: deque[frozenset] = deque([initial])
     ordered_alphabet = sorted(nfa.alphabet)
+    expansions = 0
     while queue:
         subset = queue.popleft()
+        expansions += 1
+        if expansions % _DEADLINE_STRIDE == 0:
+            check_deadline(deadline, "subset construction")
         if subset & nfa.accepting_states:
             accepting.add(subset)
         for symbol in ordered_alphabet:
@@ -34,6 +72,7 @@ def determinize(nfa: NFA) -> DFA:
             transitions[(subset, symbol)] = successor
             if successor not in states:
                 states.add(successor)
+                charge_states(len(states), cap, "subset construction")
                 queue.append(successor)
     return DFA(
         states=frozenset(states),

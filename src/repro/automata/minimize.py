@@ -14,13 +14,22 @@ from collections import defaultdict
 from repro.automata.dfa import DFA, State
 
 
-def minimize(dfa: DFA) -> DFA:
+def minimize(dfa: DFA, *, max_states: int | None = None) -> DFA:
     """The minimal total DFA for ``dfa``'s language.
 
     The input is completed and trimmed first; the result is renumbered to
     integer states in BFS order, so two language-equal DFAs minimize to
     structurally identical automata.
+
+    ``max_states`` (``None`` = unlimited, matching historic behavior)
+    bounds the *input* size: refinement is ``O(states × alphabet)`` per
+    split, so a caller with a budget rejects oversized inputs up front
+    with :class:`repro.core.limits.BudgetExceeded` instead of churning.
     """
+    if max_states is not None and max_states > 0 and len(dfa.states) > max_states:
+        from repro.core.limits import charge_states
+
+        charge_states(len(dfa.states), max_states, "DFA minimization")
     total = dfa.trim().completed()
     states = sorted(total.states, key=str)
     alphabet = sorted(total.alphabet)

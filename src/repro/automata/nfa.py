@@ -183,6 +183,10 @@ class NFABuilder:
         self._states.add(state)
         return state
 
+    @property
+    def state_count(self) -> int:
+        return len(self._states)
+
     def add_states(self, states: Iterable[State]) -> None:
         self._states.update(states)
 

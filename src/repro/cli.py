@@ -4,7 +4,10 @@ Subcommands::
 
     repro check FILE          verify a module or project directory
                               (--jobs N --cache for the batch engine;
+                              --timeout/--max-states/--retries for the
+                              fault-tolerant supervisor;
                               paper-style error reports either way)
+    repro cache stats|clear   inspect or drop the inference cache
     repro explain FILE        verify and narrate each usage counterexample
     repro model FILE          print each operation's inferred behavior regex
     repro deps FILE [CLASS]   print the §3.1 dependency graph
@@ -64,27 +67,82 @@ def _select_class(module: ParsedModule, name: str | None, path: str):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.engine import BatchVerifier, EngineError, InferenceCache
+    import os
 
-    module, violations = _load(args.file)
-    cache = InferenceCache(args.cache_dir) if args.cache else None
+    from repro.engine import (
+        BatchVerifier,
+        EngineAborted,
+        EngineError,
+        FaultSpecError,
+        InferenceCache,
+        faults,
+    )
+
+    previous_env = os.environ.get(faults.FAULTS_ENV)
+    if args.faults:
+        try:
+            faults.install(faults.parse_faults(args.faults))
+        except FaultSpecError as error:
+            raise SystemExit(f"error: {error}")
+        # Process-pool workers read the spec from the environment.
+        os.environ[faults.FAULTS_ENV] = args.faults
     try:
-        verifier = BatchVerifier(
-            module,
-            violations,
-            jobs=args.jobs,
-            executor=args.executor,
-            cache=cache,
+        module, violations = _load(args.file)
+        cache = InferenceCache(args.cache_dir) if args.cache else None
+        try:
+            verifier = BatchVerifier(
+                module,
+                violations,
+                jobs=args.jobs,
+                executor=args.executor,
+                cache=cache,
+                timeout=args.timeout,
+                max_states=args.max_states,
+                retries=args.retries,
+                fail_fast=args.fail_fast,
+            )
+        except EngineError as error:
+            raise SystemExit(f"error: {error}")
+        try:
+            batch = verifier.run()
+        except EngineAborted as error:
+            raise SystemExit(f"error: {error}")
+        result = batch.merged()
+        print(result.format())
+        if args.stats:
+            print()
+            print(batch.metrics.format())
+        return 0 if result.ok else 1
+    finally:
+        if args.faults:
+            # Leave no plan behind (matters for in-process callers).
+            faults.install(None)
+            if previous_env is None:
+                os.environ.pop(faults.FAULTS_ENV, None)
+            else:
+                os.environ[faults.FAULTS_ENV] = previous_env
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import InferenceCache
+
+    cache = InferenceCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    # stats
+    stats = cache.disk_stats()
+    total_entries = sum(s["entries"] for s in stats.values())
+    total_bytes = sum(s["bytes"] for s in stats.values())
+    print(f"cache at {args.cache_dir}:")
+    for namespace, numbers in sorted(stats.items()):
+        print(
+            f"  {namespace:<8} {numbers['entries']:6d} entries  "
+            f"{numbers['bytes']:10d} bytes"
         )
-    except EngineError as error:
-        raise SystemExit(f"error: {error}")
-    batch = verifier.run()
-    result = batch.merged()
-    print(result.format())
-    if args.stats:
-        print()
-        print(batch.metrics.format())
-    return 0 if result.ok else 1
+    print(f"  {'total':<8} {total_entries:6d} entries  {total_bytes:10d} bytes")
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -263,7 +321,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine metrics (cache hits, per-class wall time)",
     )
+    check.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-class wall-clock deadline; a class past it is "
+        "quarantined with an ENGINE TIMEOUT diagnostic",
+    )
+    check.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="state budget per class check (<= 0 disables the cap; "
+        "default: the built-in 100000-state cap)",
+    )
+    check.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per class for transient worker failures "
+        "(exponential backoff; default: 2)",
+    )
+    fail_mode = check.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--fail-fast",
+        action="store_true",
+        default=False,
+        help="abort the run on the first quarantined class",
+    )
+    fail_mode.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="report quarantined classes and keep checking (default)",
+    )
+    check.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection spec (testing; same grammar as the "
+        "REPRO_FAULTS environment variable)",
+    )
     check.set_defaults(func=_cmd_check)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the inference cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-namespace entry counts and sizes"
+    )
+    cache_clear = cache_sub.add_parser("clear", help="drop every cache entry")
+    for sub in (cache_stats, cache_clear):
+        sub.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            help="cache location (default: .repro-cache)",
+        )
+    cache.set_defaults(func=_cmd_cache)
 
     explain = subparsers.add_parser(
         "explain", help="verify and narrate usage counterexamples"

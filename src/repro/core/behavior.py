@@ -27,6 +27,7 @@ from typing import Mapping
 
 from repro.automata.nfa import NFA, NFABuilder
 from repro.automata.thompson import thompson
+from repro.core.limits import charge_states, check_deadline
 from repro.core.spec import START_STATE, ClassSpec, exit_state
 from repro.frontend.model_ast import OperationDef, ParsedClass
 from repro.lang.inference import exit_behaviors
@@ -58,6 +59,9 @@ def class_exit_regexes(parsed: ParsedClass) -> dict[str, dict[int, Regex]]:
 def behavior_nfa(
     parsed: ParsedClass,
     exit_regexes: Mapping[str, Mapping[int, Regex]] | None = None,
+    *,
+    max_states: int | None = None,
+    deadline: float | None = None,
 ) -> NFA:
     """Build the behavior automaton of ``parsed``.
 
@@ -65,6 +69,13 @@ def behavior_nfa(
     inferred behaviors per operation name; operations not covered fall
     back to on-the-fly inference.  The construction itself is a pure
     function of the parsed class and those regexes.
+
+    ``max_states`` / ``deadline`` bound the splicing: after each
+    operation's fragments are added the builder's state count is charged
+    against the budget (:class:`repro.core.limits.BudgetExceeded` on a
+    trip).  ``None`` leaves the construction unbounded, as before — the
+    automaton is linear in the spec anyway; the budget exists so the
+    engine can enforce one cap uniformly across the whole check.
     """
     spec = ClassSpec.of(parsed)
     builder = NFABuilder()
@@ -74,7 +85,9 @@ def behavior_nfa(
     entered = {op.name: ("entered", op.name) for op in parsed.operations}
 
     # Splice each operation's per-exit body fragments once.
+    cap = None if max_states is None or max_states <= 0 else max_states
     for operation in parsed.operations:
+        check_deadline(deadline, "behavior construction")
         builder.add_state(entered[operation.name])
         supplied = None if exit_regexes is None else exit_regexes.get(operation.name)
         if supplied is None:
@@ -102,6 +115,7 @@ def behavior_nfa(
             builder.add_state(target_exit)
             for state in fragment.accepting_states:
                 builder.add_epsilon(rename[state], target_exit)
+        charge_states(builder.state_count, cap, "behavior construction")
 
     def connect(source, operation: OperationDef) -> None:
         builder.add_transition(source, operation.name, entered[operation.name])

@@ -33,6 +33,7 @@ from repro.core.behavior import behavior_nfa
 from repro.core.claims import check_claims
 from repro.core.diagnostics import CheckResult, from_subset_violation
 from repro.core.exhaustiveness import check_invocations, check_match_exhaustiveness
+from repro.core.limits import Limits
 from repro.core.lint import lint_spec
 from repro.core.spec import ClassSpec
 from repro.core.usage import check_subsystem_usage
@@ -47,6 +48,7 @@ def check_parsed_class(
     parsed: ParsedClass,
     specs: Mapping[str, ClassSpec],
     exit_regexes: Mapping[str, Mapping[int, Regex]] | None = None,
+    limits: Limits | None = None,
 ) -> tuple[CheckResult, DFA | None]:
     """Run the full pipeline on one class — a pure function.
 
@@ -56,9 +58,18 @@ def check_parsed_class(
     which is what makes the verdict cacheable by content hash and safe
     to compute concurrently across classes (see :mod:`repro.engine`).
 
+    ``limits`` is the check's resource budget: its ``max_states`` caps
+    every state-exploration step and its ``timeout`` arms a cooperative
+    wall-clock deadline, both raising
+    :class:`repro.core.limits.BudgetExceeded` — let it propagate (the
+    batch supervisor converts it into a quarantine diagnostic).  Without
+    limits only the subset construction's own default cap applies.
+
     Returns the diagnostics plus the determinized behavior DFA when the
     check computed one (composite classes past the structural gate).
     """
+    limits = limits or Limits()
+    deadline = limits.deadline()
     result = CheckResult()
     result.extend(lint_spec(parsed))
     structural_errors = not result.ok
@@ -69,10 +80,17 @@ def check_parsed_class(
         # The behavior automaton would be built from a broken spec;
         # usage/claim verdicts on it would be noise.
         return result, None
-    behavior = behavior_nfa(parsed, exit_regexes=exit_regexes)
+    behavior = behavior_nfa(
+        parsed,
+        exit_regexes=exit_regexes,
+        max_states=limits.max_states,
+        deadline=deadline,
+    )
     dfa: DFA | None = None
     if parsed.is_composite:
-        dfa = determinize(behavior)
+        dfa = determinize(
+            behavior, max_states=limits.max_states, deadline=deadline
+        )
         result.extend(check_subsystem_usage(parsed, specs, dfa))
     result.extend(check_claims(parsed, behavior, specs))
     result.extend(check_claim_vacuity(parsed, behavior, specs))

@@ -33,6 +33,18 @@ class Severity(enum.Enum):
 INVALID_SUBSYSTEM_USAGE = "INVALID SUBSYSTEM USAGE"
 FAIL_TO_MEET_REQUIREMENT = "FAIL TO MEET REQUIREMENT"
 
+#: Engine-failure kinds (quarantine verdicts of the batch supervisor):
+#: the class could not be checked, and *that fact* is the diagnostic.
+ENGINE_TIMEOUT = "timeout"
+ENGINE_BUDGET = "budget"
+ENGINE_CRASH = "crash"
+
+_ENGINE_FAILURE_LABELS = {
+    ENGINE_TIMEOUT: "ENGINE TIMEOUT",
+    ENGINE_BUDGET: "ENGINE BUDGET",
+    ENGINE_CRASH: "ENGINE CRASH",
+}
+
 
 @dataclass(frozen=True)
 class SubsystemError:
@@ -115,6 +127,29 @@ class CheckResult:
         if not self.diagnostics:
             return "OK: specification verified"
         return "\n\n".join(diagnostic.format() for diagnostic in self.diagnostics)
+
+
+def engine_failure(
+    kind: str, class_name: str, detail: str, attempts: int = 1
+) -> Diagnostic:
+    """The quarantine verdict of the batch supervisor for one class.
+
+    ``kind`` is one of :data:`ENGINE_TIMEOUT`, :data:`ENGINE_BUDGET`,
+    :data:`ENGINE_CRASH`.  The diagnostic is an *error* — the class was
+    not verified — but it is structured and per-class, so one poisonous
+    class degrades the report instead of sinking the whole run.
+    """
+    label = _ENGINE_FAILURE_LABELS.get(kind)
+    if label is None:
+        raise ValueError(f"unknown engine-failure kind: {kind!r}")
+    plural = "s" if attempts != 1 else ""
+    return Diagnostic(
+        severity=Severity.ERROR,
+        code=f"engine-{kind}",
+        message=f"{label}: class not verified after "
+        f"{attempts} attempt{plural}: {detail}",
+        class_name=class_name,
+    )
 
 
 def from_subset_violation(violation) -> Diagnostic:

@@ -1,0 +1,107 @@
+"""Shared resource budgets for the verification pipeline.
+
+Every potentially super-linear step of a check — subset construction,
+Hopcroft refinement, behavior-automaton splicing — accepts a **state
+budget** and (where it loops) a **wall-clock deadline**.  Exceeding
+either raises :class:`BudgetExceeded`, a *verdict about the input's
+cost*, not a crash: callers like the batch supervisor
+(:mod:`repro.engine.engine`) convert it into a structured
+``ENGINE BUDGET`` / ``ENGINE TIMEOUT`` diagnostic and keep checking the
+rest of the project.
+
+The cap already existed piecemeal (``regex/derivatives.py`` and
+``ltlf/translate.py`` each enforce a ``max_states``); this module is the
+shared home so the engine can thread one unified budget through all of
+them.
+
+Conventions:
+
+* ``max_states=None`` means "use the site's default cap"
+  (:data:`DEFAULT_MAX_STATES` for the subset construction);
+* ``max_states <= 0`` disables the cap entirely (explicit opt-out);
+* deadlines are absolute :func:`time.monotonic` timestamps, checked
+  cooperatively inside state-exploration loops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+#: Default cap on states explored by the subset construction.  Chosen to
+#: be far above anything a real annotated class produces (the paper's
+#: case studies stay under a few hundred states) while bounding
+#: pathological exponential blowups to well under a second of work.
+DEFAULT_MAX_STATES = 100_000
+
+
+class BudgetExceeded(RuntimeError):
+    """A check exceeded its resource budget (states or wall clock).
+
+    ``resource`` is ``"states"`` or ``"wall-clock"`` — the batch
+    supervisor maps these onto ``ENGINE BUDGET`` and ``ENGINE TIMEOUT``
+    quarantine diagnostics.  Only the message survives pickling across a
+    process pool, so the resource kind is also encoded in the message.
+    """
+
+    def __init__(self, message: str, *, resource: str = "states"):
+        super().__init__(message)
+        self.resource = resource
+
+    def __reduce__(self):  # keep `resource` across process-pool pickling
+        return (_rebuild_budget_exceeded, (self.args[0], self.resource))
+
+
+def _rebuild_budget_exceeded(message: str, resource: str) -> "BudgetExceeded":
+    return BudgetExceeded(message, resource=resource)
+
+
+@dataclass(frozen=True)
+class Limits:
+    """The resource budget of one class check.  Picklable by design so
+    the engine can ship it to process-pool workers.
+
+    ``max_states`` bounds every state-exploration step of the check;
+    ``timeout`` (seconds) arms a cooperative in-worker deadline, measured
+    from the moment the check starts.  Both ``None`` by default — no
+    budget beyond each site's own default cap.
+    """
+
+    max_states: int | None = None
+    timeout: float | None = None
+
+    def deadline(self) -> float | None:
+        """The absolute monotonic deadline this budget arms, if any."""
+        if self.timeout is None:
+            return None
+        return time.monotonic() + self.timeout
+
+
+def effective_cap(max_states: int | None, default: int) -> int | None:
+    """Resolve the ``None``/``<=0`` conventions into an actual cap."""
+    if max_states is None:
+        return default
+    if max_states <= 0:
+        return None
+    return max_states
+
+
+def charge_states(
+    count: int, cap: int | None, what: str
+) -> None:
+    """Raise :class:`BudgetExceeded` when ``count`` exceeds ``cap``."""
+    if cap is not None and count > cap:
+        raise BudgetExceeded(
+            f"state budget exceeded in {what}: "
+            f"explored {count} states, budget is {cap}",
+            resource="states",
+        )
+
+
+def check_deadline(deadline: float | None, what: str) -> None:
+    """Raise :class:`BudgetExceeded` when ``deadline`` has passed."""
+    if deadline is not None and time.monotonic() > deadline:
+        raise BudgetExceeded(
+            f"wall-clock deadline exceeded in {what}",
+            resource="wall-clock",
+        )

@@ -8,7 +8,9 @@ The scaling substrate on top of :mod:`repro.core` (see docs/engine.md):
 * :mod:`repro.engine.cache` — the persistent ``.repro-cache/`` store,
 * :mod:`repro.engine.fingerprint` — SHA-256 content keys,
 * :mod:`repro.engine.metrics` — cache counters and per-class wall time,
-* :mod:`repro.engine.serialize` — exact diagnostic round trips.
+* :mod:`repro.engine.serialize` — exact diagnostic round trips,
+* :mod:`repro.engine.faults` — deterministic fault injection for
+  exercising the supervisor's recovery paths (docs/robustness.md).
 
 Quickstart::
 
@@ -23,10 +25,19 @@ from repro.engine.cache import CacheStats, InferenceCache
 from repro.engine.engine import (
     BatchResult,
     BatchVerifier,
+    EngineAborted,
     EngineError,
     cached_behavior_dfa,
     verify_module,
     verify_path,
+)
+from repro.engine.faults import (
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    WorkerKilled,
+    parse_faults,
 )
 from repro.engine.fingerprint import class_key, method_key, spec_fingerprint
 from repro.engine.metrics import ClassTiming, EngineMetrics
@@ -38,9 +49,16 @@ __all__ = [
     "BatchVerifier",
     "CacheStats",
     "ClassTiming",
+    "EngineAborted",
     "EngineError",
     "EngineMetrics",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
     "InferenceCache",
+    "InjectedFault",
+    "WorkerKilled",
+    "parse_faults",
     "cached_behavior_dfa",
     "class_key",
     "diagnostic_from_dict",

@@ -22,6 +22,13 @@ truncated files, are treated as misses — the cache can only ever cost a
 recomputation, never wrong output.  Writes go through a temp file +
 ``os.replace`` so concurrent runs see whole entries or nothing.
 
+The cache is additionally **self-healing**: a corrupt or truncated
+entry (unreadable file, invalid JSON, malformed envelope) is deleted on
+discovery and counted in ``stats.corrupt``, so one bad sector or
+interrupted write costs exactly one recomputation instead of a
+re-parse-and-fail on every future run.  Version-mismatched entries are
+left in place — another build may still want them.
+
 The in-memory layer makes repeated lookups within one process free and
 is guarded by a lock, so a thread-pool engine can share one instance.
 """
@@ -35,6 +42,8 @@ import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from repro.engine import faults
 
 #: Bump together with payload shape changes.
 CACHE_VERSION = 1
@@ -52,21 +61,28 @@ _CACHEDIR_TAG = (
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters, per namespace."""
+    """Hit/miss/write/corruption counters, per namespace."""
 
     hits: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
     misses: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
     writes: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
+    corrupt: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
 
     def hit_rate(self, namespace: str) -> float:
         total = self.hits[namespace] + self.misses[namespace]
         return self.hits[namespace] / total if total else 0.0
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Total corrupt entries found (and deleted) across namespaces."""
+        return sum(self.corrupt.values())
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
             "writes": dict(self.writes),
+            "corrupt": dict(self.corrupt),
         }
 
 
@@ -115,16 +131,35 @@ class InferenceCache:
     def _read_file(self, namespace: str, key: str) -> dict[str, Any] | None:
         path = self._path(namespace, key)
         try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None  # a plain miss, nothing to heal
+        except OSError:
+            self._heal(namespace, path)
             return None
-        if (
-            not isinstance(envelope, dict)
-            or envelope.get("cache_version") != CACHE_VERSION
-            or not isinstance(envelope.get("payload"), dict)
-        ):
+        try:
+            envelope = json.loads(text)
+        except ValueError:  # truncated/garbled write: delete it
+            self._heal(namespace, path)
+            return None
+        if not isinstance(envelope, dict):
+            self._heal(namespace, path)
+            return None
+        if envelope.get("cache_version") != CACHE_VERSION:
+            # Readable but written by another build; leave it alone.
+            return None
+        if not isinstance(envelope.get("payload"), dict):
+            self._heal(namespace, path)
             return None
         return envelope["payload"]
+
+    def _heal(self, namespace: str, path: Path) -> None:
+        """Delete a corrupt entry so it costs one recomputation, once."""
+        self.stats.corrupt[namespace] += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass  # already gone, or unreadable dir: best effort
 
     def put(self, namespace: str, key: str, payload: dict[str, Any]) -> None:
         """Store ``payload``; persists when the cache has a root."""
@@ -151,6 +186,10 @@ class InferenceCache:
                 os.unlink(temp_name)
             except OSError:
                 pass
+            return
+        # Fault-injection site: lets tests corrupt the just-written
+        # entry to exercise the self-healing read path.
+        faults.fire("cache-put", f"{namespace}/{key}", path)
 
     # ------------------------------------------------------------------
 
@@ -164,3 +203,49 @@ class InferenceCache:
             if directory.is_dir():
                 count += sum(1 for _ in directory.rglob("*.json"))
         return count
+
+    def disk_stats(self) -> dict[str, dict[str, int]]:
+        """Per-namespace ``{"entries": n, "bytes": b}`` on disk.
+
+        Memory-only caches report their in-memory entries with zero
+        bytes — there is nothing on disk to measure.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for namespace in _NAMESPACES:
+            entries = size = 0
+            if self.root is None:
+                entries = sum(
+                    1 for (space, _key) in self._memory if space == namespace
+                )
+            else:
+                directory = self.root / namespace
+                if directory.is_dir():
+                    for entry in directory.rglob("*.json"):
+                        entries += 1
+                        try:
+                            size += entry.stat().st_size
+                        except OSError:
+                            pass
+            stats[namespace] = {"entries": entries, "bytes": size}
+        return stats
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns how many were
+        removed from disk.  The directory skeleton and ``CACHEDIR.TAG``
+        stay, so a cleared cache is still a valid cache."""
+        with self._lock:
+            self._memory.clear()
+        if self.root is None:
+            return 0
+        removed = 0
+        for namespace in _NAMESPACES:
+            directory = self.root / namespace
+            if not directory.is_dir():
+                continue
+            for entry in directory.rglob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

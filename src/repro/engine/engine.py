@@ -1,4 +1,4 @@
-"""The parallel batch-verification engine.
+"""The fault-tolerant parallel batch-verification engine.
 
 Takes a parsed project (one :class:`ParsedModule`, possibly merged from
 a directory), schedules its classes into topological waves over the
@@ -20,20 +20,52 @@ layers short-circuit work (keys in :mod:`repro.engine.fingerprint`):
 
 A warm re-run of an unchanged project therefore performs no inference,
 determinization or minimization at all — it parses, hashes and prints.
+
+**Supervision** (docs/robustness.md).  Every class check runs under a
+supervisor: a per-class wall-clock ``timeout``, a ``max_states``
+resource budget threaded down to every state-exploration step, and
+``retries`` with exponential backoff + deterministic jitter for
+transient worker failures.  A killed process-pool worker
+(``BrokenProcessPool``) respawns the pool and re-enqueues only the
+unfinished classes (draining them one at a time so the poisonous class
+is identified precisely).  A class that still fails after all attempts
+is **quarantined**: it gets a structured ``ENGINE TIMEOUT`` /
+``ENGINE BUDGET`` / ``ENGINE CRASH`` diagnostic in the report while
+every healthy class's diagnostics stay byte-identical to a serial run.
+Fault-injection hooks (:mod:`repro.engine.faults`) make each of these
+paths testable on demand.
 """
 
 from __future__ import annotations
 
+import random
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.checker import check_parsed_class, module_diagnostics
-from repro.core.diagnostics import CheckResult
+from repro.core.diagnostics import (
+    ENGINE_BUDGET,
+    ENGINE_CRASH,
+    ENGINE_TIMEOUT,
+    CheckResult,
+    engine_failure,
+)
+from repro.core.limits import BudgetExceeded, Limits
 from repro.core.model_io import dfa_to_dict
 from repro.core.spec import ClassSpec
+from repro.engine import faults
 from repro.engine.cache import InferenceCache
 from repro.engine.fingerprint import class_key, method_key
 from repro.engine.metrics import ClassTiming, EngineMetrics
@@ -48,6 +80,19 @@ EXECUTORS = ("thread", "process")
 
 class EngineError(ValueError):
     """Raised on invalid engine configuration."""
+
+
+class EngineAborted(RuntimeError):
+    """Raised by ``fail_fast`` runs on the first quarantined class."""
+
+    def __init__(self, class_name: str, kind: str, detail: str):
+        super().__init__(
+            f"aborted (fail-fast): class {class_name} hit ENGINE "
+            f"{kind.upper()}: {detail}"
+        )
+        self.class_name = class_name
+        self.kind = kind
+        self.detail = detail
 
 
 # ----------------------------------------------------------------------
@@ -98,20 +143,39 @@ def _check_class_task(
     parsed: ParsedClass,
     scope: dict[str, ParsedClass],
     method_payloads: dict[str, dict[str, Any]],
+    limits: Limits | None = None,
 ) -> dict[str, Any]:
     """Check one class; everything in and out is picklable.
 
     ``scope`` carries the parsed classes whose specs the check may read
     (the class itself plus its direct subsystem dependencies).
+
+    A :class:`BudgetExceeded` trip is a *verdict about the input*, not a
+    worker malfunction, so it comes back as a structured ``failure``
+    payload rather than an exception — the supervisor quarantines it
+    without burning retries.
     """
     started = time.perf_counter()
-    exit_regexes, hits, misses, fresh = _exit_regexes_from_payload(
-        parsed, method_payloads
-    )
-    specs: Mapping[str, ClassSpec] = {
-        name: ClassSpec.of(cls) for name, cls in scope.items()
-    }
-    result, dfa = check_parsed_class(parsed, specs, exit_regexes=exit_regexes)
+    faults.fire("worker", parsed.name)
+    try:
+        exit_regexes, hits, misses, fresh = _exit_regexes_from_payload(
+            parsed, method_payloads
+        )
+        specs: Mapping[str, ClassSpec] = {
+            name: ClassSpec.of(cls) for name, cls in scope.items()
+        }
+        result, dfa = check_parsed_class(
+            parsed, specs, exit_regexes=exit_regexes, limits=limits
+        )
+    except BudgetExceeded as error:
+        kind = (
+            ENGINE_TIMEOUT if error.resource == "wall-clock" else ENGINE_BUDGET
+        )
+        return {
+            "class": parsed.name,
+            "failure": {"kind": kind, "message": str(error)},
+            "seconds": time.perf_counter() - started,
+        }
     return {
         "class": parsed.name,
         "diagnostics": diagnostics_to_list(result.diagnostics),
@@ -154,13 +218,50 @@ class BatchResult:
                 return class_result
         return None
 
+    def quarantined(self) -> tuple[str, ...]:
+        """Names of classes the supervisor gave up on, source order."""
+        return tuple(
+            name
+            for name, class_result in self.class_results
+            if any(
+                diagnostic.code.startswith("engine-")
+                for diagnostic in class_result.diagnostics
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Supervisor bookkeeping
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Attempt:
+    """One class working its way through the supervisor."""
+
+    name: str
+    key: str | None
+    attempt: int = 0  # attempts already spent
+    dispatched: float = 0.0
+
+
+@dataclass
+class _WaveCounters:
+    """Mutable supervisor counters, accumulated across waves."""
+
+    retries: int = 0
+    quarantines: int = 0
+    budget_trips: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    quarantined_names: list[str] = field(default_factory=list)
+
 
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 
 class BatchVerifier:
-    """Verify a parsed project: DAG-scheduled, pooled, cached."""
+    """Verify a parsed project: DAG-scheduled, pooled, cached, supervised."""
 
     def __init__(
         self,
@@ -170,6 +271,12 @@ class BatchVerifier:
         jobs: int = 1,
         executor: str = "thread",
         cache: InferenceCache | None = None,
+        timeout: float | None = None,
+        max_states: int | None = None,
+        retries: int = 2,
+        backoff: float = 0.05,
+        fail_fast: bool = False,
+        retry_seed: int = 0,
     ):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -177,11 +284,23 @@ class BatchVerifier:
             raise EngineError(
                 f"executor must be one of {', '.join(EXECUTORS)}; got {executor!r}"
             )
+        if timeout is not None and timeout <= 0:
+            raise EngineError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise EngineError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise EngineError(f"backoff must be >= 0, got {backoff}")
         self.module = module
         self.violations = list(violations or [])
         self.jobs = jobs
         self.executor = executor
         self.cache = cache
+        self.timeout = timeout
+        self.max_states = max_states
+        self.retries = retries
+        self.backoff = backoff
+        self.fail_fast = fail_fast
+        self.retry_seed = retry_seed
 
     # ------------------------------------------------------------------
 
@@ -211,6 +330,227 @@ class BatchVerifier:
                 payloads[operation.name] = payload
         return payloads
 
+    def _limits(self) -> Limits:
+        return Limits(max_states=self.max_states, timeout=self.timeout)
+
+    def _backoff_delay(self, name: str, attempt: int) -> float:
+        """Exponential backoff with deterministic per-(class, attempt)
+        jitter, so reruns of one schedule sleep identically."""
+        if self.backoff == 0:
+            return 0.0
+        jitter = random.Random(
+            f"{self.retry_seed}:{name}:{attempt}"
+        ).uniform(0.0, self.backoff)
+        return self.backoff * (2 ** (attempt - 1)) + jitter
+
+    # -- failure plumbing ----------------------------------------------
+
+    @staticmethod
+    def _failure_outcome(
+        attempt: _Attempt, kind: str, message: str, seconds: float
+    ) -> dict[str, Any]:
+        return {
+            "class": attempt.name,
+            "failure": {
+                "kind": kind,
+                "message": message,
+                "attempts": attempt.attempt,
+            },
+            "seconds": seconds,
+        }
+
+    # -- inline execution (no pool): jobs/wave width of one, no timeout
+
+    def _execute_inline(
+        self,
+        pending: list[_Attempt],
+        tasks: Mapping[str, tuple],
+        counters: _WaveCounters,
+    ) -> dict[str, dict[str, Any]]:
+        limits = self._limits()
+        raw: dict[str, dict[str, Any]] = {}
+        for attempt in pending:
+            while True:
+                attempt.attempt += 1
+                started = time.perf_counter()
+                try:
+                    outcome = _check_class_task(*tasks[attempt.name], limits)
+                except Exception as error:  # noqa: BLE001 - quarantine path
+                    if attempt.attempt > self.retries:
+                        raw[attempt.name] = self._failure_outcome(
+                            attempt,
+                            ENGINE_CRASH,
+                            f"{type(error).__name__}: {error}",
+                            time.perf_counter() - started,
+                        )
+                        break
+                    counters.retries += 1
+                    time.sleep(self._backoff_delay(attempt.name, attempt.attempt))
+                    continue
+                if "failure" in outcome:
+                    outcome["failure"]["attempts"] = attempt.attempt
+                    if outcome["failure"]["kind"] == ENGINE_TIMEOUT:
+                        counters.timeouts += 1
+                raw[attempt.name] = outcome
+                break
+        return raw
+
+    # -- pooled execution with the full supervisor ---------------------
+
+    def _execute_pooled(
+        self,
+        pending: list[_Attempt],
+        tasks: Mapping[str, tuple],
+        counters: _WaveCounters,
+    ) -> dict[str, dict[str, Any]]:
+        limits = self._limits()
+        workers = min(self.jobs, len(pending))
+        pool = self._make_pool(len(pending))
+        raw: dict[str, dict[str, Any]] = {}
+        ready: deque[_Attempt] = deque(pending)
+        waiting: list[tuple[float, _Attempt]] = []
+        inflight: dict[Future, tuple[_Attempt, float | None]] = {}
+        # After a pool break, drain one class at a time so the next
+        # break is attributable to exactly one class.
+        serial_mode = False
+
+        def requeue(attempt: _Attempt, kind: str, message: str) -> None:
+            """Charge one attempt; retry with backoff or quarantine."""
+            if attempt.attempt > self.retries:
+                raw[attempt.name] = self._failure_outcome(
+                    attempt, kind, message,
+                    time.monotonic() - attempt.dispatched,
+                )
+                return
+            counters.retries += 1
+            waiting.append(
+                (
+                    time.monotonic()
+                    + self._backoff_delay(attempt.name, attempt.attempt),
+                    attempt,
+                )
+            )
+
+        try:
+            while ready or waiting or inflight:
+                now = time.monotonic()
+                if waiting:
+                    still_waiting = []
+                    for eligible, attempt in waiting:
+                        if eligible <= now:
+                            ready.append(attempt)
+                        else:
+                            still_waiting.append((eligible, attempt))
+                    waiting[:] = still_waiting
+                capacity = 1 if serial_mode else workers
+                while ready and len(inflight) < capacity:
+                    attempt = ready.popleft()
+                    attempt.attempt += 1
+                    attempt.dispatched = time.monotonic()
+                    try:
+                        future = pool.submit(
+                            _check_class_task, *tasks[attempt.name], limits
+                        )
+                    except (BrokenExecutor, RuntimeError) as error:
+                        # The pool died between waves of submissions.
+                        pool.shutdown(wait=False)
+                        pool = self._make_pool(len(pending))
+                        counters.pool_restarts += 1
+                        serial_mode = True
+                        requeue(
+                            attempt,
+                            ENGINE_CRASH,
+                            f"worker pool broken at submit: {error}",
+                        )
+                        continue
+                    deadline = (
+                        None
+                        if self.timeout is None
+                        else attempt.dispatched + self.timeout
+                    )
+                    inflight[future] = (attempt, deadline)
+
+                if not inflight:
+                    if waiting:
+                        pause = min(e for e, _ in waiting) - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
+
+                bounds = [d for _, d in inflight.values() if d is not None]
+                bounds.extend(e for e, _ in waiting)
+                wait_timeout = None
+                if bounds:
+                    wait_timeout = max(0.0, min(bounds) - time.monotonic())
+                done, _ = wait(
+                    set(inflight), timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken: list[_Attempt] = []
+                for future in done:
+                    attempt, _deadline = inflight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenExecutor:
+                        broken.append(attempt)
+                    except Exception as error:  # noqa: BLE001 - quarantine path
+                        requeue(
+                            attempt,
+                            ENGINE_CRASH,
+                            f"{type(error).__name__}: {error}",
+                        )
+                    else:
+                        if "failure" in outcome:
+                            outcome["failure"]["attempts"] = attempt.attempt
+                            if outcome["failure"]["kind"] == ENGINE_TIMEOUT:
+                                counters.timeouts += 1
+                        raw[attempt.name] = outcome
+
+                if broken:
+                    # Every other in-flight future died with the pool.
+                    for future, (attempt, _deadline) in inflight.items():
+                        future.cancel()
+                        broken.append(attempt)
+                    inflight.clear()
+                    pool.shutdown(wait=False)
+                    pool = self._make_pool(len(pending))
+                    counters.pool_restarts += 1
+                    if len(broken) == 1:
+                        # Sole suspect: the crash is attributable.
+                        requeue(
+                            broken[0],
+                            ENGINE_CRASH,
+                            "worker process died (BrokenProcessPool)",
+                        )
+                    else:
+                        # Ambiguous: re-enqueue everyone uncharged and
+                        # switch to serial draining for attribution.
+                        for attempt in broken:
+                            attempt.attempt -= 1
+                            ready.append(attempt)
+                    serial_mode = True
+                    continue
+
+                now = time.monotonic()
+                for future in list(inflight):
+                    attempt, deadline = inflight[future]
+                    if deadline is not None and now >= deadline:
+                        del inflight[future]
+                        future.cancel()
+                        counters.timeouts += 1
+                        requeue(
+                            attempt,
+                            ENGINE_TIMEOUT,
+                            f"exceeded the {self.timeout}s per-class "
+                            "wall-clock deadline",
+                        )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return raw
+
+    # ------------------------------------------------------------------
+
     def run(self) -> BatchResult:
         started = time.perf_counter()
         classes_by_name = {parsed.name: parsed for parsed in self.module.classes}
@@ -218,11 +558,12 @@ class BatchVerifier:
 
         outcomes: dict[str, CheckResult] = {}
         timings: list[ClassTiming] = []
+        counters = _WaveCounters()
         class_hits = class_misses = method_hits = method_misses = 0
         cache_writes = 0
 
         for wave_index, wave in enumerate(waves):
-            pending: list[tuple[str, str | None]] = []
+            pending: list[_Attempt] = []
             for name in wave:
                 parsed = classes_by_name[name]
                 key: str | None = None
@@ -249,32 +590,54 @@ class BatchVerifier:
                                 )
                             )
                             continue
-                pending.append((name, key))
+                pending.append(_Attempt(name=name, key=key))
 
             if not pending:
                 continue
             class_misses += len(pending)
 
-            tasks = [
-                (
-                    classes_by_name[name],
-                    self._scope_for(classes_by_name[name]),
-                    self._method_payloads(classes_by_name[name]),
+            tasks = {
+                attempt.name: (
+                    classes_by_name[attempt.name],
+                    self._scope_for(classes_by_name[attempt.name]),
+                    self._method_payloads(classes_by_name[attempt.name]),
                 )
-                for name, _key in pending
-            ]
-            if self.jobs == 1 or len(pending) == 1:
-                raw = [_check_class_task(*task) for task in tasks]
+                for attempt in pending
+            }
+            if self.timeout is None and (self.jobs == 1 or len(pending) == 1):
+                raw = self._execute_inline(pending, tasks, counters)
             else:
-                with self._make_pool(len(pending)) as pool:
-                    raw = list(
-                        pool.map(
-                            _check_class_task,
-                            *zip(*tasks),
+                raw = self._execute_pooled(pending, tasks, counters)
+
+            for attempt in pending:
+                name, key = attempt.name, attempt.key
+                outcome = raw[name]
+                failure = outcome.get("failure")
+                if failure is not None:
+                    counters.quarantines += 1
+                    counters.quarantined_names.append(name)
+                    if failure["kind"] == ENGINE_BUDGET:
+                        counters.budget_trips += 1
+                    outcomes[name] = CheckResult(
+                        diagnostics=[
+                            engine_failure(
+                                failure["kind"],
+                                name,
+                                failure["message"],
+                                attempts=failure.get("attempts", 1),
+                            )
+                        ]
+                    )
+                    timings.append(
+                        ClassTiming(
+                            class_name=name,
+                            seconds=outcome["seconds"],
+                            from_cache=False,
+                            wave=wave_index,
+                            quarantined=True,
                         )
                     )
-
-            for (name, key), outcome in zip(pending, raw):
+                    continue
                 outcomes[name] = CheckResult(
                     diagnostics=diagnostics_from_list(outcome["diagnostics"])
                 )
@@ -306,6 +669,11 @@ class BatchVerifier:
                     )
                     cache_writes += 1
 
+            if self.fail_fast and counters.quarantined_names:
+                name = counters.quarantined_names[0]
+                failure = raw[name]["failure"]
+                raise EngineAborted(name, failure["kind"], failure["message"])
+
         ordered = tuple(
             (parsed.name, outcomes[parsed.name]) for parsed in self.module.classes
         )
@@ -321,6 +689,14 @@ class BatchVerifier:
             method_misses=method_misses,
             cache_writes=cache_writes,
             timings=tuple(sorted(timings, key=lambda t: (t.wave, t.class_name))),
+            corrupt_entries=(
+                self.cache.stats.corrupt_entries if self.cache else 0
+            ),
+            retries=counters.retries,
+            quarantines=counters.quarantines,
+            budget_trips=counters.budget_trips,
+            timeouts=counters.timeouts,
+            pool_restarts=counters.pool_restarts,
         )
         return BatchResult(
             module=self.module,
@@ -341,10 +717,24 @@ def verify_module(
     jobs: int = 1,
     executor: str = "thread",
     cache: InferenceCache | None = None,
+    timeout: float | None = None,
+    max_states: int | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    fail_fast: bool = False,
 ) -> BatchResult:
     """Run the batch engine on an already-parsed module/project."""
     return BatchVerifier(
-        module, violations, jobs=jobs, executor=executor, cache=cache
+        module,
+        violations,
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        timeout=timeout,
+        max_states=max_states,
+        retries=retries,
+        backoff=backoff,
+        fail_fast=fail_fast,
     ).run()
 
 
@@ -376,6 +766,11 @@ def verify_path(
     jobs: int = 1,
     executor: str = "thread",
     cache: InferenceCache | None = None,
+    timeout: float | None = None,
+    max_states: int | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    fail_fast: bool = False,
 ) -> BatchResult:
     """Parse a file or project directory and run the batch engine."""
     from repro.frontend.parse import parse_file
@@ -386,5 +781,14 @@ def verify_path(
     else:
         module, violations = parse_file(path)
     return verify_module(
-        module, violations, jobs=jobs, executor=executor, cache=cache
+        module,
+        violations,
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        timeout=timeout,
+        max_states=max_states,
+        retries=retries,
+        backoff=backoff,
+        fail_fast=fail_fast,
     )

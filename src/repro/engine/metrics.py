@@ -14,12 +14,17 @@ from typing import Any
 
 @dataclass(frozen=True)
 class ClassTiming:
-    """Wall time of one class's check and where the verdict came from."""
+    """Wall time of one class's check and where the verdict came from.
+
+    ``quarantined`` marks classes the supervisor gave up on — their
+    "verdict" is an ``ENGINE ...`` diagnostic, not a real check result.
+    """
 
     class_name: str
     seconds: float
     from_cache: bool
     wave: int
+    quarantined: bool = False
 
 
 @dataclass(frozen=True)
@@ -37,6 +42,15 @@ class EngineMetrics:
     method_misses: int
     cache_writes: int
     timings: tuple[ClassTiming, ...]
+    #: Corrupt cache entries found — and deleted — during this run.
+    corrupt_entries: int = 0
+    # Supervisor counters (docs/robustness.md): how much fault handling
+    # the run needed.  All zero on a healthy run.
+    retries: int = 0
+    quarantines: int = 0
+    budget_trips: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
 
     @property
     def class_hit_rate(self) -> float:
@@ -61,6 +75,14 @@ class EngineMetrics:
                 "method_hits": self.method_hits,
                 "method_misses": self.method_misses,
                 "writes": self.cache_writes,
+                "corrupt_entries": self.corrupt_entries,
+            },
+            "supervisor": {
+                "retries": self.retries,
+                "quarantines": self.quarantines,
+                "budget_trips": self.budget_trips,
+                "timeouts": self.timeouts,
+                "pool_restarts": self.pool_restarts,
             },
             "per_class": [
                 {
@@ -68,6 +90,7 @@ class EngineMetrics:
                     "seconds": timing.seconds,
                     "from_cache": timing.from_cache,
                     "wave": timing.wave,
+                    "quarantined": timing.quarantined,
                 }
                 for timing in self.timings
             ],
@@ -86,8 +109,32 @@ class EngineMetrics:
             f"{self.method_misses} miss(es)",
             f"  cache writes          {self.cache_writes}",
         ]
+        if self.corrupt_entries:
+            lines.append(
+                f"  cache healed          {self.corrupt_entries} corrupt "
+                f"entr{'y' if self.corrupt_entries == 1 else 'ies'} deleted"
+            )
+        if (
+            self.retries
+            or self.quarantines
+            or self.budget_trips
+            or self.timeouts
+            or self.pool_restarts
+        ):
+            lines.append(
+                f"  supervisor            {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+                f"{self.quarantines} quarantine(s), "
+                f"{self.budget_trips} budget trip(s), "
+                f"{self.timeouts} timeout(s), "
+                f"{self.pool_restarts} pool restart(s)"
+            )
         for timing in self.timings:
-            origin = "cache" if timing.from_cache else "checked"
+            if timing.quarantined:
+                origin = "quarantined"
+            elif timing.from_cache:
+                origin = "cache"
+            else:
+                origin = "checked"
             lines.append(
                 f"  class {timing.class_name:<15} wave {timing.wave}  "
                 f"{timing.seconds * 1000.0:8.2f} ms  [{origin}]"

@@ -1,7 +1,25 @@
 """Subset construction."""
 
+import pytest
+
 from repro.automata.determinize import determinize
+from repro.automata.minimize import minimize
 from repro.automata.nfa import NFABuilder
+from repro.core.limits import BudgetExceeded
+
+
+def exponential_nfa(n):
+    """The n-th-symbol-from-the-end-is-'a' NFA: its DFA has ~2**n states."""
+    builder = NFABuilder()
+    builder.mark_initial(0)
+    builder.add_transition(0, "a", 0)
+    builder.add_transition(0, "b", 0)
+    builder.add_transition(0, "a", 1)
+    for i in range(1, n):
+        builder.add_transition(i, "a", i + 1)
+        builder.add_transition(i, "b", i + 1)
+    builder.mark_accepting(n)
+    return builder.build()
 
 
 def ambiguous_nfa():
@@ -64,3 +82,46 @@ class TestDeterminize:
             assert (bool(state & nfa.accepting_states)) == (
                 state in dfa.accepting_states
             )
+
+
+class TestBudgets:
+    def test_exponential_blowup_trips_state_budget(self):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            determinize(exponential_nfa(12), max_states=64)
+        assert excinfo.value.resource == "states"
+        assert "subset construction" in str(excinfo.value)
+
+    def test_budget_large_enough_is_harmless(self):
+        dfa = determinize(exponential_nfa(4), max_states=1_000)
+        assert dfa.accepts(["a", "b", "b", "b"])
+        assert not dfa.accepts(["b", "b", "b", "b"])
+
+    def test_zero_means_unlimited(self):
+        dfa = determinize(exponential_nfa(8), max_states=0)
+        assert len(dfa.states) == 256  # the full 2**8 blowup, uncapped
+
+    def test_expired_deadline_trips_wall_clock(self):
+        import time
+
+        with pytest.raises(BudgetExceeded) as excinfo:
+            determinize(exponential_nfa(12), deadline=time.monotonic() - 1.0)
+        assert excinfo.value.resource == "wall-clock"
+
+    def test_minimize_entry_guard(self):
+        dfa = determinize(exponential_nfa(10))
+        assert len(dfa.states) > 100
+        with pytest.raises(BudgetExceeded):
+            minimize(dfa, max_states=100)
+        # Unlimited and roomy budgets both succeed.
+        assert minimize(dfa, max_states=0).accepts(
+            ["a"] + ["b"] * 9
+        )
+
+    def test_budget_exceeded_survives_pickling(self):
+        import pickle
+
+        error = BudgetExceeded("too big", resource="states")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, BudgetExceeded)
+        assert clone.resource == "states"
+        assert "too big" in str(clone)

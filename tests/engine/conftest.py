@@ -1,0 +1,29 @@
+"""Engine-suite fixtures: never leak an *installed* fault plan.
+
+``REPRO_FAULTS`` from the ambient environment is deliberately left
+alone — the CI fault-injection job sets it and re-runs these suites to
+prove the supervisor recovers transparently.  Tests that must observe
+exact supervisor counters opt out of ambient faults with the
+``no_ambient_faults`` fixture (an installed empty plan beats the
+environment).
+"""
+
+import pytest
+
+from repro.engine import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    """Each test starts and ends with no installed plan."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+@pytest.fixture
+def no_ambient_faults():
+    """Shield a test from ``REPRO_FAULTS`` set by the CI fault job."""
+    faults.install(faults.FaultPlan(()))
+    yield
+    faults.install(None)

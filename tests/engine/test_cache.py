@@ -62,6 +62,32 @@ class TestDiskCache:
         (tmp_path / "method" / "ab" / "abcdef.json").write_text("{ truncated")
         assert InferenceCache(tmp_path).get("method", "abcdef") is None
 
+    def test_corrupt_entry_is_deleted_and_counted(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "abcdef", {"v": 1})
+        path = tmp_path / "method" / "ab" / "abcdef.json"
+        path.write_text("{ truncated")
+        fresh = InferenceCache(tmp_path)
+        assert fresh.get("method", "abcdef") is None
+        assert not path.exists()  # self-healed: the bad file is gone
+        assert fresh.stats.corrupt["method"] == 1
+        assert fresh.stats.corrupt_entries == 1
+        # The next write/read cycle works again.
+        fresh.put("method", "abcdef", {"v": 2})
+        assert InferenceCache(tmp_path).get("method", "abcdef") == {"v": 2}
+
+    def test_version_mismatch_is_not_treated_as_corruption(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "abcdef", {"v": 1})
+        path = tmp_path / "method" / "ab" / "abcdef.json"
+        envelope = json.loads(path.read_text())
+        envelope["cache_version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        fresh = InferenceCache(tmp_path)
+        assert fresh.get("method", "abcdef") is None
+        assert path.exists()  # a future version's entry is left alone
+        assert fresh.stats.corrupt_entries == 0
+
     def test_version_mismatch_is_a_miss(self, tmp_path):
         cache = InferenceCache(tmp_path)
         cache.put("method", "abcdef", {"v": 1})
@@ -86,10 +112,38 @@ class TestDiskCache:
         assert cache.get("method", "abcdef") == {"v": 1}
 
 
+class TestMaintenance:
+    def test_disk_stats_report_entries_and_bytes(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "aa11", {"v": 1})
+        cache.put("method", "bb22", {"v": 2})
+        cache.put("class", "cc33", {"v": 3})
+        stats = cache.disk_stats()
+        assert stats["method"]["entries"] == 2
+        assert stats["class"]["entries"] == 1
+        assert stats["method"]["bytes"] > 0
+
+    def test_disk_stats_for_memory_only_cache(self):
+        stats = InferenceCache(None).disk_stats()
+        assert all(ns["entries"] == 0 for ns in stats.values())
+
+    def test_clear_empties_disk_and_memory(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.put("method", "aa11", {"v": 1})
+        cache.put("class", "cc33", {"v": 3})
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+        assert cache.get("method", "aa11") is None
+        assert (tmp_path / "CACHEDIR.TAG").exists()  # the tag survives
+        # The cleared cache is still usable.
+        cache.put("method", "aa11", {"v": 1})
+        assert InferenceCache(tmp_path).get("method", "aa11") == {"v": 1}
+
+
 class TestCacheStats:
     def test_to_dict_shape(self):
         stats = CacheStats()
         stats.hits["method"] += 3
         as_dict = stats.to_dict()
         assert as_dict["hits"]["method"] == 3
-        assert set(as_dict) == {"hits", "misses", "writes"}
+        assert set(as_dict) == {"hits", "misses", "writes", "corrupt"}

@@ -145,6 +145,21 @@ class TestCacheIntegration:
         # Base-class checks never determinize, so no DFA is stored.
         assert cached_behavior_dfa(cache, classes["Device0"], classes) is None
 
+    def test_corrupt_entry_heals_and_is_counted(self, tmp_path):
+        module, violations = _parse(project_source(SHAPE, pairs=2))
+        cold = BatchVerifier(
+            module, violations, cache=InferenceCache(tmp_path)
+        ).run()
+        victim = next((tmp_path / "class").rglob("*.json"))
+        victim.write_text("{ truncated")
+        healed = BatchVerifier(
+            module, violations, cache=InferenceCache(tmp_path)
+        ).run()
+        assert healed.metrics.corrupt_entries == 1
+        assert healed.metrics.class_misses == 1  # only the corrupted class
+        assert "cache healed          1 corrupt entry" in healed.metrics.format()
+        assert healed.merged().format() == cold.merged().format()
+
     def test_fully_cached_is_false_for_empty_module(self):
         module, violations = _parse("x = 1\n")
         batch = BatchVerifier(module, violations, cache=InferenceCache(None)).run()

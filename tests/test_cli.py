@@ -81,6 +81,80 @@ class TestCheckBatch:
             main(["check", good, "--jobs", "0"])
 
 
+class TestCheckSupervisor:
+    def test_supervisor_flags_keep_output_identical(self, section2, capsys):
+        assert main(["check", section2]) == 1
+        plain = capsys.readouterr().out
+        args = [
+            "check", section2,
+            "--timeout", "60", "--max-states", "100000",
+            "--retries", "3", "--keep-going",
+        ]
+        assert main(args) == 1
+        assert capsys.readouterr().out == plain
+
+    def test_injected_fault_quarantines_the_class(self, good, capsys):
+        args = [
+            "check", good, "--retries", "0",
+            "--faults", "worker:raise:Valve",
+        ]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "ENGINE CRASH" in out
+        assert "Valve" in out
+        # Faults do not leak into the next in-process run.
+        assert main(["check", good]) == 0
+
+    def test_transparent_recovery_under_transient_fault(self, good, capsys):
+        assert main(["check", good]) == 0
+        healthy = capsys.readouterr().out
+        args = [
+            "check", good, "--retries", "2",
+            "--faults", "worker:raise:*:times=1",
+        ]
+        assert main(args) == 0
+        assert capsys.readouterr().out == healthy
+
+    def test_fail_fast_aborts(self, good):
+        args = [
+            "check", good, "--retries", "0", "--fail-fast",
+            "--faults", "worker:raise:Valve",
+        ]
+        with pytest.raises(SystemExit, match="fail-fast"):
+            main(args)
+
+    def test_bad_fault_spec_is_a_usage_error(self, good):
+        with pytest.raises(SystemExit, match="unknown fault site"):
+            main(["check", good, "--faults", "nowhere:raise:*"])
+
+    def test_fail_fast_and_keep_going_conflict(self, good):
+        with pytest.raises(SystemExit):
+            main(["check", good, "--fail-fast", "--keep-going"])
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, good, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["check", good, "--cache", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = capsys.readouterr().out
+        assert f"cache at {cache_dir}:" in stats
+        assert "method" in stats and "class" in stats and "total" in stats
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "total         0 entries" in capsys.readouterr().out
+
+    def test_stats_on_missing_cache_dir(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "never-created")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+
 class TestModel:
     def test_prints_inferred_regexes(self, section2, capsys):
         assert main(["model", section2]) == 0

@@ -1,10 +1,13 @@
 """Robustness: hostile and degenerate inputs must fail *controlledly* —
 defined exceptions or diagnostics, never crashes or silent nonsense."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.checker import check_source
+from repro.core.checker import Checker, check_parsed_class, check_source
+from repro.core.limits import BudgetExceeded, Limits
 from repro.frontend.model_ast import FrontendError
+from repro.frontend.parse import parse_module
 from repro.ltlf.parser import ClaimSyntaxError, parse_claim
 from repro.regex.parser import RegexSyntaxError, parse_regex
 
@@ -152,3 +155,82 @@ class TestDegenerateModules:
             "        return []\n"
         )
         assert result.ok, result.format()
+
+
+def _nested_module(nesting, calls):
+    """A composite whose one operation nests ``if``/``while`` per ``nesting``
+    and invokes the subsystem ``calls`` times at full depth."""
+    body = ""
+    for level, keyword in enumerate(nesting):
+        body += "    " * (level + 2) + f"{keyword} x:\n"
+    depth = len(nesting)
+    for i in range(calls):
+        method = ("once", "twice")[i % 2]
+        body += "    " * (depth + 2) + f"self.b.{method}()\n"
+    return (
+        "@sys\n"
+        "class Base:\n"
+        "    @op_initial\n"
+        "    def once(self):\n"
+        "        return ['once', 'twice']\n"
+        "    @op_final\n"
+        "    def twice(self):\n"
+        "        return ['once', 'twice']\n"
+        "\n"
+        "@sys(['b'])\n"
+        "class User:\n"
+        "    def __init__(self):\n"
+        "        self.b = Base()\n"
+        "    @op_initial_final\n"
+        "    def go(self):\n"
+        f"{body}"
+        "        return []\n"
+    )
+
+
+class TestBudgetedChecking:
+    """Pathological control flow under a budget: the check either finishes
+    or raises :class:`BudgetExceeded` — never hangs, never crashes."""
+
+    @given(
+        nesting=st.lists(st.sampled_from(["if", "while"]), min_size=1, max_size=10),
+        calls=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_finishes_or_trips_budget(self, nesting, calls):
+        module, violations = parse_module(_nested_module(nesting, calls))
+        assert not violations
+        checker = Checker(module, violations)
+        for parsed in module.classes:
+            try:
+                result, _dfa = check_parsed_class(
+                    parsed, checker.specs, limits=Limits(max_states=64)
+                )
+            except BudgetExceeded as error:
+                assert error.resource in ("states", "wall-clock")
+                continue
+            assert result is not None
+
+    @given(
+        nesting=st.lists(st.sampled_from(["if", "while"]), min_size=1, max_size=10),
+        calls=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generous_budget_always_finishes(self, nesting, calls):
+        module, violations = parse_module(_nested_module(nesting, calls))
+        checker = Checker(module, violations)
+        for parsed in module.classes:
+            result, _dfa = check_parsed_class(
+                parsed, checker.specs, limits=Limits(max_states=100_000)
+            )
+            assert result is not None
+
+    def test_expired_deadline_raises_wall_clock(self):
+        module, violations = parse_module(_nested_module(["while"] * 6, 4))
+        checker = Checker(module, violations)
+        composite = next(p for p in module.classes if p.name == "User")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            check_parsed_class(
+                composite, checker.specs, limits=Limits(timeout=-1.0)
+            )
+        assert excinfo.value.resource == "wall-clock"
