@@ -36,6 +36,7 @@ from repro.engine import BatchVerifier, InferenceCache  # noqa: E402
 from repro.frontend.parse import parse_module  # noqa: E402
 from repro.lang.builder import paper_example_program  # noqa: E402
 from repro.lang.inference import behavior  # noqa: E402
+from repro.obs import NULL_TRACER  # noqa: E402
 from repro.workloads.hierarchy import (  # noqa: E402
     HierarchyShape,
     lifecycle_claim,
@@ -77,6 +78,24 @@ def _kernel_inference_example3() -> None:
     assert inferred.returned
 
 
+#: Documented ceiling for the disabled-tracer kernel, in calibration
+#: units (docs/observability.md): 200k no-op span enters must cost less
+#: than 6 calibration loops.  An absolute gate, independent of the
+#: baseline file.  The null path measures ~3.5 units; an *enabled*
+#: tracer measures ~70 — so this bound trips as soon as the disabled
+#: path starts allocating spans or reading the clock, while leaving
+#: normal CI noise plenty of headroom.
+OBS_NULL_BOUND = 6.0
+
+
+def _kernel_obs_null_span() -> None:
+    """The tracing-off fast path: 200k disabled span enters."""
+    tracer = NULL_TRACER
+    for _ in range(200_000):
+        with tracer.span("phase", "infer"):
+            pass
+
+
 def _make_engine_warm_kernel():
     """Warm-cache engine run: parse + hash + cache lookups, no inference."""
     shape = HierarchyShape(base_operations=4, subsystems=2, seed=7)
@@ -98,6 +117,7 @@ def measure(repeat: int) -> dict[str, float]:
         "checker_counterexample": _kernel_checker_counterexample,
         "inference_example3": _kernel_inference_example3,
         "engine_warm_cache": _make_engine_warm_kernel(),
+        "obs_null_span": _kernel_obs_null_span,
     }
     calibration = min(_calibration() for _ in range(repeat))
     scores: dict[str, float] = {"calibration_seconds": calibration}
@@ -149,6 +169,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: cannot read baseline {args.baseline}: {error}")
         return 2
     failures = []
+    if scores["obs_null_span"] > OBS_NULL_BOUND:
+        failures.append(
+            f"obs_null_span: {scores['obs_null_span']:.4f} calibration "
+            f"units exceeds the documented {OBS_NULL_BOUND} absolute bound "
+            "(the disabled tracer must stay near-free)"
+        )
     for name, reference in baseline["scores"].items():
         if name == "calibration_seconds":
             continue

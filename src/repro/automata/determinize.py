@@ -32,6 +32,7 @@ def determinize(
     *,
     max_states: int | None = None,
     deadline: float | None = None,
+    tracer=None,
 ) -> DFA:
     """Determinize ``nfa`` by the subset construction.
 
@@ -40,6 +41,10 @@ def determinize(
     disables it.  ``deadline`` is an absolute :func:`time.monotonic`
     timestamp checked every few expansions.  Either limit tripping
     raises :class:`~repro.core.limits.BudgetExceeded`.
+
+    ``tracer`` (optional; the same plumbing point as the budget)
+    annotates the enclosing span with the explored subset count — it
+    never changes the construction.
     """
     # Imported lazily: repro.core.spec imports this module back, so a
     # top-level import would be order-sensitive during package init.
@@ -74,6 +79,8 @@ def determinize(
                 states.add(successor)
                 charge_states(len(states), cap, "subset construction")
                 queue.append(successor)
+    if tracer is not None and tracer.enabled:
+        tracer.annotate(dfa_states=len(states), expansions=expansions)
     return DFA(
         states=frozenset(states),
         alphabet=nfa.alphabet,

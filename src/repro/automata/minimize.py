@@ -14,7 +14,7 @@ from collections import defaultdict
 from repro.automata.dfa import DFA, State
 
 
-def minimize(dfa: DFA, *, max_states: int | None = None) -> DFA:
+def minimize(dfa: DFA, *, max_states: int | None = None, tracer=None) -> DFA:
     """The minimal total DFA for ``dfa``'s language.
 
     The input is completed and trimmed first; the result is renumbered to
@@ -25,6 +25,10 @@ def minimize(dfa: DFA, *, max_states: int | None = None) -> DFA:
     bounds the *input* size: refinement is ``O(states × alphabet)`` per
     split, so a caller with a budget rejects oversized inputs up front
     with :class:`repro.core.limits.BudgetExceeded` instead of churning.
+
+    ``tracer`` (optional; the same plumbing point as the budget)
+    annotates the enclosing span with input/output sizes — it never
+    changes the result.
     """
     if max_states is not None and max_states > 0 and len(dfa.states) > max_states:
         from repro.core.limits import charge_states
@@ -107,4 +111,9 @@ def minimize(dfa: DFA, *, max_states: int | None = None) -> DFA:
             if next(iter(members)) in accepting
         ),
     )
-    return quotient.trim().renumbered()
+    minimal = quotient.trim().renumbered()
+    if tracer is not None and tracer.enabled:
+        tracer.annotate(
+            input_states=len(dfa.states), minimal_states=len(minimal.states)
+        )
+    return minimal

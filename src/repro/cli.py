@@ -5,8 +5,12 @@ Subcommands::
     repro check FILE          verify a module or project directory
                               (--jobs N --cache for the batch engine;
                               --timeout/--max-states/--retries for the
-                              fault-tolerant supervisor;
+                              fault-tolerant supervisor; --trace/
+                              --trace-out/--metrics-out/--prom-out for
+                              structured observability;
                               paper-style error reports either way)
+    repro profile FILE        verify with tracing on; print the
+                              per-phase time breakdown
     repro cache stats|clear   inspect or drop the inference cache
     repro explain FILE        verify and narrate each usage counterexample
     repro model FILE          print each operation's inferred behavior regex
@@ -78,6 +82,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
         faults,
     )
 
+    from repro.obs import (
+        Tracer,
+        metrics_payload,
+        render_trace,
+        write_metrics_json,
+        write_prometheus,
+        write_trace_jsonl,
+    )
+
+    tracing = bool(
+        args.trace or args.trace_out or args.metrics_out or args.prom_out
+    )
+    tracer = Tracer() if tracing else None
     previous_env = os.environ.get(faults.FAULTS_ENV)
     if args.faults:
         try:
@@ -87,7 +104,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
         # Process-pool workers read the spec from the environment.
         os.environ[faults.FAULTS_ENV] = args.faults
     try:
-        module, violations = _load(args.file)
+        if tracer is not None:
+            with tracer.span("phase", "parse", file=args.file):
+                module, violations = _load(args.file)
+        else:
+            module, violations = _load(args.file)
         cache = InferenceCache(args.cache_dir) if args.cache else None
         try:
             verifier = BatchVerifier(
@@ -100,6 +121,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 max_states=args.max_states,
                 retries=args.retries,
                 fail_fast=args.fail_fast,
+                tracer=tracer,
             )
         except EngineError as error:
             raise SystemExit(f"error: {error}")
@@ -112,6 +134,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if args.stats:
             print()
             print(batch.metrics.format())
+        if tracer is not None:
+            if args.trace:
+                print()
+                print(render_trace(tracer))
+            if args.trace_out:
+                write_trace_jsonl(tracer, args.trace_out)
+            if args.metrics_out or args.prom_out:
+                payload = metrics_payload(batch.metrics.to_dict(), tracer)
+                if args.metrics_out:
+                    write_metrics_json(payload, args.metrics_out)
+                if args.prom_out:
+                    write_prometheus(payload, args.prom_out)
         return 0 if result.ok else 1
     finally:
         if args.faults:
@@ -121,6 +155,49 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 os.environ.pop(faults.FAULTS_ENV, None)
             else:
                 os.environ[faults.FAULTS_ENV] = previous_env
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.limits import BudgetExceeded
+    from repro.engine import (
+        BatchVerifier,
+        EngineAborted,
+        EngineError,
+        InferenceCache,
+    )
+    from repro.obs import Tracer, render_profile
+
+    tracer = Tracer()
+    with tracer.span("phase", "parse", file=args.file):
+        module, violations = _load(args.file)
+    cache = InferenceCache(args.cache_dir) if args.cache else None
+    try:
+        verifier = BatchVerifier(
+            module,
+            violations,
+            jobs=args.jobs,
+            executor=args.executor,
+            cache=cache,
+            tracer=tracer,
+        )
+    except EngineError as error:
+        raise SystemExit(f"error: {error}")
+    try:
+        batch = verifier.run()
+    except EngineAborted as error:
+        raise SystemExit(f"error: {error}")
+    if args.model_metrics:
+        from repro.core.metrics import collect_metrics
+
+        for parsed in module.classes:
+            try:
+                collect_metrics(parsed, tracer=tracer)
+            except BudgetExceeded:
+                # Profiling is best-effort; the check already reported
+                # whatever is wrong with this class.
+                continue
+    print(render_profile(tracer, top=args.top))
+    return 0 if batch.merged().ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -365,7 +442,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection spec (testing; same grammar as the "
         "REPRO_FAULTS environment variable)",
     )
+    check.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree (run → wave → class → phase) "
+        "after the report",
+    )
+    check.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the trace as a JSONL event log",
+    )
+    check.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write machine-readable run metrics "
+        "(a superset of --stats) as JSON",
+    )
+    check.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="FILE",
+        help="write the run metrics in Prometheus text format",
+    )
     check.set_defaults(func=_cmd_check)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="verify with tracing on; print the per-phase time breakdown",
+    )
+    profile.add_argument("file")
+    profile.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker count for the batch engine (default: 1, serial)",
+    )
+    profile.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool backend (default: thread)",
+    )
+    profile.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse and persist the content-addressed inference cache",
+    )
+    profile.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="cache location (default: .repro-cache)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many of the slowest classes to list (default: 5)",
+    )
+    profile.add_argument(
+        "--model-metrics",
+        action="store_true",
+        help="also minimize each class's automata, filling the one "
+        "pipeline phase (minimize) a plain check never runs",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the inference cache"

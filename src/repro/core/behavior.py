@@ -62,6 +62,7 @@ def behavior_nfa(
     *,
     max_states: int | None = None,
     deadline: float | None = None,
+    tracer=None,
 ) -> NFA:
     """Build the behavior automaton of ``parsed``.
 
@@ -76,6 +77,10 @@ def behavior_nfa(
     trip).  ``None`` leaves the construction unbounded, as before — the
     automaton is linear in the spec anyway; the budget exists so the
     engine can enforce one cap uniformly across the whole check.
+
+    ``tracer`` (optional, same plumbing point as the budget) annotates
+    the enclosing span with the built automaton's size; it never alters
+    the construction.
     """
     spec = ClassSpec.of(parsed)
     builder = NFABuilder()
@@ -140,6 +145,11 @@ def behavior_nfa(
     for operation in parsed.operations:
         builder.alphabet.add(operation.name)
         builder.alphabet.update(operation.calls)
+    if tracer is not None and tracer.enabled:
+        tracer.annotate(
+            nfa_states=builder.state_count,
+            operations=len(parsed.operations),
+        )
     return builder.build()
 
 

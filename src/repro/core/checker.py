@@ -41,6 +41,7 @@ from repro.core.vacuity import check_claim_vacuity
 from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
 from repro.frontend.parse import parse_file, parse_module
 from repro.frontend.subset import validate_module
+from repro.obs.tracer import NULL_TRACER
 from repro.regex.ast import Regex
 
 
@@ -49,6 +50,7 @@ def check_parsed_class(
     specs: Mapping[str, ClassSpec],
     exit_regexes: Mapping[str, Mapping[int, Regex]] | None = None,
     limits: Limits | None = None,
+    tracer=None,
 ) -> tuple[CheckResult, DFA | None]:
     """Run the full pipeline on one class — a pure function.
 
@@ -65,35 +67,54 @@ def check_parsed_class(
     batch supervisor converts it into a quarantine diagnostic).  Without
     limits only the subset construction's own default cap applies.
 
+    ``tracer`` (default: the no-op :data:`repro.obs.NULL_TRACER`) opens
+    one phase span per pipeline step — ``parse`` (the structural lints),
+    ``dependency`` (invocation/exhaustiveness analyses), ``infer``
+    (behavior construction), ``determinize``, ``usage`` and ``claims``
+    — at exactly the sites where the ``limits`` budget already flows.
+    Tracing never changes the verdict; with the null tracer the function
+    is byte-for-byte the old pipeline.
+
     Returns the diagnostics plus the determinized behavior DFA when the
     check computed one (composite classes past the structural gate).
     """
     limits = limits or Limits()
+    tracer = tracer or NULL_TRACER
     deadline = limits.deadline()
     result = CheckResult()
-    result.extend(lint_spec(parsed))
+    with tracer.span("phase", "parse"):
+        result.extend(lint_spec(parsed))
     structural_errors = not result.ok
     if parsed.is_composite:
-        result.extend(check_invocations(parsed, specs))
-        result.extend(check_match_exhaustiveness(parsed, specs))
+        with tracer.span("phase", "dependency"):
+            result.extend(check_invocations(parsed, specs))
+            result.extend(check_match_exhaustiveness(parsed, specs))
     if structural_errors:
         # The behavior automaton would be built from a broken spec;
         # usage/claim verdicts on it would be noise.
         return result, None
-    behavior = behavior_nfa(
-        parsed,
-        exit_regexes=exit_regexes,
-        max_states=limits.max_states,
-        deadline=deadline,
-    )
+    with tracer.span("phase", "infer"):
+        behavior = behavior_nfa(
+            parsed,
+            exit_regexes=exit_regexes,
+            max_states=limits.max_states,
+            deadline=deadline,
+            tracer=tracer,
+        )
     dfa: DFA | None = None
     if parsed.is_composite:
-        dfa = determinize(
-            behavior, max_states=limits.max_states, deadline=deadline
-        )
-        result.extend(check_subsystem_usage(parsed, specs, dfa))
-    result.extend(check_claims(parsed, behavior, specs))
-    result.extend(check_claim_vacuity(parsed, behavior, specs))
+        with tracer.span("phase", "determinize"):
+            dfa = determinize(
+                behavior,
+                max_states=limits.max_states,
+                deadline=deadline,
+                tracer=tracer,
+            )
+        with tracer.span("phase", "usage"):
+            result.extend(check_subsystem_usage(parsed, specs, dfa))
+    with tracer.span("phase", "claims"):
+        result.extend(check_claims(parsed, behavior, specs))
+        result.extend(check_claim_vacuity(parsed, behavior, specs))
     return result, dfa
 
 

@@ -53,12 +53,26 @@ class ModelMetrics:
         return "\n".join(lines)
 
 
-def collect_metrics(parsed: ParsedClass, lifecycle_bound: int = 6) -> ModelMetrics:
-    """Compute :class:`ModelMetrics` for one parsed class."""
+def collect_metrics(
+    parsed: ParsedClass, lifecycle_bound: int = 6, tracer=None
+) -> ModelMetrics:
+    """Compute :class:`ModelMetrics` for one parsed class.
+
+    ``tracer`` (optional) records the minimization work under a
+    ``minimize`` phase span — the one pipeline phase ``repro check``
+    itself never runs — so ``repro profile --model-metrics`` can show
+    where report-generation time goes.
+    """
+    from repro.obs.tracer import NULL_TRACER
+
+    tracer = tracer or NULL_TRACER
     spec = ClassSpec.of(parsed)
     graph = extract_dependency_graph(parsed)
-    spec_minimal = minimize(spec.dfa())
-    behavior_minimal = minimize(determinize(behavior_nfa(parsed)))
+    with tracer.span("phase", "minimize"):
+        spec_minimal = minimize(spec.dfa(), tracer=tracer)
+        behavior_minimal = minimize(
+            determinize(behavior_nfa(parsed)), tracer=tracer
+        )
 
     # Constrainedness over the *live* part of the minimal spec DFA: the
     # fraction of (live state, operation) pairs whose move leads nowhere

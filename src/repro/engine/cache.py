@@ -29,8 +29,16 @@ interrupted write costs exactly one recomputation instead of a
 re-parse-and-fail on every future run.  Version-mismatched entries are
 left in place — another build may still want them.
 
+**Counter contract** (docs/observability.md): one healed read counts
+exactly once as a miss in ``stats.misses`` *and* once in
+``stats.corrupt`` — never more, even when the unlink fails (read-only
+directory, racing process) and later reads keep seeing the corrupt
+file.  A successful :meth:`put` under the same key re-arms counting, so
+a *new* corruption of the rewritten entry counts again.
+
 The in-memory layer makes repeated lookups within one process free and
-is guarded by a lock, so a thread-pool engine can share one instance.
+is guarded by a lock, so a thread-pool engine can share one instance;
+the counters share that lock.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.engine import faults
+from repro.obs.tracer import NULL_TRACER
 
 #: Bump together with payload shape changes.
 CACHE_VERSION = 1
@@ -97,7 +106,13 @@ class InferenceCache:
     def __init__(self, root: str | Path | None = DEFAULT_CACHE_DIR):
         self.root = None if root is None else Path(root)
         self.stats = CacheStats()
+        #: Set by the engine when a run is traced; cache events then show
+        #: up on the open span.  The no-op default costs nothing.
+        self.tracer = NULL_TRACER
         self._memory: dict[tuple[str, str], dict[str, Any]] = {}
+        #: Keys whose corruption was already counted (see the counter
+        #: contract in the module docstring); ``put`` re-arms them.
+        self._healed: set[tuple[str, str]] = set()
         self._lock = threading.Lock()
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -123,9 +138,13 @@ class InferenceCache:
                 with self._lock:
                     self._memory[(namespace, key)] = payload
         if payload is None:
-            self.stats.misses[namespace] += 1
+            with self._lock:
+                self.stats.misses[namespace] += 1
+            self.tracer.event("cache-miss", namespace=namespace, key=key)
             return None
-        self.stats.hits[namespace] += 1
+        with self._lock:
+            self.stats.hits[namespace] += 1
+        self.tracer.event("cache-hit", namespace=namespace, key=key)
         return payload
 
     def _read_file(self, namespace: str, key: str) -> dict[str, Any] | None:
@@ -135,27 +154,40 @@ class InferenceCache:
         except FileNotFoundError:
             return None  # a plain miss, nothing to heal
         except OSError:
-            self._heal(namespace, path)
+            self._heal(namespace, key, path)
             return None
         try:
             envelope = json.loads(text)
         except ValueError:  # truncated/garbled write: delete it
-            self._heal(namespace, path)
+            self._heal(namespace, key, path)
             return None
         if not isinstance(envelope, dict):
-            self._heal(namespace, path)
+            self._heal(namespace, key, path)
             return None
         if envelope.get("cache_version") != CACHE_VERSION:
             # Readable but written by another build; leave it alone.
             return None
         if not isinstance(envelope.get("payload"), dict):
-            self._heal(namespace, path)
+            self._heal(namespace, key, path)
             return None
         return envelope["payload"]
 
-    def _heal(self, namespace: str, path: Path) -> None:
-        """Delete a corrupt entry so it costs one recomputation, once."""
-        self.stats.corrupt[namespace] += 1
+    def _heal(self, namespace: str, key: str, path: Path) -> None:
+        """Delete a corrupt entry so it costs one recomputation, once.
+
+        One physical corruption counts once, no matter how many reads
+        see it: when the unlink below fails the file survives, and the
+        next ``get`` heals the *same* entry again — ``_healed`` keeps
+        those repeats out of ``stats.corrupt``.  A successful
+        :meth:`put` under the key re-arms counting.
+        """
+        with self._lock:
+            first = (namespace, key) not in self._healed
+            if first:
+                self._healed.add((namespace, key))
+                self.stats.corrupt[namespace] += 1
+        if first:
+            self.tracer.event("cache-heal", namespace=namespace, key=key)
         try:
             path.unlink()
         except OSError:
@@ -167,7 +199,9 @@ class InferenceCache:
             raise ValueError(f"unknown cache namespace: {namespace!r}")
         with self._lock:
             self._memory[(namespace, key)] = payload
-        self.stats.writes[namespace] += 1
+            self._healed.discard((namespace, key))
+            self.stats.writes[namespace] += 1
+        self.tracer.event("cache-write", namespace=namespace, key=key)
         if self.root is None:
             return
         path = self._path(namespace, key)

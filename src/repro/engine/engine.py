@@ -72,6 +72,7 @@ from repro.engine.metrics import ClassTiming, EngineMetrics
 from repro.engine.scheduler import schedule
 from repro.engine.serialize import diagnostics_from_list, diagnostics_to_list
 from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
+from repro.obs.tracer import NULL_TRACER, PHASES, Tracer
 from repro.regex.ast import Regex, format_regex
 from repro.regex.parser import RegexSyntaxError, parse_regex
 
@@ -144,6 +145,7 @@ def _check_class_task(
     scope: dict[str, ParsedClass],
     method_payloads: dict[str, dict[str, Any]],
     limits: Limits | None = None,
+    trace: bool = False,
 ) -> dict[str, Any]:
     """Check one class; everything in and out is picklable.
 
@@ -154,29 +156,41 @@ def _check_class_task(
     worker malfunction, so it comes back as a structured ``failure``
     payload rather than an exception — the supervisor quarantines it
     without burning retries.
+
+    With ``trace`` on, the worker collects per-phase spans into a local
+    tracer and ships the aggregate back as a plain ``phases`` dict —
+    the picklable form that survives a process pool, which the
+    coordinator grafts under the class's span.  A quarantined class
+    still returns whatever phases completed before the budget tripped.
     """
     started = time.perf_counter()
     faults.fire("worker", parsed.name)
+    tracer = Tracer() if trace else NULL_TRACER
     try:
-        exit_regexes, hits, misses, fresh = _exit_regexes_from_payload(
-            parsed, method_payloads
-        )
+        with tracer.span("phase", "infer"):
+            exit_regexes, hits, misses, fresh = _exit_regexes_from_payload(
+                parsed, method_payloads
+            )
         specs: Mapping[str, ClassSpec] = {
             name: ClassSpec.of(cls) for name, cls in scope.items()
         }
         result, dfa = check_parsed_class(
-            parsed, specs, exit_regexes=exit_regexes, limits=limits
+            parsed, specs, exit_regexes=exit_regexes, limits=limits,
+            tracer=tracer,
         )
     except BudgetExceeded as error:
         kind = (
             ENGINE_TIMEOUT if error.resource == "wall-clock" else ENGINE_BUDGET
         )
-        return {
+        outcome: dict[str, Any] = {
             "class": parsed.name,
             "failure": {"kind": kind, "message": str(error)},
             "seconds": time.perf_counter() - started,
         }
-    return {
+        if trace:
+            outcome["phases"] = tracer.phase_totals()
+        return outcome
+    outcome = {
         "class": parsed.name,
         "diagnostics": diagnostics_to_list(result.diagnostics),
         "dfa": None if dfa is None else dfa_to_dict(dfa),
@@ -185,6 +199,9 @@ def _check_class_task(
         "method_misses": misses,
         "new_methods": fresh,
     }
+    if trace:
+        outcome["phases"] = tracer.phase_totals()
+    return outcome
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +294,7 @@ class BatchVerifier:
         backoff: float = 0.05,
         fail_fast: bool = False,
         retry_seed: int = 0,
+        tracer: Tracer | None = None,
     ):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -301,6 +319,11 @@ class BatchVerifier:
         self.backoff = backoff
         self.fail_fast = fail_fast
         self.retry_seed = retry_seed
+        #: The run's tracer (docs/observability.md); the no-op singleton
+        #: by default, so untraced runs stay on the fast path.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.cache is not None and self.tracer.enabled:
+            self.cache.tracer = self.tracer
 
     # ------------------------------------------------------------------
 
@@ -368,13 +391,16 @@ class BatchVerifier:
         counters: _WaveCounters,
     ) -> dict[str, dict[str, Any]]:
         limits = self._limits()
+        trace = self.tracer.enabled
         raw: dict[str, dict[str, Any]] = {}
         for attempt in pending:
             while True:
                 attempt.attempt += 1
                 started = time.perf_counter()
                 try:
-                    outcome = _check_class_task(*tasks[attempt.name], limits)
+                    outcome = _check_class_task(
+                        *tasks[attempt.name], limits, trace
+                    )
                 except Exception as error:  # noqa: BLE001 - quarantine path
                     if attempt.attempt > self.retries:
                         raw[attempt.name] = self._failure_outcome(
@@ -385,6 +411,9 @@ class BatchVerifier:
                         )
                         break
                     counters.retries += 1
+                    self.tracer.event(
+                        "retry", cls=attempt.name, attempt=attempt.attempt
+                    )
                     time.sleep(self._backoff_delay(attempt.name, attempt.attempt))
                     continue
                 if "failure" in outcome:
@@ -404,6 +433,7 @@ class BatchVerifier:
         counters: _WaveCounters,
     ) -> dict[str, dict[str, Any]]:
         limits = self._limits()
+        trace = self.tracer.enabled
         workers = min(self.jobs, len(pending))
         pool = self._make_pool(len(pending))
         raw: dict[str, dict[str, Any]] = {}
@@ -423,6 +453,7 @@ class BatchVerifier:
                 )
                 return
             counters.retries += 1
+            self.tracer.event("retry", cls=attempt.name, attempt=attempt.attempt)
             waiting.append(
                 (
                     time.monotonic()
@@ -449,13 +480,14 @@ class BatchVerifier:
                     attempt.dispatched = time.monotonic()
                     try:
                         future = pool.submit(
-                            _check_class_task, *tasks[attempt.name], limits
+                            _check_class_task, *tasks[attempt.name], limits, trace
                         )
                     except (BrokenExecutor, RuntimeError) as error:
                         # The pool died between waves of submissions.
                         pool.shutdown(wait=False)
                         pool = self._make_pool(len(pending))
                         counters.pool_restarts += 1
+                        self.tracer.event("pool-restart", at="submit")
                         serial_mode = True
                         requeue(
                             attempt,
@@ -516,6 +548,7 @@ class BatchVerifier:
                     pool.shutdown(wait=False)
                     pool = self._make_pool(len(pending))
                     counters.pool_restarts += 1
+                    self.tracer.event("pool-restart", at="result")
                     if len(broken) == 1:
                         # Sole suspect: the crash is attributable.
                         requeue(
@@ -539,6 +572,7 @@ class BatchVerifier:
                         del inflight[future]
                         future.cancel()
                         counters.timeouts += 1
+                        self.tracer.event("timeout", cls=attempt.name)
                         requeue(
                             attempt,
                             ENGINE_TIMEOUT,
@@ -562,117 +596,29 @@ class BatchVerifier:
         class_hits = class_misses = method_hits = method_misses = 0
         cache_writes = 0
 
-        for wave_index, wave in enumerate(waves):
-            pending: list[_Attempt] = []
-            for name in wave:
-                parsed = classes_by_name[name]
-                key: str | None = None
-                if self.cache is not None:
-                    lookup_started = time.perf_counter()
-                    key = class_key(parsed, classes_by_name)
-                    payload = self.cache.get("class", key)
-                    if payload is not None:
-                        try:
-                            diagnostics = diagnostics_from_list(
-                                payload["diagnostics"]
-                            )
-                        except (KeyError, TypeError, ValueError):
-                            diagnostics = None
-                        if diagnostics is not None:
-                            outcomes[name] = CheckResult(diagnostics=diagnostics)
-                            class_hits += 1
-                            timings.append(
-                                ClassTiming(
-                                    class_name=name,
-                                    seconds=time.perf_counter() - lookup_started,
-                                    from_cache=True,
-                                    wave=wave_index,
-                                )
-                            )
-                            continue
-                pending.append(_Attempt(name=name, key=key))
-
-            if not pending:
-                continue
-            class_misses += len(pending)
-
-            tasks = {
-                attempt.name: (
-                    classes_by_name[attempt.name],
-                    self._scope_for(classes_by_name[attempt.name]),
-                    self._method_payloads(classes_by_name[attempt.name]),
-                )
-                for attempt in pending
-            }
-            if self.timeout is None and (self.jobs == 1 or len(pending) == 1):
-                raw = self._execute_inline(pending, tasks, counters)
-            else:
-                raw = self._execute_pooled(pending, tasks, counters)
-
-            for attempt in pending:
-                name, key = attempt.name, attempt.key
-                outcome = raw[name]
-                failure = outcome.get("failure")
-                if failure is not None:
-                    counters.quarantines += 1
-                    counters.quarantined_names.append(name)
-                    if failure["kind"] == ENGINE_BUDGET:
-                        counters.budget_trips += 1
-                    outcomes[name] = CheckResult(
-                        diagnostics=[
-                            engine_failure(
-                                failure["kind"],
-                                name,
-                                failure["message"],
-                                attempts=failure.get("attempts", 1),
-                            )
-                        ]
+        # The span deliberately omits jobs/executor: the exported trace
+        # is byte-stable across job counts (modulo durations); the run
+        # configuration lives in the metrics payload instead.
+        with self.tracer.span(
+            "run",
+            "run",
+            classes=len(self.module.classes),
+            waves=len(waves),
+        ):
+            for wave_index, wave in enumerate(waves):
+                with self.tracer.span(
+                    "wave", f"wave-{wave_index}", index=wave_index,
+                    classes=len(wave),
+                ) as wave_span:
+                    hits, misses, mh, mm, writes = self._run_wave(
+                        wave, wave_index, classes_by_name,
+                        outcomes, timings, counters, wave_span,
                     )
-                    timings.append(
-                        ClassTiming(
-                            class_name=name,
-                            seconds=outcome["seconds"],
-                            from_cache=False,
-                            wave=wave_index,
-                            quarantined=True,
-                        )
-                    )
-                    continue
-                outcomes[name] = CheckResult(
-                    diagnostics=diagnostics_from_list(outcome["diagnostics"])
-                )
-                method_hits += outcome["method_hits"]
-                method_misses += outcome["method_misses"]
-                timings.append(
-                    ClassTiming(
-                        class_name=name,
-                        seconds=outcome["seconds"],
-                        from_cache=False,
-                        wave=wave_index,
-                    )
-                )
-                if self.cache is not None and key is not None:
-                    for operation_name, payload in outcome["new_methods"].items():
-                        operation = classes_by_name[name].operation(operation_name)
-                        if operation is not None:
-                            self.cache.put("method", method_key(operation), payload)
-                            cache_writes += 1
-                    self.cache.put(
-                        "class",
-                        key,
-                        {
-                            "class": name,
-                            "diagnostics": outcome["diagnostics"],
-                            "dfa": outcome["dfa"],
-                            "seconds": outcome["seconds"],
-                        },
-                    )
-                    cache_writes += 1
-
-            if self.fail_fast and counters.quarantined_names:
-                name = counters.quarantined_names[0]
-                failure = raw[name]["failure"]
-                raise EngineAborted(name, failure["kind"], failure["message"])
+                    class_hits += hits
+                    class_misses += misses
+                    method_hits += mh
+                    method_misses += mm
+                    cache_writes += writes
 
         ordered = tuple(
             (parsed.name, outcomes[parsed.name]) for parsed in self.module.classes
@@ -705,6 +651,195 @@ class BatchVerifier:
             metrics=metrics,
         )
 
+    def _run_wave(
+        self,
+        wave: tuple[str, ...],
+        wave_index: int,
+        classes_by_name: dict[str, ParsedClass],
+        outcomes: dict[str, CheckResult],
+        timings: list[ClassTiming],
+        counters: _WaveCounters,
+        wave_span,
+    ) -> tuple[int, int, int, int, int]:
+        """Verify one wave; returns the cache-counter deltas.
+
+        ``wave_span`` receives one recorded ``class`` span per class —
+        in the schedule's (sorted) order, so the exported tree is
+        deterministic regardless of completion order — each carrying
+        exactly the :data:`~repro.obs.PHASES` children.  Phases a class
+        did not execute are present with a non-``ok`` status, so cached
+        and quarantined classes produce the same tree *structure* as
+        checked ones.
+        """
+        class_hits = class_misses = method_hits = method_misses = 0
+        cache_writes = 0
+        #: class name -> (status, seconds, worker phase totals)
+        trace_info: dict[str, tuple[str, float, dict[str, Any]]] = {}
+
+        pending: list[_Attempt] = []
+        for name in wave:
+            parsed = classes_by_name[name]
+            key: str | None = None
+            if self.cache is not None:
+                lookup_started = time.perf_counter()
+                key = class_key(parsed, classes_by_name)
+                payload = self.cache.get("class", key)
+                if payload is not None:
+                    try:
+                        diagnostics = diagnostics_from_list(
+                            payload["diagnostics"]
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        diagnostics = None
+                    if diagnostics is not None:
+                        lookup_seconds = time.perf_counter() - lookup_started
+                        outcomes[name] = CheckResult(diagnostics=diagnostics)
+                        class_hits += 1
+                        trace_info[name] = ("cached", lookup_seconds, {})
+                        timings.append(
+                            ClassTiming(
+                                class_name=name,
+                                seconds=lookup_seconds,
+                                from_cache=True,
+                                wave=wave_index,
+                            )
+                        )
+                        continue
+            pending.append(_Attempt(name=name, key=key))
+
+        raw: dict[str, dict[str, Any]] = {}
+        if pending:
+            class_misses += len(pending)
+
+            tasks = {
+                attempt.name: (
+                    classes_by_name[attempt.name],
+                    self._scope_for(classes_by_name[attempt.name]),
+                    self._method_payloads(classes_by_name[attempt.name]),
+                )
+                for attempt in pending
+            }
+            if self.timeout is None and (self.jobs == 1 or len(pending) == 1):
+                raw = self._execute_inline(pending, tasks, counters)
+            else:
+                raw = self._execute_pooled(pending, tasks, counters)
+
+            for attempt in pending:
+                name, key = attempt.name, attempt.key
+                outcome = raw[name]
+                failure = outcome.get("failure")
+                if failure is not None:
+                    counters.quarantines += 1
+                    counters.quarantined_names.append(name)
+                    if failure["kind"] == ENGINE_BUDGET:
+                        counters.budget_trips += 1
+                    self.tracer.event(
+                        "quarantine", cls=name, kind=failure["kind"]
+                    )
+                    outcomes[name] = CheckResult(
+                        diagnostics=[
+                            engine_failure(
+                                failure["kind"],
+                                name,
+                                failure["message"],
+                                attempts=failure.get("attempts", 1),
+                            )
+                        ]
+                    )
+                    trace_info[name] = (
+                        "quarantined",
+                        outcome["seconds"],
+                        outcome.get("phases", {}),
+                    )
+                    timings.append(
+                        ClassTiming(
+                            class_name=name,
+                            seconds=outcome["seconds"],
+                            from_cache=False,
+                            wave=wave_index,
+                            quarantined=True,
+                        )
+                    )
+                    continue
+                outcomes[name] = CheckResult(
+                    diagnostics=diagnostics_from_list(outcome["diagnostics"])
+                )
+                method_hits += outcome["method_hits"]
+                method_misses += outcome["method_misses"]
+                trace_info[name] = (
+                    "ok", outcome["seconds"], outcome.get("phases", {})
+                )
+                timings.append(
+                    ClassTiming(
+                        class_name=name,
+                        seconds=outcome["seconds"],
+                        from_cache=False,
+                        wave=wave_index,
+                    )
+                )
+                if self.cache is not None and key is not None:
+                    for operation_name, payload in outcome["new_methods"].items():
+                        operation = classes_by_name[name].operation(operation_name)
+                        if operation is not None:
+                            self.cache.put("method", method_key(operation), payload)
+                            cache_writes += 1
+                    self.cache.put(
+                        "class",
+                        key,
+                        {
+                            "class": name,
+                            "diagnostics": outcome["diagnostics"],
+                            "dfa": outcome["dfa"],
+                            "seconds": outcome["seconds"],
+                        },
+                    )
+                    cache_writes += 1
+
+        if self.tracer.enabled:
+            self._graft_class_spans(wave, wave_index, wave_span, trace_info)
+
+        if self.fail_fast and counters.quarantined_names:
+            name = counters.quarantined_names[0]
+            failure = raw[name]["failure"]
+            raise EngineAborted(name, failure["kind"], failure["message"])
+
+        return class_hits, class_misses, method_hits, method_misses, cache_writes
+
+    @staticmethod
+    def _graft_class_spans(
+        wave: tuple[str, ...],
+        wave_index: int,
+        wave_span,
+        trace_info: dict[str, tuple[str, float, dict[str, Any]]],
+    ) -> None:
+        """Record one ``class`` span per class, in schedule order.
+
+        The schedule sorts each wave, so grafting in ``wave`` order makes
+        the exported tree independent of completion order.  Worker-side
+        phase timings arrive as the picklable ``phases`` dict; phases
+        with no measurement are still emitted, carrying the class's
+        default status (``cached`` / ``quarantined`` / ``skipped``), so
+        every class produces the same tree shape.
+        """
+        for name in wave:
+            status, seconds, phases = trace_info[name]
+            class_span = wave_span.child(
+                "class", name, seconds=seconds, status=status, wave=wave_index
+            )
+            default = status if status in ("cached", "quarantined") else "skipped"
+            for phase in PHASES:
+                measured = phases.get(phase)
+                if measured is None:
+                    class_span.child("phase", phase, status=default)
+                else:
+                    class_span.child(
+                        "phase",
+                        phase,
+                        seconds=measured["seconds"],
+                        status="ok",
+                        **measured.get("attrs", {}),
+                    )
+
 
 # ----------------------------------------------------------------------
 # Convenience entry points
@@ -722,6 +857,7 @@ def verify_module(
     retries: int = 2,
     backoff: float = 0.05,
     fail_fast: bool = False,
+    tracer: Tracer | None = None,
 ) -> BatchResult:
     """Run the batch engine on an already-parsed module/project."""
     return BatchVerifier(
@@ -735,6 +871,7 @@ def verify_module(
         retries=retries,
         backoff=backoff,
         fail_fast=fail_fast,
+        tracer=tracer,
     ).run()
 
 
@@ -771,6 +908,7 @@ def verify_path(
     retries: int = 2,
     backoff: float = 0.05,
     fail_fast: bool = False,
+    tracer: Tracer | None = None,
 ) -> BatchResult:
     """Parse a file or project directory and run the batch engine."""
     from repro.frontend.parse import parse_file
@@ -791,4 +929,5 @@ def verify_path(
         retries=retries,
         backoff=backoff,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

@@ -84,6 +84,10 @@ class EngineMetrics:
                 "timeouts": self.timeouts,
                 "pool_restarts": self.pool_restarts,
             },
+            # Sorted here as well as at construction: the export is the
+            # byte-stability contract (same project + cache temperature
+            # => identical file regardless of jobs/completion order), so
+            # it must hold even for hand-built metrics.
             "per_class": [
                 {
                     "class": timing.class_name,
@@ -92,7 +96,9 @@ class EngineMetrics:
                     "wave": timing.wave,
                     "quarantined": timing.quarantined,
                 }
-                for timing in self.timings
+                for timing in sorted(
+                    self.timings, key=lambda t: (t.wave, t.class_name)
+                )
             ],
         }
 

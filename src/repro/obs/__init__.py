@@ -1,0 +1,50 @@
+"""Pipeline-wide structured observability (docs/observability.md).
+
+Zero-dependency tracing and metrics for the verification pipeline:
+hierarchical spans (``run → wave → class → phase``), structured events
+(cache hits/healings, supervisor retries/timeouts/quarantines), counters,
+and pluggable sinks — a JSONL event log, a metrics JSON file that is a
+strict superset of ``EngineMetrics.to_dict()``, and a Prometheus text
+exposition.
+
+The disabled path (:data:`NULL_TRACER`, the default everywhere) is
+near-free: no allocation, no clock reads — instrumentation can stay in
+hot paths permanently.
+"""
+
+from repro.obs.render import render_profile, render_trace
+from repro.obs.sinks import (
+    metrics_payload,
+    prometheus_text,
+    trace_lines,
+    write_metrics_json,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASES,
+    STATUSES,
+    TRACE_SCHEMA,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "PHASES",
+    "STATUSES",
+    "TRACE_SCHEMA",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "metrics_payload",
+    "prometheus_text",
+    "render_profile",
+    "render_trace",
+    "trace_lines",
+    "write_metrics_json",
+    "write_prometheus",
+    "write_trace_jsonl",
+]

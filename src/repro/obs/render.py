@@ -1,0 +1,112 @@
+"""Human views of a finished trace: the tree and the profile table."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.tracer import PHASES, Tracer
+
+
+def _label(node: dict[str, Any]) -> str:
+    if node["kind"] in ("class", "wave", "phase"):
+        return f"{node['kind']} {node['name']}" if node["kind"] != "phase" else node["name"]
+    return node["name"] or node["kind"]
+
+
+def render_trace(tracer: Tracer, *, show_skipped: bool = False) -> str:
+    """The span tree, one line per span, durations right-aligned."""
+    lines = ["trace:"]
+
+    def visit(node: dict[str, Any], depth: int) -> None:
+        if node["kind"] == "trace":  # implicit root: render children only
+            for child in node["children"]:
+                visit(child, depth)
+            return
+        status = node["status"]
+        if status == "skipped" and not show_skipped:
+            return
+        suffix = "" if status == "ok" else f"  [{status}]"
+        indent = "  " * (depth + 1)
+        lines.append(
+            f"{indent}{_label(node):<{max(1, 44 - 2 * depth)}}"
+            f"{node['seconds'] * 1000.0:9.2f} ms{suffix}"
+        )
+        for event in node.get("events", ()):
+            detail = " ".join(
+                f"{key}={value}" for key, value in event.items() if key != "name"
+            )
+            lines.append(f"{indent}  ! {event['name']}" + (f" ({detail})" if detail else ""))
+        for child in node["children"]:
+            visit(child, depth + 1)
+
+    visit(tracer.export(), 0)
+    return "\n".join(lines)
+
+
+def render_profile(tracer: Tracer, *, top: int = 5) -> str:
+    """The per-phase breakdown of one run, plus the slowest classes.
+
+    Phases are listed in pipeline order; phases outside the canonical
+    list (e.g. a module-level parse) follow alphabetically.  Shares are
+    of the total time spent in phases, not of wall time — with workers
+    running concurrently the two legitimately differ.
+    """
+    aggregate = tracer.phase_aggregate()
+    ordered = [name for name in PHASES if name in aggregate]
+    ordered += sorted(name for name in aggregate if name not in PHASES)
+    total = sum(aggregate[name]["seconds"] for name in ordered) or 1.0
+
+    lines = ["per-phase time breakdown:"]
+    lines.append(f"  {'phase':<14} {'calls':>6} {'total ms':>10} {'share':>7}")
+    for name in ordered:
+        entry = aggregate[name]
+        lines.append(
+            f"  {name:<14} {int(entry['calls']):>6} "
+            f"{entry['seconds'] * 1000.0:>10.2f} "
+            f"{entry['seconds'] / total * 100.0:>6.1f}%"
+        )
+    lines.append(
+        f"  {'(all phases)':<14} {'':>6} {total * 1000.0:>10.2f} {100.0:>6.1f}%"
+    )
+
+    classes: list[tuple[float, str, int, dict[str, float]]] = []
+    for node in tracer.export()["children"]:
+        _collect_classes(node, classes)
+    if classes and top > 0:
+        classes.sort(key=lambda item: (-item[0], item[1]))
+        lines.append("")
+        lines.append(f"slowest classes (top {min(top, len(classes))}):")
+        for seconds, name, wave, phases in classes[:top]:
+            detail = ", ".join(
+                f"{phase} {phases[phase] * 1000.0:.2f}"
+                for phase in PHASES
+                if phases.get(phase, 0.0) > 0.0
+            )
+            lines.append(
+                f"  {name:<20} wave {wave}  {seconds * 1000.0:9.2f} ms"
+                + (f"  ({detail})" if detail else "")
+            )
+    return "\n".join(lines)
+
+
+def _collect_classes(
+    node: dict[str, Any],
+    into: list[tuple[float, str, int, dict[str, float]]],
+) -> None:
+    if node["kind"] == "class":
+        phases = {
+            child["name"]: child["seconds"]
+            for child in node["children"]
+            if child["kind"] == "phase"
+        }
+        into.append(
+            (
+                node["seconds"],
+                node["name"],
+                int(node.get("attrs", {}).get("wave", 0)),
+                phases,
+            )
+        )
+        return
+    for child in node.get("children", ()):
+        _collect_classes(child, into)

@@ -1,0 +1,189 @@
+"""Pluggable sinks for one finished trace.
+
+Three machine-readable forms, all derived from the same exported span
+tree so they can never disagree:
+
+* :func:`write_trace_jsonl` — the event log: one JSON object per line,
+  spans in deterministic depth-first order (ids assigned at export, so
+  the file is byte-stable across job counts modulo the duration
+  fields), events attached to their span id;
+* :func:`metrics_payload` / :func:`write_metrics_json` — a strict
+  superset of ``EngineMetrics.to_dict()`` with an ``obs`` section
+  (per-phase totals, event counts, counters, schema version);
+* :func:`prometheus_text` — a Prometheus text-format exposition of the
+  same numbers, for scraping.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import TRACE_SCHEMA, Tracer
+
+
+def trace_lines(tracer: Tracer) -> list[dict[str, Any]]:
+    """The JSONL records of one trace, in deterministic order.
+
+    The first record is a ``meta`` header; every span gets an id in
+    depth-first order (the tree is already deterministically ordered by
+    construction); events follow their span immediately.
+    """
+    lines: list[dict[str, Any]] = [
+        {"type": "meta", "schema": TRACE_SCHEMA, "counters": dict(sorted(tracer.counters.items()))}
+    ]
+    next_id = 0
+
+    def visit(node: dict[str, Any], parent: int | None) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        record: dict[str, Any] = {
+            "type": "span",
+            "id": span_id,
+            "parent": parent,
+            "kind": node["kind"],
+            "name": node["name"],
+            "seconds": node["seconds"],
+            "status": node["status"],
+        }
+        if node.get("attrs"):
+            record["attrs"] = node["attrs"]
+        lines.append(record)
+        for event in node.get("events", ()):
+            lines.append({"type": "event", "span": span_id, **event})
+        for child in node.get("children", ()):
+            visit(child, span_id)
+
+    visit(tracer.export(), None)
+    return lines
+
+
+def write_trace_jsonl(tracer: Tracer, path: str | Path) -> int:
+    """Write the JSONL event log; returns the number of lines."""
+    lines = trace_lines(tracer)
+    text = "\n".join(json.dumps(line, sort_keys=True) for line in lines) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+    return len(lines)
+
+
+def metrics_payload(
+    engine_metrics: dict[str, Any] | None, tracer: Tracer | None
+) -> dict[str, Any]:
+    """The metrics-file payload: ``EngineMetrics.to_dict()`` plus obs.
+
+    Every key of the engine summary survives verbatim (the file is a
+    strict superset), so consumers of the old ``--stats`` numbers can
+    read the new file without changes.
+    """
+    payload: dict[str, Any] = dict(engine_metrics or {})
+    obs: dict[str, Any] = {"schema": TRACE_SCHEMA}
+    if tracer is not None and tracer.enabled:
+        obs["phases"] = {
+            name: {"seconds": entry["seconds"], "calls": int(entry["calls"])}
+            for name, entry in sorted(tracer.phase_aggregate().items())
+        }
+        obs["counters"] = dict(sorted(tracer.counters.items()))
+        obs["spans"] = sum(1 for _ in tracer.root.walk()) - 1  # implicit root
+    payload["obs"] = obs
+    return payload
+
+
+def write_metrics_json(payload: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(payload: dict[str, Any], prefix: str = "repro") -> str:
+    """Render a metrics payload as Prometheus text format (version 0.0.4).
+
+    Gauges for the run shape, counters for cache/supervisor totals, and
+    a ``<prefix>_phase_seconds_total{phase="..."}`` family from the obs
+    section.  The output ends with a newline, as scrapers require.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, help_text: str, samples: list[tuple[str, Any]]) -> None:
+        lines.append(f"# HELP {prefix}_{name} {help_text}")
+        lines.append(f"# TYPE {prefix}_{name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{prefix}_{name}{labels} {value}")
+
+    emit("classes", "gauge", "Classes in the verified module.",
+         [("", payload.get("classes", 0))])
+    emit("waves", "gauge", "Topological waves in the schedule.",
+         [("", payload.get("waves", 0))])
+    emit("jobs", "gauge", "Configured worker count.",
+         [("", payload.get("jobs", 0))])
+    emit("wall_seconds", "gauge", "Wall time of the run in seconds.",
+         [("", payload.get("wall_seconds", 0.0))])
+
+    cache = payload.get("cache", {})
+    emit(
+        "cache_events_total",
+        "counter",
+        "Cache events by kind.",
+        [
+            (f'{{kind="{_escape_label(kind)}"}}', cache.get(kind, 0))
+            for kind in (
+                "class_hits",
+                "class_misses",
+                "method_hits",
+                "method_misses",
+                "writes",
+                "corrupt_entries",
+            )
+        ],
+    )
+    supervisor = payload.get("supervisor", {})
+    emit(
+        "supervisor_events_total",
+        "counter",
+        "Supervisor recovery events by kind.",
+        [
+            (f'{{kind="{_escape_label(kind)}"}}', supervisor.get(kind, 0))
+            for kind in (
+                "retries",
+                "quarantines",
+                "budget_trips",
+                "timeouts",
+                "pool_restarts",
+            )
+        ],
+    )
+
+    phases = payload.get("obs", {}).get("phases", {})
+    if phases:
+        emit(
+            "phase_seconds_total",
+            "counter",
+            "Wall time per pipeline phase in seconds.",
+            [
+                (f'{{phase="{_escape_label(name)}"}}', entry["seconds"])
+                for name, entry in sorted(phases.items())
+            ],
+        )
+        emit(
+            "phase_calls_total",
+            "counter",
+            "Phase executions (including cached/skipped records).",
+            [
+                (f'{{phase="{_escape_label(name)}"}}', entry["calls"])
+                for name, entry in sorted(phases.items())
+            ],
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(payload: dict[str, Any], path: str | Path) -> None:
+    Path(path).write_text(prometheus_text(payload), encoding="utf-8")

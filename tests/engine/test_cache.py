@@ -147,3 +147,87 @@ class TestCacheStats:
         as_dict = stats.to_dict()
         assert as_dict["hits"]["method"] == 3
         assert set(as_dict) == {"hits", "misses", "writes", "corrupt"}
+
+
+class TestCounterContract:
+    """One healed read counts exactly once as a miss and once as
+    corrupt — never more, even across retries that keep re-reading a
+    corrupt file the heal could not delete (docs/observability.md)."""
+
+    def _plant_garbage(self, tmp_path, namespace="class", key="cafebabe"):
+        cache = InferenceCache(tmp_path)
+        path = cache._path(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ truncated", encoding="utf-8")
+        return cache, path
+
+    def test_healed_read_is_one_miss_and_one_corrupt(self, tmp_path):
+        cache, path = self._plant_garbage(tmp_path)
+        assert cache.get("class", "cafebabe") is None
+        assert cache.stats.misses["class"] == 1
+        assert cache.stats.corrupt["class"] == 1
+        assert not path.exists()
+
+    def test_failed_unlink_never_double_counts(self, tmp_path, monkeypatch):
+        cache, path = self._plant_garbage(tmp_path)
+
+        def deny_unlink(self_path, missing_ok=False):
+            raise OSError("read-only directory")
+
+        monkeypatch.setattr(type(path), "unlink", deny_unlink)
+        # The corrupt file survives every heal attempt; each read is a
+        # genuine miss, but the single corruption counts once.
+        assert cache.get("class", "cafebabe") is None
+        assert cache.get("class", "cafebabe") is None
+        assert path.exists()
+        assert cache.stats.misses["class"] == 2
+        assert cache.stats.corrupt["class"] == 1
+
+    def test_put_rearms_counting_for_a_new_corruption(self, tmp_path, monkeypatch):
+        cache, path = self._plant_garbage(tmp_path)
+
+        def deny_unlink(self_path, missing_ok=False):
+            raise OSError("read-only directory")
+
+        monkeypatch.setattr(type(path), "unlink", deny_unlink)
+        assert cache.get("class", "cafebabe") is None
+        assert cache.stats.corrupt["class"] == 1
+        monkeypatch.undo()
+
+        cache.put("class", "cafebabe", {"verdict": "ok"})
+        # A *new* corruption of the rewritten entry counts again.
+        path.write_text("garbage", encoding="utf-8")
+        cache._memory.clear()  # force the next read back to disk
+        assert cache.get("class", "cafebabe") is None
+        assert cache.stats.corrupt["class"] == 2
+
+    def test_corrupt_fault_profile_heals_exactly_once(self, tmp_path):
+        from repro.engine import faults
+        from repro.engine.faults import parse_faults
+
+        faults.install(parse_faults("cache-put:corrupt:class/*"))
+        writer = InferenceCache(tmp_path)
+        writer.put("class", "deadbeef", {"verdict": "ok"})
+        faults.install(None)
+
+        reader = InferenceCache(tmp_path)
+        assert reader.get("class", "deadbeef") is None
+        assert reader.get("class", "deadbeef") is None  # healed: plain miss
+        assert reader.stats.misses["class"] == 2
+        assert reader.stats.corrupt["class"] == 1
+
+    def test_cache_events_reach_the_tracer(self, tmp_path):
+        from repro.obs import Tracer
+
+        cache = InferenceCache(tmp_path)
+        tracer = Tracer()
+        cache.tracer = tracer
+        with tracer.span("wave", "wave-0"):
+            cache.get("class", "absent")
+            cache.put("class", "absent", {"verdict": "ok"})
+            cache.get("class", "absent")
+        assert tracer.counters == {
+            "event.cache-miss": 1,
+            "event.cache-write": 1,
+            "event.cache-hit": 1,
+        }

@@ -1,0 +1,21 @@
+"""Obs-suite fixtures: never leak an installed fault plan."""
+
+import pytest
+
+from repro.engine import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan():
+    """Each test starts and ends with no installed plan."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+@pytest.fixture
+def no_ambient_faults():
+    """Shield a test from ``REPRO_FAULTS`` set by the CI fault job."""
+    faults.install(faults.FaultPlan(()))
+    yield
+    faults.install(None)
