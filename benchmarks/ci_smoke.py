@@ -32,13 +32,15 @@ if not any(Path(p).resolve() == REPO_ROOT / "src" for p in sys.path if p):
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.checker import check_source  # noqa: E402
-from repro.engine import BatchVerifier, InferenceCache  # noqa: E402
+from repro.engine import BatchVerifier, InferenceCache, verify_incremental  # noqa: E402
 from repro.frontend.parse import parse_module  # noqa: E402
+from repro.frontend.project import parse_project  # noqa: E402
 from repro.lang.builder import paper_example_program  # noqa: E402
 from repro.lang.inference import behavior  # noqa: E402
 from repro.obs import NULL_TRACER  # noqa: E402
 from repro.workloads.hierarchy import (  # noqa: E402
     HierarchyShape,
+    grid_project_files,
     lifecycle_claim,
     module_source,
     project_source,
@@ -111,12 +113,49 @@ def _make_engine_warm_kernel():
     return kernel
 
 
+#: Reuse-ratio floor for the incremental-edit kernel: a one-leaf body
+#: edit on the 4×3 grid must splice at least 90% of the verdicts from
+#: the state file (11 of 12 classes — the edit dirties exactly one).
+#: An absolute gate, independent of the baseline file: it trips the
+#: moment a planner change starts over-dirtying, even if the kernel
+#: happens to get *faster* (docs/incremental.md).
+INC_REUSE_FLOOR = 0.9
+
+
+def _make_incremental_edit_kernel():
+    """Warm incremental re-run after one leaf edit: plan + splice + 1 check."""
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-incremental-"))
+    project_root = scratch / "project"
+    state_file = scratch / "state.json"
+    grid_project_files(HierarchyShape(base_operations=4), 4, 3, project_root)
+    module, violations = parse_project(project_root)
+    cold = verify_incremental(module, violations, state_file=state_file)
+    assert cold.batch.ok
+    leaf = project_root / "G0_000.py"
+
+    def kernel() -> None:
+        # Body-only edit: one more leading blank line each run.
+        leaf.write_text(
+            "\n" + leaf.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        module, violations = parse_project(project_root)
+        warm = verify_incremental(module, violations, state_file=state_file)
+        assert warm.plan.dirty == ("G0_000",), warm.plan.dirty
+        ratio = warm.batch.metrics.reuse_ratio
+        assert ratio >= INC_REUSE_FLOOR, (
+            f"reuse ratio {ratio:.3f} fell below the {INC_REUSE_FLOOR} floor"
+        )
+
+    return kernel
+
+
 def measure(repeat: int) -> dict[str, float]:
     kernels = {
         "checker_clean": _kernel_checker_clean,
         "checker_counterexample": _kernel_checker_counterexample,
         "inference_example3": _kernel_inference_example3,
         "engine_warm_cache": _make_engine_warm_kernel(),
+        "engine_incremental_edit": _make_incremental_edit_kernel(),
         "obs_null_span": _kernel_obs_null_span,
     }
     calibration = min(_calibration() for _ in range(repeat))

@@ -4,6 +4,8 @@ Subcommands::
 
     repro check FILE          verify a module or project directory
                               (--jobs N --cache for the batch engine;
+                              --incremental/--since-state to re-check
+                              only what an edit dirtied;
                               --timeout/--max-states/--retries for the
                               fault-tolerant supervisor; --trace/
                               --trace-out/--metrics-out/--prom-out for
@@ -12,6 +14,8 @@ Subcommands::
     repro profile FILE        verify with tracing on; print the
                               per-phase time breakdown
     repro cache stats|clear   inspect or drop the inference cache
+                              (clear also removes the project state)
+    repro state show|reset    inspect or drop the incremental state
     repro explain FILE        verify and narrate each usage counterexample
     repro model FILE          print each operation's inferred behavior regex
     repro deps FILE [CLASS]   print the §3.1 dependency graph
@@ -110,23 +114,47 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             module, violations = _load(args.file)
         cache = InferenceCache(args.cache_dir) if args.cache else None
+        incremental = args.incremental or args.since_state is not None
         try:
-            verifier = BatchVerifier(
-                module,
-                violations,
-                jobs=args.jobs,
-                executor=args.executor,
-                cache=cache,
-                timeout=args.timeout,
-                max_states=args.max_states,
-                retries=args.retries,
-                fail_fast=args.fail_fast,
-                tracer=tracer,
-            )
+            if incremental:
+                from repro.engine import state as engine_state
+                from repro.engine import verify_incremental
+
+                state_file = (
+                    Path(args.since_state)
+                    if args.since_state is not None
+                    else engine_state.state_path(args.cache_dir)
+                )
+                outcome = verify_incremental(
+                    module,
+                    violations,
+                    state_file=state_file,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    cache=cache,
+                    timeout=args.timeout,
+                    max_states=args.max_states,
+                    retries=args.retries,
+                    fail_fast=args.fail_fast,
+                    tracer=tracer,
+                )
+                batch = outcome.batch
+            else:
+                verifier = BatchVerifier(
+                    module,
+                    violations,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    cache=cache,
+                    timeout=args.timeout,
+                    max_states=args.max_states,
+                    retries=args.retries,
+                    fail_fast=args.fail_fast,
+                    tracer=tracer,
+                )
+                batch = verifier.run()
         except EngineError as error:
             raise SystemExit(f"error: {error}")
-        try:
-            batch = verifier.run()
         except EngineAborted as error:
             raise SystemExit(f"error: {error}")
         result = batch.merged()
@@ -206,10 +234,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     cache = InferenceCache(args.cache_dir)
     if args.cache_command == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        state_removed = cache.clear_state()
+        summary = f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}"
+        summary += (
+            " and the project state" if state_removed else " (no project state)"
+        )
+        print(summary)
         return 0
     # stats
     stats = cache.disk_stats()
+    stats["state"] = cache.state_stats()
     total_entries = sum(s["entries"] for s in stats.values())
     total_bytes = sum(s["bytes"] for s in stats.values())
     print(f"cache at {args.cache_dir}:")
@@ -219,6 +253,48 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{numbers['bytes']:10d} bytes"
         )
     print(f"  {'total':<8} {total_entries:6d} entries  {total_bytes:10d} bytes")
+    return 0
+
+
+def _cmd_state(args: argparse.Namespace) -> int:
+    from repro.engine.state import load_state, remove_state, state_path
+
+    state_file = (
+        Path(args.state_file)
+        if args.state_file is not None
+        else state_path(args.cache_dir)
+    )
+    if args.state_command == "reset":
+        if remove_state(state_file):
+            print(f"removed project state {state_file}")
+        else:
+            print(f"no project state at {state_file}")
+        return 0
+    # show
+    state, reason = load_state(state_file)
+    if state is None:
+        print(f"no usable project state at {state_file}: {reason}")
+        return 1
+    print(f"project state at {state_file}:")
+    if state.source_name:
+        print(f"  source    {state.source_name}")
+    verified = sum(1 for entry in state.classes.values() if entry.verified)
+    print(
+        f"  classes   {len(state.classes)} recorded, {verified} with a "
+        "stored verdict"
+    )
+    for name, entry in sorted(state.classes.items()):
+        if entry.diagnostics is None:
+            verdict = "unverified"
+        elif entry.diagnostics:
+            verdict = f"{len(entry.diagnostics)} diagnostic(s)"
+        else:
+            verdict = "clean"
+        print(
+            f"  class {name:<15} wave {entry.wave}  "
+            f"fp {entry.fingerprint[:12]}  spec {entry.spec[:12]}  "
+            f"[{verdict}]"
+        )
     return 0
 
 
@@ -394,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache location (default: .repro-cache)",
     )
     check.add_argument(
+        "--incremental",
+        action="store_true",
+        help="re-check only classes dirtied since the last run, splicing "
+        "the rest from the project state (<cache-dir>/state.json); the "
+        "report stays byte-identical to a cold run",
+    )
+    check.add_argument(
+        "--since-state",
+        default=None,
+        metavar="FILE",
+        help="use an explicit state file for --incremental (implies "
+        "--incremental; read and updated in place)",
+    )
+    check.add_argument(
         "--stats",
         action="store_true",
         help="print engine metrics (cache hits, per-class wall time)",
@@ -527,6 +617,30 @@ def build_parser() -> argparse.ArgumentParser:
             help="cache location (default: .repro-cache)",
         )
     cache.set_defaults(func=_cmd_cache)
+
+    state = subparsers.add_parser(
+        "state", help="inspect or reset the incremental project state"
+    )
+    state_sub = state.add_subparsers(dest="state_command", required=True)
+    state_show = state_sub.add_parser(
+        "show", help="versions, classes and verdict status of the state file"
+    )
+    state_reset = state_sub.add_parser(
+        "reset", help="delete the state file (the next run is cold)"
+    )
+    for sub in (state_show, state_reset):
+        sub.add_argument(
+            "--cache-dir",
+            default=".repro-cache",
+            help="cache location holding state.json (default: .repro-cache)",
+        )
+        sub.add_argument(
+            "--state-file",
+            default=None,
+            metavar="FILE",
+            help="explicit state file (overrides --cache-dir)",
+        )
+    state.set_defaults(func=_cmd_state)
 
     explain = subparsers.add_parser(
         "explain", help="verify and narrate usage counterexamples"

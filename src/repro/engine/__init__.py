@@ -10,7 +10,12 @@ The scaling substrate on top of :mod:`repro.core` (see docs/engine.md):
 * :mod:`repro.engine.metrics` — cache counters and per-class wall time,
 * :mod:`repro.engine.serialize` — exact diagnostic round trips,
 * :mod:`repro.engine.faults` — deterministic fault injection for
-  exercising the supervisor's recovery paths (docs/robustness.md).
+  exercising the supervisor's recovery paths (docs/robustness.md),
+* :mod:`repro.engine.state` — the persistent per-project snapshot
+  (``.repro-cache/state.json``),
+* :mod:`repro.engine.incremental` — incremental re-verification: diff
+  against the state, re-check only the dirty classes, splice the rest
+  (docs/incremental.md).
 
 Quickstart::
 
@@ -39,15 +44,42 @@ from repro.engine.faults import (
     WorkerKilled,
     parse_faults,
 )
-from repro.engine.fingerprint import class_key, method_key, spec_fingerprint
+from repro.engine.fingerprint import (
+    class_fingerprint,
+    class_key,
+    method_key,
+    spec_fingerprint,
+)
+from repro.engine.incremental import (
+    IncrementalPlan,
+    IncrementalResult,
+    plan_incremental,
+    snapshot_state,
+    verify_incremental,
+)
 from repro.engine.metrics import ClassTiming, EngineMetrics
-from repro.engine.scheduler import schedule, subsystem_dependencies, topological_waves
+from repro.engine.scheduler import (
+    prune_waves,
+    schedule,
+    subsystem_dependencies,
+    topological_waves,
+)
 from repro.engine.serialize import diagnostic_from_dict, diagnostic_to_dict
+from repro.engine.state import (
+    STATE_VERSION,
+    ClassState,
+    ProjectState,
+    load_state,
+    remove_state,
+    save_state,
+    state_path,
+)
 
 __all__ = [
     "BatchResult",
     "BatchVerifier",
     "CacheStats",
+    "ClassState",
     "ClassTiming",
     "EngineAborted",
     "EngineError",
@@ -55,19 +87,32 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultSpecError",
+    "IncrementalPlan",
+    "IncrementalResult",
     "InferenceCache",
     "InjectedFault",
+    "ProjectState",
+    "STATE_VERSION",
     "WorkerKilled",
     "parse_faults",
     "cached_behavior_dfa",
+    "class_fingerprint",
     "class_key",
     "diagnostic_from_dict",
     "diagnostic_to_dict",
+    "load_state",
     "method_key",
+    "plan_incremental",
+    "prune_waves",
+    "remove_state",
+    "save_state",
     "schedule",
+    "snapshot_state",
     "spec_fingerprint",
+    "state_path",
     "subsystem_dependencies",
     "topological_waves",
+    "verify_incremental",
     "verify_module",
     "verify_path",
 ]

@@ -263,6 +263,45 @@ class InferenceCache:
             stats[namespace] = {"entries": entries, "bytes": size}
         return stats
 
+    # -- incremental project state (docs/incremental.md) ----------------
+
+    @property
+    def state_path(self) -> Path | None:
+        """Where the incremental project state lives, co-located with
+        the cache (``<root>/state.json``); ``None`` for memory-only."""
+        if self.root is None:
+            return None
+        from repro.engine.state import state_path
+
+        return state_path(self.root)
+
+    def state_stats(self) -> dict[str, int]:
+        """``{"entries": recorded classes, "bytes": file size}`` for the
+        co-located state file (zeros when there is none)."""
+        path = self.state_path
+        if path is None or not path.is_file():
+            return {"entries": 0, "bytes": 0}
+        from repro.engine.state import load_state
+
+        state, _reason = load_state(path)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        return {
+            "entries": 0 if state is None else len(state.classes),
+            "bytes": size,
+        }
+
+    def clear_state(self) -> bool:
+        """Remove the co-located state file; ``True`` if one existed."""
+        path = self.state_path
+        if path is None:
+            return False
+        from repro.engine.state import remove_state
+
+        return remove_state(path)
+
     def clear(self) -> int:
         """Drop every entry (memory and disk); returns how many were
         removed from disk.  The directory skeleton and ``CACHEDIR.TAG``

@@ -69,7 +69,7 @@ from repro.engine import faults
 from repro.engine.cache import InferenceCache
 from repro.engine.fingerprint import class_key, method_key
 from repro.engine.metrics import ClassTiming, EngineMetrics
-from repro.engine.scheduler import schedule
+from repro.engine.scheduler import prune_waves, schedule
 from repro.engine.serialize import diagnostics_from_list, diagnostics_to_list
 from repro.frontend.model_ast import ParsedClass, ParsedModule, SubsetViolation
 from repro.obs.tracer import NULL_TRACER, PHASES, Tracer
@@ -295,6 +295,7 @@ class BatchVerifier:
         fail_fast: bool = False,
         retry_seed: int = 0,
         tracer: Tracer | None = None,
+        only: frozenset[str] | None = None,
     ):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -319,6 +320,19 @@ class BatchVerifier:
         self.backoff = backoff
         self.fail_fast = fail_fast
         self.retry_seed = retry_seed
+        #: Restrict the run to these classes (incremental re-verification,
+        #: docs/incremental.md): waves are pruned but keep their indices,
+        #: and classes outside the set are absent from the result —
+        #: the caller splices their verdicts from the project state.
+        if only is not None:
+            known = set(module.class_names())
+            unknown = sorted(set(only) - known)
+            if unknown:
+                raise EngineError(
+                    f"only= names classes not in the module: {', '.join(unknown)}"
+                )
+            only = frozenset(only)
+        self.only = only
         #: The run's tracer (docs/observability.md); the no-op singleton
         #: by default, so untraced runs stay on the fast path.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -589,6 +603,9 @@ class BatchVerifier:
         started = time.perf_counter()
         classes_by_name = {parsed.name: parsed for parsed in self.module.classes}
         waves = schedule(self.module)
+        if self.only is not None:
+            waves = prune_waves(waves, self.only)
+        scheduled = sum(len(wave) for wave in waves)
 
         outcomes: dict[str, CheckResult] = {}
         timings: list[ClassTiming] = []
@@ -602,10 +619,12 @@ class BatchVerifier:
         with self.tracer.span(
             "run",
             "run",
-            classes=len(self.module.classes),
-            waves=len(waves),
+            classes=scheduled,
+            waves=sum(1 for wave in waves if wave),
         ):
             for wave_index, wave in enumerate(waves):
+                if not wave:  # fully pruned by an incremental plan
+                    continue
                 with self.tracer.span(
                     "wave", f"wave-{wave_index}", index=wave_index,
                     classes=len(wave),
@@ -621,11 +640,13 @@ class BatchVerifier:
                     cache_writes += writes
 
         ordered = tuple(
-            (parsed.name, outcomes[parsed.name]) for parsed in self.module.classes
+            (parsed.name, outcomes[parsed.name])
+            for parsed in self.module.classes
+            if parsed.name in outcomes
         )
         metrics = EngineMetrics(
-            classes=len(self.module.classes),
-            waves=len(waves),
+            classes=scheduled,
+            waves=sum(1 for wave in waves if wave),
             jobs=self.jobs,
             executor=self.executor,
             wall_seconds=time.perf_counter() - started,

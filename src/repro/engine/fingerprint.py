@@ -147,6 +147,20 @@ def class_text(parsed: ParsedClass) -> str:
     )
 
 
+def class_fingerprint(parsed: ParsedClass) -> str:
+    """Digest of one class's full syntactic content, *dependencies
+    excluded* — the "own syntax" half of :func:`class_key`.
+
+    The incremental planner (:mod:`repro.engine.incremental`) stores
+    this per class and compares it across runs: together with the
+    :func:`spec_fingerprint` of every named subsystem it determines the
+    verdict key exactly, so "own fingerprint unchanged + every
+    dependency's spec digest unchanged" implies "``class_key``
+    unchanged" — the soundness contract of verdict reuse.
+    """
+    return _digest(f"v{FINGERPRINT_VERSION};{class_text(parsed)}")
+
+
 def class_key(parsed: ParsedClass, specs_in_scope: Mapping[str, ParsedClass]) -> str:
     """Cache key for a class's check verdict.
 

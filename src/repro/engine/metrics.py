@@ -18,6 +18,10 @@ class ClassTiming:
 
     ``quarantined`` marks classes the supervisor gave up on — their
     "verdict" is an ``ENGINE ...`` diagnostic, not a real check result.
+    ``from_state`` marks verdicts an incremental run spliced out of the
+    persistent project state without scheduling the class at all
+    (docs/incremental.md) — distinct from ``from_cache``, which means
+    the class *was* scheduled and hit the verdict cache.
     """
 
     class_name: str
@@ -25,6 +29,7 @@ class ClassTiming:
     from_cache: bool
     wave: int
     quarantined: bool = False
+    from_state: bool = False
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,16 @@ class EngineMetrics:
     budget_trips: int = 0
     timeouts: int = 0
     pool_restarts: int = 0
+    # Incremental re-verification counters (docs/incremental.md): how
+    # much of the run was served from the persistent project state.
+    incremental: bool = False
+    reused_verdicts: int = 0
+    dirty_classes: int = 0
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Fraction of classes whose verdict came from the state file."""
+        return self.reused_verdicts / self.classes if self.classes else 0.0
 
     @property
     def class_hit_rate(self) -> float:
@@ -84,6 +99,12 @@ class EngineMetrics:
                 "timeouts": self.timeouts,
                 "pool_restarts": self.pool_restarts,
             },
+            "incremental": {
+                "enabled": self.incremental,
+                "reused": self.reused_verdicts,
+                "dirty": self.dirty_classes,
+                "reuse_ratio": self.reuse_ratio,
+            },
             # Sorted here as well as at construction: the export is the
             # byte-stability contract (same project + cache temperature
             # => identical file regardless of jobs/completion order), so
@@ -95,6 +116,7 @@ class EngineMetrics:
                     "from_cache": timing.from_cache,
                     "wave": timing.wave,
                     "quarantined": timing.quarantined,
+                    "from_state": timing.from_state,
                 }
                 for timing in sorted(
                     self.timings, key=lambda t: (t.wave, t.class_name)
@@ -115,6 +137,12 @@ class EngineMetrics:
             f"{self.method_misses} miss(es)",
             f"  cache writes          {self.cache_writes}",
         ]
+        if self.incremental:
+            lines.append(
+                f"  incremental           {self.reused_verdicts} reused, "
+                f"{self.dirty_classes} re-checked "
+                f"({self.reuse_ratio * 100.0:.0f}% reuse)"
+            )
         if self.corrupt_entries:
             lines.append(
                 f"  cache healed          {self.corrupt_entries} corrupt "
@@ -137,6 +165,8 @@ class EngineMetrics:
         for timing in self.timings:
             if timing.quarantined:
                 origin = "quarantined"
+            elif timing.from_state:
+                origin = "state"
             elif timing.from_cache:
                 origin = "cache"
             else:

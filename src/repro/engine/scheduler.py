@@ -60,6 +60,24 @@ def topological_waves(dependencies: dict[str, frozenset[str]]) -> list[tuple[str
     return waves
 
 
+def prune_waves(
+    waves: list[tuple[str, ...]], keep: "frozenset[str] | set[str]"
+) -> list[tuple[str, ...]]:
+    """Restrict a wave schedule to the classes in ``keep``.
+
+    Wave *indices* are preserved — a pruned wave may be empty, but wave
+    ``k`` of the pruned schedule still means "wave ``k`` of the full
+    schedule", so per-class metrics and trace rows keep the same wave
+    numbers whether a run was incremental or cold.  The incremental
+    engine uses this to check only the dirty classes while every
+    surviving class stays in its topological position.
+    """
+    return [
+        tuple(name for name in wave if name in keep)
+        for wave in waves
+    ]
+
+
 def schedule(module: ParsedModule) -> list[tuple[str, ...]]:
     """The wave schedule of a parsed module/project."""
     return topological_waves(subsystem_dependencies(module))

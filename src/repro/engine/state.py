@@ -1,0 +1,229 @@
+"""Persistent per-project incremental state (``.repro-cache/state.json``).
+
+One verified project leaves behind a *state file*: for every class, the
+fingerprints the incremental planner diffs against (the full-syntax
+class fingerprint and the spec-structure digest), the names of the
+subsystem classes it declares, and — for classes whose check completed —
+the serialized verdict, ready to splice into the next run's report
+without re-checking anything (:mod:`repro.engine.incremental`).
+
+The file is versioned twice over: by :data:`STATE_VERSION` (this
+module's payload shape) *and* by
+:data:`repro.engine.fingerprint.FINGERPRINT_VERSION` (the meaning of the
+stored digests).  A mismatch on either — like any unreadable, truncated
+or structurally malformed file — makes :func:`load_state` report an
+unusable state, and the caller falls back to a cold run instead of
+erroring: stale state can only ever cost a recomputation, never wrong
+output.  Writes are atomic (temp file + ``os.replace``), mirroring
+:mod:`repro.engine.cache`.
+
+Classes the supervisor quarantined are stored with ``diagnostics=None``
+("digests known, verdict unknown"): the next incremental run re-checks
+them without also dirtying their dependents, whose view of the class —
+its spec structure — was computed from the parse and is still valid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.engine.fingerprint import FINGERPRINT_VERSION
+
+#: Bump when the state payload shape changes; old files then fall back
+#: to a cold run instead of being misread.
+STATE_VERSION = 1
+
+#: File name inside the cache directory (state is co-located with the
+#: content-addressed cache; ``repro cache clear`` removes both).
+STATE_FILENAME = "state.json"
+
+
+def state_path(cache_dir: str | Path) -> Path:
+    """Default state-file location for a cache directory."""
+    return Path(cache_dir) / STATE_FILENAME
+
+
+@dataclass(frozen=True)
+class ClassState:
+    """What the last run knew about one class."""
+
+    name: str
+    #: Digest of the full syntactic content (line numbers included) —
+    #: :func:`repro.engine.fingerprint.class_fingerprint`.
+    fingerprint: str
+    #: Digest of the specification structure only —
+    #: :func:`repro.engine.fingerprint.spec_fingerprint`.
+    spec: str
+    #: Names of every class this one declares as a subsystem type,
+    #: sorted; in-module or not (missing dependencies matter too).
+    deps: tuple[str, ...]
+    #: Serialized verdict (:mod:`repro.engine.serialize` dicts), or
+    #: ``None`` when the last run quarantined the class.
+    diagnostics: tuple[dict[str, Any], ...] | None
+    #: Wave index and wall time of the recorded check (diagnostics
+    #: context for ``repro state show``; not used for planning).
+    wave: int = 0
+    seconds: float = 0.0
+
+    @property
+    def verified(self) -> bool:
+        return self.diagnostics is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "spec": self.spec,
+            "deps": list(self.deps),
+            "diagnostics": (
+                None if self.diagnostics is None else list(self.diagnostics)
+            ),
+            "wave": self.wave,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class ProjectState:
+    """The complete recorded outcome of one project run."""
+
+    classes: Mapping[str, ClassState] = field(default_factory=dict)
+    source_name: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "state_version": STATE_VERSION,
+            "fingerprint_version": FINGERPRINT_VERSION,
+            "source_name": self.source_name,
+            "classes": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.classes.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Load / save / remove
+# ----------------------------------------------------------------------
+
+def _class_state_from_dict(name: str, data: Any) -> ClassState | None:
+    """One class entry, or ``None`` when it is structurally malformed.
+
+    Only the *shape* is validated here; whether the stored diagnostics
+    deserialize is the planner's concern (it drops unusable verdicts by
+    marking the class dirty, so a half-corrupt file still salvages every
+    healthy entry).
+    """
+    if not isinstance(data, dict):
+        return None
+    fingerprint = data.get("fingerprint")
+    spec = data.get("spec")
+    deps = data.get("deps")
+    diagnostics = data.get("diagnostics")
+    if not isinstance(fingerprint, str) or not isinstance(spec, str):
+        return None
+    if not isinstance(deps, list) or not all(isinstance(d, str) for d in deps):
+        return None
+    if diagnostics is not None:
+        if not isinstance(diagnostics, list) or not all(
+            isinstance(entry, dict) for entry in diagnostics
+        ):
+            return None
+    wave = data.get("wave", 0)
+    seconds = data.get("seconds", 0.0)
+    if not isinstance(wave, int) or not isinstance(seconds, (int, float)):
+        return None
+    return ClassState(
+        name=name,
+        fingerprint=fingerprint,
+        spec=spec,
+        deps=tuple(deps),
+        diagnostics=None if diagnostics is None else tuple(diagnostics),
+        wave=wave,
+        seconds=float(seconds),
+    )
+
+
+def load_state(path: str | Path) -> tuple[ProjectState | None, str | None]:
+    """Read a state file; ``(state, None)`` or ``(None, why-not)``.
+
+    Every failure mode — missing file, unreadable file, invalid JSON,
+    version mismatch, malformed structure — comes back as a reason
+    string so callers can report *why* the run went cold.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None, "no state file (first run?)"
+    except OSError as error:
+        return None, f"unreadable state file: {error}"
+    try:
+        envelope = json.loads(text)
+    except ValueError:
+        return None, "corrupt state file (invalid JSON)"
+    if not isinstance(envelope, dict):
+        return None, "corrupt state file (not an object)"
+    if envelope.get("state_version") != STATE_VERSION:
+        return None, (
+            f"state version {envelope.get('state_version')!r} "
+            f"(this build expects {STATE_VERSION})"
+        )
+    if envelope.get("fingerprint_version") != FINGERPRINT_VERSION:
+        return None, (
+            f"stale fingerprint version {envelope.get('fingerprint_version')!r} "
+            f"(this build expects {FINGERPRINT_VERSION})"
+        )
+    raw_classes = envelope.get("classes")
+    if not isinstance(raw_classes, dict):
+        return None, "corrupt state file (no class table)"
+    classes: dict[str, ClassState] = {}
+    for name, data in raw_classes.items():
+        entry = _class_state_from_dict(name, data)
+        if entry is None:
+            # One malformed entry does not spoil the rest: the class
+            # simply looks "never seen before" and gets re-checked.
+            continue
+        classes[name] = entry
+    source_name = envelope.get("source_name")
+    return (
+        ProjectState(
+            classes=classes,
+            source_name=source_name if isinstance(source_name, str) else "",
+        ),
+        None,
+    )
+
+
+def save_state(path: str | Path, state: ProjectState) -> None:
+    """Atomically persist ``state`` (temp file + ``os.replace``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(state.to_dict(), indent=2, sort_keys=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-state-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        os.replace(temp_name, path)
+    except OSError:
+        try:  # best effort: a failed state write must not kill the run
+            os.unlink(temp_name)
+        except OSError:
+            pass
+
+
+def remove_state(path: str | Path) -> bool:
+    """Delete a state file; ``True`` when one existed and was removed."""
+    try:
+        Path(path).unlink()
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False

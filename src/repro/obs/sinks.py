@@ -145,6 +145,26 @@ def prometheus_text(payload: dict[str, Any], prefix: str = "repro") -> str:
             )
         ],
     )
+    incremental = payload.get("incremental")
+    if incremental:
+        emit(
+            "incremental_classes_total",
+            "counter",
+            "Incremental run outcome per class, by kind.",
+            [
+                (
+                    f'{{kind="{_escape_label(kind)}"}}',
+                    incremental.get(source, 0),
+                )
+                for kind, source in (("reused", "reused"), ("dirty", "dirty"))
+            ],
+        )
+        emit(
+            "incremental_reuse_ratio",
+            "gauge",
+            "Fraction of class verdicts spliced from the project state.",
+            [("", incremental.get("reuse_ratio", 0.0))],
+        )
     supervisor = payload.get("supervisor", {})
     emit(
         "supervisor_events_total",

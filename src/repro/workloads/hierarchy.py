@@ -217,6 +217,65 @@ def project_files(
     return written
 
 
+def grid_project_sources(
+    shape: HierarchyShape, layers: int, width: int
+) -> dict[str, str]:
+    """A ``layers × width`` grid of classes, one source string per class.
+
+    ``width`` independent vertical chains: row 0 holds base classes
+    ``G0_<col>``; every ``G<layer>_<col>`` above drives one instance of
+    ``G<layer-1>_<col>`` through its complete lifecycle.  Per-class
+    sources (rather than one concatenated module) are the point — the
+    incremental-verification workloads edit *one* class and need the
+    edit's line-number shift to stay local, exactly like touching one
+    file of a real project (docs/incremental.md).
+    """
+    if layers < 2:
+        raise ValueError("a grid needs at least a base and a composite layer")
+    if width < 1:
+        raise ValueError("a grid needs at least one column")
+    sources: dict[str, str] = {}
+    for column in range(width):
+        name = f"G0_{column:03d}"
+        sources[name] = base_class_source(name, shape.base_operations)
+        previous_methods = [f"step{i}" for i in range(shape.base_operations)]
+        for layer in range(1, layers):
+            name = f"G{layer}_{column:03d}"
+            inner = f"G{layer - 1}_{column:03d}"
+            lines = [
+                "@sys(['inner'])",
+                f"class {name}:",
+                "    def __init__(self):",
+                f"        self.inner = {inner}()",
+                "    @op_initial_final",
+                "    def cycle(self):",
+            ]
+            lines.extend(
+                f"        self.inner.{method}()" for method in previous_methods
+            )
+            lines.append("        return []")
+            sources[name] = "\n".join(lines) + "\n"
+            previous_methods = ["cycle"]
+    return sources
+
+
+def grid_project_files(
+    shape: HierarchyShape, layers: int, width: int, root
+) -> list:
+    """Write :func:`grid_project_sources` one file per class under
+    ``root`` (``G<layer>_<col>.py``); returns the written paths."""
+    from pathlib import Path
+
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, source in sorted(grid_project_sources(shape, layers, width).items()):
+        path = root / f"{name}.py"
+        path.write_text(source, encoding="utf-8")
+        written.append(path)
+    return written
+
+
 def layered_project_source(shape: HierarchyShape, depth: int = 3) -> str:
     """A deep project: a chain ``Layer0 ← Layer1 ← … ← Layer{depth}``.
 

@@ -1,6 +1,7 @@
 """Wave scheduling over the subsystem dependency DAG."""
 
 from repro.engine.scheduler import (
+    prune_waves,
     schedule,
     subsystem_dependencies,
     topological_waves,
@@ -49,6 +50,73 @@ class TestTopologicalWaves:
 
     def test_empty(self):
         assert topological_waves({}) == []
+
+
+class TestPruneWaves:
+    def test_preserves_wave_indices(self):
+        waves = [("A", "B"), ("C",), ("D", "E")]
+        assert prune_waves(waves, {"C", "E"}) == [(), ("C",), ("E",)]
+
+    def test_empty_keep_empties_every_wave(self):
+        assert prune_waves([("A",), ("B",)], set()) == [(), ()]
+
+    def test_full_keep_is_identity(self):
+        waves = [("A", "B"), ("C",)]
+        assert prune_waves(waves, {"A", "B", "C"}) == waves
+
+
+class TestCyclicModules:
+    def test_mutually_dependent_classes_land_in_final_wave(self):
+        # Two classes naming each other as subsystems: no topological
+        # order exists, so both land together in the trailing wave —
+        # the schedule stays total and the engine still checks them.
+        source = (
+            "@sys(['peer'])\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self.peer = B()\n"
+            "    @op_initial_final\n"
+            "    def run(self):\n"
+            "        return []\n"
+            "\n"
+            "@sys(['peer'])\n"
+            "class B:\n"
+            "    def __init__(self):\n"
+            "        self.peer = A()\n"
+            "    @op_initial_final\n"
+            "    def run(self):\n"
+            "        return []\n"
+        )
+        module, _violations = parse_module(source)
+        waves = schedule(module)
+        assert waves[-1] == ("A", "B")
+
+    def test_cycle_plus_free_class_keeps_free_class_first(self):
+        source = (
+            "@sys\n"
+            "class Free:\n"
+            "    @op_initial_final\n"
+            "    def go(self):\n"
+            "        return []\n"
+            "\n"
+            "@sys(['peer'])\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self.peer = B()\n"
+            "    @op_initial_final\n"
+            "    def run(self):\n"
+            "        return []\n"
+            "\n"
+            "@sys(['peer'])\n"
+            "class B:\n"
+            "    def __init__(self):\n"
+            "        self.peer = A()\n"
+            "    @op_initial_final\n"
+            "    def run(self):\n"
+            "        return []\n"
+        )
+        module, _violations = parse_module(source)
+        assert schedule(module) == [("Free",), ("A", "B")]
 
 
 class TestModuleScheduling:

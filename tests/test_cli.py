@@ -154,6 +154,85 @@ class TestCacheCommand:
         assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
         assert "0 entries" in capsys.readouterr().out
 
+    def test_clear_removes_the_project_state(self, good, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["check", good, "--incremental", "--cache-dir", cache_dir]
+        ) == 0
+        assert (tmp_path / "cache" / "state.json").is_file()
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "state" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "and the project state" in capsys.readouterr().out
+        assert not (tmp_path / "cache" / "state.json").exists()
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "no project state" in capsys.readouterr().out
+
+
+class TestIncrementalCheck:
+    def test_warm_run_reuses_and_keeps_output_identical(
+        self, good, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        args = ["check", good, "--incremental", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert main(args + ["--stats"]) == 0
+        warm = capsys.readouterr().out
+        assert cold.splitlines()[0] in warm
+        assert "(100% reuse)" in warm
+        assert "[state]" in warm
+
+    def test_incremental_report_matches_plain_check(
+        self, section2, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["check", section2]) == 1
+        plain = capsys.readouterr().out
+        args = ["check", section2, "--incremental", "--cache-dir", cache_dir]
+        assert main(args) == 1
+        assert capsys.readouterr().out == plain
+        assert main(args) == 1  # warm: verdicts spliced from state
+        assert capsys.readouterr().out == plain
+
+    def test_since_state_flag_uses_explicit_file(self, good, tmp_path, capsys):
+        state_file = str(tmp_path / "elsewhere" / "snapshot.json")
+        assert main(["check", good, "--since-state", state_file]) == 0
+        capsys.readouterr()
+        assert main(
+            ["check", good, "--since-state", state_file, "--stats"]
+        ) == 0
+        assert "(100% reuse)" in capsys.readouterr().out
+
+
+class TestStateCommand:
+    def test_show_and_reset(self, good, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(
+            ["check", good, "--incremental", "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["state", "show", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "project state at" in out
+        assert "wave" in out and "fp" in out and "spec" in out
+
+        assert main(["state", "reset", "--cache-dir", cache_dir]) == 0
+        assert "removed project state" in capsys.readouterr().out
+
+        assert main(["state", "reset", "--cache-dir", cache_dir]) == 0
+        assert "no project state" in capsys.readouterr().out
+
+    def test_show_without_state_exits_1(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["state", "show", "--cache-dir", cache_dir]) == 1
+        assert "no usable project state" in capsys.readouterr().out
+
 
 class TestModel:
     def test_prints_inferred_regexes(self, section2, capsys):

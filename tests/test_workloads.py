@@ -132,6 +132,37 @@ class TestProjectGenerators:
         with pytest.raises(ValueError):
             layered_project_source(self.SHAPE, depth=0)
 
+    def test_grid_project_verifies_and_schedules_by_layer(self, tmp_path):
+        from repro.engine import verify_path
+        from repro.workloads.hierarchy import grid_project_files
+
+        paths = grid_project_files(self.SHAPE, 3, 2, tmp_path)
+        assert len(paths) == 6
+        result = verify_path(tmp_path)
+        assert result.ok, result.merged().format()
+        assert result.metrics.classes == 6
+        assert result.metrics.waves == 3
+
+    def test_grid_project_sources_are_per_class(self):
+        from repro.workloads.hierarchy import grid_project_sources
+
+        sources = grid_project_sources(self.SHAPE, layers=2, width=3)
+        assert sorted(sources) == [
+            "G0_000", "G0_001", "G0_002", "G1_000", "G1_001", "G1_002",
+        ]
+        for name, source in sources.items():
+            module, violations = parse_module(source)
+            assert violations == []
+            assert [parsed.name for parsed in module.classes] == [name]
+
+    def test_grid_project_shape_validation(self):
+        from repro.workloads.hierarchy import grid_project_sources
+
+        with pytest.raises(ValueError):
+            grid_project_sources(self.SHAPE, layers=1, width=2)
+        with pytest.raises(ValueError):
+            grid_project_sources(self.SHAPE, layers=2, width=0)
+
 
 class TestFormulaFamilies:
     def test_response_chain_depth(self):
