@@ -10,9 +10,13 @@ Pipeline pieces:
 * :func:`lift_alphabet` / :func:`project_nfa` — the projection pair used
   by the subsystem-usage check,
 * :func:`thompson` / :func:`nfa_to_regex` — regex ↔ automaton round trip
-  (Corollary 1).
+  (Corollary 1),
+* :mod:`repro.automata.kernel` — the integer-interned bitset kernel (the
+  default engine behind the checker; this package stays the reference
+  oracle, see docs/kernel.md).
 """
 
+from repro.automata import kernel
 from repro.automata.determinize import determinize
 from repro.automata.dfa import DEAD_STATE, DFA
 from repro.automata.minimize import minimize
@@ -61,6 +65,7 @@ __all__ = [
     "intersection",
     "is_empty",
     "iter_accepted_words",
+    "kernel",
     "lift_alphabet",
     "minimize",
     "nfa_included",

@@ -1,0 +1,332 @@
+"""Bitset automata: int-state machines whose state *sets* are plain ints.
+
+A :class:`BitNFA` stores, for every state ``s`` and symbol id ``a``, the
+successor set as an int bit mask; epsilon structure is precomputed into
+per-state closure masks and *closed* successor masks, so one macro-step
+of the subset construction is just ``OR`` over set bits.  A
+:class:`BitDFA` is a partial DFA with states ``0..n-1``, a flat
+``delta`` array of length ``n*k`` (``-1`` = missing move = reject) and
+an accepting bit mask.
+
+Conversions to and from the classic object automata keep the kernel
+interchangeable with the oracle implementation; state *names* are
+dropped (the checker's verdicts never depend on them — counterexample
+words and language questions are name-free).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.automata.kernel.alphabet import Alphabet
+
+
+class BitNFA:
+    """An NFA over interned symbols with bit-mask state sets.
+
+    ``succ[s][a]`` is the raw successor mask for symbol id ``a``;
+    ``eps[s]`` the direct epsilon-successor mask; ``closure[s]`` the
+    full epsilon closure of ``{s}`` (always containing ``s``);
+    ``closed_succ[s][a]`` the epsilon-closed successor mask — the only
+    table the subset construction reads.  ``initial`` is already
+    epsilon-closed.
+    """
+
+    __slots__ = (
+        "alphabet",
+        "n",
+        "succ",
+        "eps",
+        "closure",
+        "closed_succ",
+        "initial",
+        "accepting",
+    )
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        n: int,
+        succ: list[list[int]],
+        eps: list[int],
+        initial: int,
+        accepting: int,
+    ):
+        self.alphabet = alphabet
+        self.n = n
+        self.succ = succ
+        self.eps = eps
+        if not any(eps):
+            # Epsilon-free fast path (every spec automaton, and any
+            # projection that dropped nothing): closures are trivial and
+            # the closed successor table IS the raw one.  Neither is
+            # ever mutated, so sharing the list is safe.
+            self.closure = [1 << s for s in range(n)]
+            self.closed_succ = succ
+            self.initial = initial
+            self.accepting = accepting
+            return
+        self.closure = _closures(n, eps)
+        closure = self.closure
+        # States whose closure is more than themselves; masks disjoint
+        # from this set need no folding at all.
+        nontrivial = 0
+        for s in range(n):
+            if closure[s] != 1 << s:
+                nontrivial |= 1 << s
+        closed: list[list[int]] = []
+        for row in succ:
+            closed_row: list[int] = []
+            for mask in row:
+                if not mask & nontrivial:
+                    closed_row.append(mask)
+                    continue
+                folded = mask & ~nontrivial
+                mask &= nontrivial
+                while mask:
+                    low = mask & -mask
+                    folded |= closure[low.bit_length() - 1]
+                    mask ^= low
+                closed_row.append(folded)
+            closed.append(closed_row)
+        self.closed_succ = closed
+        if initial & nontrivial:
+            init = initial & ~nontrivial
+            mask = initial & nontrivial
+            while mask:
+                low = mask & -mask
+                init |= closure[low.bit_length() - 1]
+                mask ^= low
+            self.initial = init
+        else:
+            self.initial = initial
+        self.accepting = accepting
+
+    # ------------------------------------------------------------------
+
+    def step(self, subset: int, symbol_id: int) -> int:
+        """One macro-step: closed successor mask of ``subset``."""
+        closed_succ = self.closed_succ
+        moved = 0
+        while subset:
+            low = subset & -subset
+            moved |= closed_succ[low.bit_length() - 1][symbol_id]
+            subset ^= low
+        return moved
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Does the automaton accept ``word`` (a word of symbols)?"""
+        get_id = self.alphabet.get
+        current = self.initial
+        for symbol in word:
+            symbol_id = get_id(symbol)
+            if symbol_id < 0:
+                return False
+            current = self.step(current, symbol_id)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+
+class BitDFA:
+    """A partial DFA with int states and a flat transition array.
+
+    ``delta[s * k + a]`` is the successor of state ``s`` on symbol id
+    ``a``, or ``-1`` when the move is undefined (rejection).
+    """
+
+    __slots__ = ("alphabet", "n", "delta", "initial", "accepting")
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        n: int,
+        delta: list[int],
+        initial: int,
+        accepting: int,
+    ):
+        if len(delta) != n * len(alphabet):
+            raise ValueError(
+                f"delta length {len(delta)} != n*k = {n * len(alphabet)}"
+            )
+        if not 0 <= initial < max(n, 1):
+            raise ValueError(f"initial state {initial} out of range")
+        self.alphabet = alphabet
+        self.n = n
+        self.delta = delta
+        self.initial = initial
+        self.accepting = accepting
+
+    # ------------------------------------------------------------------
+
+    def successor(self, state: int, symbol_id: int) -> int:
+        """Successor state id, or ``-1`` when the move is undefined."""
+        return self.delta[state * len(self.alphabet) + symbol_id]
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Does the automaton accept ``word`` (a word of symbols)?"""
+        get_id = self.alphabet.get
+        k = len(self.alphabet)
+        delta = self.delta
+        state = self.initial
+        for symbol in word:
+            symbol_id = get_id(symbol)
+            if symbol_id < 0:
+                return False
+            state = delta[state * k + symbol_id]
+            if state < 0:
+                return False
+        return bool(self.accepting >> state & 1)
+
+    def accepting_states(self) -> tuple[int, ...]:
+        """Accepting state ids, ascending."""
+        found = []
+        mask = self.accepting
+        while mask:
+            low = mask & -mask
+            found.append(low.bit_length() - 1)
+            mask ^= low
+        return tuple(found)
+
+
+# ----------------------------------------------------------------------
+# Closure computation
+# ----------------------------------------------------------------------
+
+def _closures(n: int, eps: list[int]) -> list[int]:
+    """Epsilon closure masks: ``closure[s]`` ⊇ ``{s}`` ∪ eps-reachable.
+
+    Fixpoint by repeated mask folding; each round at least doubles the
+    reachable path length, so rounds are logarithmic in the longest
+    epsilon chain.
+    """
+    closure = [(1 << s) | eps[s] for s in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for s in range(n):
+            current = closure[s]
+            folded = current
+            mask = current
+            while mask:
+                low = mask & -mask
+                folded |= closure[low.bit_length() - 1]
+                mask ^= low
+            if folded != current:
+                closure[s] = folded
+                changed = True
+    return closure
+
+
+# ----------------------------------------------------------------------
+# Conversions
+# ----------------------------------------------------------------------
+
+def nfa_to_bitnfa(nfa: NFA, alphabet: Alphabet | None = None) -> BitNFA:
+    """Intern a classic :class:`~repro.automata.nfa.NFA` into bitsets.
+
+    ``alphabet`` (optional) supplies a shared interner; it must contain
+    every symbol of ``nfa``.  State names are dropped — the id order is
+    the sorted-by-``str`` order of the original states, which keeps the
+    conversion deterministic across processes (state names hash
+    differently per process, but sort identically).
+    """
+    if alphabet is None:
+        alphabet = Alphabet(nfa.alphabet)
+    states = sorted(nfa.states, key=str)
+    index = {state: i for i, state in enumerate(states)}
+    n = len(states)
+    k = len(alphabet)
+    succ: list[list[int]] = [[0] * k for _ in range(n)]
+    for (source, symbol), targets in nfa.transitions.items():
+        mask = 0
+        for target in targets:
+            mask |= 1 << index[target]
+        succ[index[source]][alphabet.id_of(symbol)] |= mask
+    eps = [0] * n
+    for source, targets in nfa.epsilon_moves.items():
+        mask = 0
+        for target in targets:
+            mask |= 1 << index[target]
+        eps[index[source]] |= mask
+    initial = 0
+    for state in nfa.initial_states:
+        initial |= 1 << index[state]
+    accepting = 0
+    for state in nfa.accepting_states:
+        accepting |= 1 << index[state]
+    return BitNFA(alphabet, n, succ, eps, initial, accepting)
+
+
+def dfa_to_bitdfa(dfa: DFA, alphabet: Alphabet | None = None) -> BitDFA:
+    """Intern a classic :class:`~repro.automata.dfa.DFA` into bitsets."""
+    if alphabet is None:
+        alphabet = Alphabet(dfa.alphabet)
+    states = sorted(dfa.states, key=str)
+    index = {state: i for i, state in enumerate(states)}
+    n = len(states)
+    k = len(alphabet)
+    delta = [-1] * (n * k)
+    for (source, symbol), target in dfa.transitions.items():
+        delta[index[source] * k + alphabet.id_of(symbol)] = index[target]
+    accepting = 0
+    for state in dfa.accepting_states:
+        accepting |= 1 << index[state]
+    return BitDFA(alphabet, n, delta, index[dfa.initial_state], accepting)
+
+
+def bitdfa_to_dfa(bitdfa: BitDFA) -> DFA:
+    """The classic-object view of a :class:`BitDFA` (int state names)."""
+    k = len(bitdfa.alphabet)
+    symbols = bitdfa.alphabet.symbols
+    delta = bitdfa.delta
+    transitions: dict[tuple[int, str], int] = {}
+    for state in range(bitdfa.n):
+        base = state * k
+        for symbol_id in range(k):
+            target = delta[base + symbol_id]
+            if target >= 0:
+                transitions[(state, symbols[symbol_id])] = target
+    return DFA(
+        states=frozenset(range(max(bitdfa.n, 1))) if bitdfa.n else frozenset({0}),
+        alphabet=frozenset(symbols),
+        transitions=transitions,
+        initial_state=bitdfa.initial,
+        accepting_states=frozenset(bitdfa.accepting_states()),
+    )
+
+
+def project_bitnfa(bitnfa: BitNFA, keep: Iterable[str]) -> BitNFA:
+    """Project onto a sub-vocabulary: dropped symbols become epsilon.
+
+    The kernel twin of :func:`repro.automata.operations.project_nfa`.
+    The result's alphabet is exactly ``keep`` (canonically interned),
+    including symbols the automaton never produces — those simply have
+    no transitions, which is what lets a claim observe an event that a
+    violated absence never emits.
+    """
+    kept = Alphabet(keep)
+    old = bitnfa.alphabet
+    n = bitnfa.n
+    old_succ = bitnfa.succ
+    eps = list(bitnfa.eps)
+    k_new = len(kept)
+    kept_ids = [kept.get(symbol) for symbol in old.symbols]
+    succ: list[list[int]] = [[0] * k_new for _ in range(n)]
+    for s in range(n):
+        row = old_succ[s]
+        new_row = succ[s]
+        extra_eps = 0
+        for old_id, new_id in enumerate(kept_ids):
+            mask = row[old_id]
+            if not mask:
+                continue
+            if new_id < 0:
+                extra_eps |= mask
+            else:
+                new_row[new_id] |= mask
+        if extra_eps:
+            eps[s] |= extra_eps
+    return BitNFA(kept, n, succ, eps, bitnfa.initial, bitnfa.accepting)

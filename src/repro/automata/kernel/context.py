@@ -1,0 +1,143 @@
+"""Per-check memoization: one :class:`KernelCheck` per class check.
+
+The classic pipeline recomputes the same automata many times inside a
+single class check — the vacuity screen re-determinizes the projection
+that the claim check already built, every strengthening mutant
+re-translates over the same observed alphabet, and each subsystem field
+re-determinizes its spec.  A ``KernelCheck`` is the bitset kernel's
+answer: it owns the class's :class:`~repro.automata.kernel.bitset.BitNFA`
+and memoizes every derived DFA for the lifetime of one
+``check_parsed_class`` call.  Memoization is a pure cache — every entry
+is a deterministic function of the behavior NFA and the key — so
+verdicts are unchanged; only the wall clock moves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.automata.kernel.bitset import (
+    BitDFA,
+    BitNFA,
+    dfa_to_bitdfa,
+    nfa_to_bitnfa,
+    project_bitnfa,
+)
+from repro.automata.kernel.determinize import determinize_bitset
+from repro.automata.kernel.inclusion import bitset_intersection_counterexample
+
+if TYPE_CHECKING:
+    from repro.automata.nfa import NFA
+    from repro.core.spec import ClassSpec
+    from repro.ltlf.ast import Formula
+
+
+class KernelCheck:
+    """Memoized bitset automata for one class check.
+
+    ``max_states`` and ``deadline`` carry the check's resource budget
+    into the behavior determinization (the step the budget classically
+    guards); derived machines (spec DFAs, projections, negated-formula
+    DFAs) run under the kernel's default cap, exactly as they do on the
+    classic path.
+    """
+
+    def __init__(
+        self,
+        behavior: "NFA",
+        *,
+        max_states: int | None = None,
+        deadline: float | None = None,
+        tracer=None,
+    ):
+        self.behavior = behavior
+        self.max_states = max_states
+        self.deadline = deadline
+        self.tracer = tracer
+        self._behavior_bit: BitNFA | None = None
+        self._behavior_dfa: BitDFA | None = None
+        self._spec_dfas: dict[tuple[str, str], BitDFA] = {}
+        self._projections: dict[frozenset[str], BitDFA] = {}
+        self._negations: dict[tuple["Formula", frozenset[str]], BitDFA] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def behavior_bit(self) -> BitNFA:
+        """The interned behavior NFA (built on first use)."""
+        if self._behavior_bit is None:
+            self._behavior_bit = nfa_to_bitnfa(self.behavior)
+        return self._behavior_bit
+
+    def behavior_dfa(self) -> BitDFA:
+        """The determinized behavior, under the check's budget."""
+        if self._behavior_dfa is None:
+            self._behavior_dfa = determinize_bitset(
+                self.behavior_bit,
+                max_states=self.max_states,
+                deadline=self.deadline,
+                tracer=self.tracer,
+            )
+        return self._behavior_dfa
+
+    def spec_dfa(self, spec: "ClassSpec", prefix: str = "") -> BitDFA:
+        """Determinized spec automaton for ``spec`` scoped by ``prefix``."""
+        key = (spec.name, prefix)
+        found = self._spec_dfas.get(key)
+        if found is None:
+            found = determinize_bitset(nfa_to_bitnfa(spec.nfa(prefix)))
+            self._spec_dfas[key] = found
+        return found
+
+    def projected_dfa(self, observed: frozenset[str]) -> BitDFA:
+        """The behavior projected onto ``observed``, determinized.
+
+        This is the machine both the claim check and the vacuity screen
+        need per formula — memoizing it is the single biggest saving of
+        the kernel path (the classic path rebuilds it three times per
+        holding claim: claims, the vacuity hold-check, and the mutants).
+        """
+        found = self._projections.get(observed)
+        if found is None:
+            found = determinize_bitset(
+                project_bitnfa(self.behavior_bit, observed)
+            )
+            self._projections[observed] = found
+        return found
+
+    def negation_dfa(self, formula: "Formula", observed: frozenset[str]) -> BitDFA:
+        """The (bitset view of the) DFA of ``¬formula`` over ``observed``.
+
+        Translation itself stays on the classic formula-progression
+        machinery (:mod:`repro.ltlf.translate`); only the result is
+        interned.  Memoized because the vacuity hold-check re-asks about
+        the very formula the claim check just translated.
+        """
+        key = (formula, observed)
+        found = self._negations.get(key)
+        if found is None:
+            from repro.ltlf.translate import negation_to_dfa
+
+            found = dfa_to_bitdfa(negation_to_dfa(formula, alphabet=observed))
+            self._negations[key] = found
+        return found
+
+    # ------------------------------------------------------------------
+
+    def claim_counterexample(
+        self, formula: "Formula", observed: frozenset[str]
+    ) -> tuple[str, ...] | None:
+        """Shortest trace violating ``formula``, or ``None`` if it holds.
+
+        The fused product of the projected behavior with the negated
+        formula — the kernel twin of the classic ``intersection`` +
+        ``shortest_accepted_word`` pair (both alphabets are ``observed``,
+        so no alignment step is needed).
+        """
+        return bitset_intersection_counterexample(
+            self.projected_dfa(observed), self.negation_dfa(formula, observed)
+        )
+
+    def holds_on(self, formula: "Formula", observed: frozenset[str]) -> bool:
+        """Does ``formula`` hold on every observed trace of the class?"""
+        return self.claim_counterexample(formula, observed) is None

@@ -1,0 +1,67 @@
+"""Kernel selection: the ``REPRO_KERNEL`` switch.
+
+Two interchangeable automata cores exist (docs/kernel.md):
+
+* ``bitset`` (default) — the integer-interned kernel in this package;
+* ``classic`` — the original object automata, kept as the differential
+  oracle and as an escape hatch.
+
+Selection is read from the environment at *use* time, so one process
+can flip kernels between checks (the differential harness and the bench
+comparison both rely on this), and process-pool workers inherit the
+choice through the environment automatically.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+#: Environment variable naming the active kernel.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Recognized kernel names.
+KERNELS = ("bitset", "classic")
+
+#: The kernel used when the environment does not choose one.
+DEFAULT_KERNEL = "bitset"
+
+
+class KernelConfigError(ValueError):
+    """Raised when ``REPRO_KERNEL`` names an unknown kernel."""
+
+
+def kernel_name() -> str:
+    """The active kernel name (validated)."""
+    value = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if not value:
+        return DEFAULT_KERNEL
+    if value not in KERNELS:
+        raise KernelConfigError(
+            f"{KERNEL_ENV}={value!r} is not a kernel; "
+            f"expected one of {', '.join(KERNELS)}"
+        )
+    return value
+
+
+def use_bitset() -> bool:
+    """Is the bitset kernel active?"""
+    return kernel_name() == "bitset"
+
+
+@contextmanager
+def forced_kernel(name: str):
+    """Temporarily force a kernel (tests, benchmarks, the oracle)."""
+    if name not in KERNELS:
+        raise KernelConfigError(
+            f"unknown kernel {name!r}; expected one of {', '.join(KERNELS)}"
+        )
+    previous = os.environ.get(KERNEL_ENV)
+    os.environ[KERNEL_ENV] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous

@@ -74,8 +74,21 @@ def _select_class(module: ParsedModule, name: str | None, path: str):
     return parsed
 
 
+def _apply_kernel(args: argparse.Namespace) -> None:
+    """Export ``--kernel`` into the environment (workers inherit it)."""
+    kernel = getattr(args, "kernel", None)
+    if kernel:
+        import os
+
+        from repro.automata.kernel import KERNEL_ENV
+
+        os.environ[KERNEL_ENV] = kernel
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import os
+
+    _apply_kernel(args)
 
     from repro.engine import (
         BatchVerifier,
@@ -186,6 +199,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    _apply_kernel(args)
     from repro.core.limits import BudgetExceeded
     from repro.engine import (
         BatchVerifier,
@@ -460,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool backend (default: thread)",
     )
     check.add_argument(
+        "--kernel",
+        choices=["bitset", "classic"],
+        default=None,
+        help="automata kernel (default: the REPRO_KERNEL environment "
+        "variable, falling back to bitset); verdicts are identical, "
+        "classic is the slower reference implementation",
+    )
+    check.add_argument(
         "--cache",
         action="store_true",
         help="reuse and persist the content-addressed inference cache",
@@ -576,6 +598,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["thread", "process"],
         default="thread",
         help="worker pool backend (default: thread)",
+    )
+    profile.add_argument(
+        "--kernel",
+        choices=["bitset", "classic"],
+        default=None,
+        help="automata kernel (default: REPRO_KERNEL, then bitset)",
     )
     profile.add_argument(
         "--cache",

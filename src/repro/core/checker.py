@@ -29,6 +29,7 @@ from typing import Mapping
 
 from repro.automata.determinize import determinize
 from repro.automata.dfa import DFA
+from repro.automata.kernel import BitDFA, KernelCheck, use_bitset
 from repro.core.behavior import behavior_nfa
 from repro.core.claims import check_claims
 from repro.core.diagnostics import CheckResult, from_subset_violation
@@ -51,7 +52,7 @@ def check_parsed_class(
     exit_regexes: Mapping[str, Mapping[int, Regex]] | None = None,
     limits: Limits | None = None,
     tracer=None,
-) -> tuple[CheckResult, DFA | None]:
+) -> tuple[CheckResult, DFA | BitDFA | None]:
     """Run the full pipeline on one class — a pure function.
 
     Everything the verdict depends on is in the arguments: the parsed
@@ -76,7 +77,11 @@ def check_parsed_class(
     is byte-for-byte the old pipeline.
 
     Returns the diagnostics plus the determinized behavior DFA when the
-    check computed one (composite classes past the structural gate).
+    check computed one (composite classes past the structural gate) —
+    a classic :class:`~repro.automata.dfa.DFA` or a kernel
+    :class:`~repro.automata.kernel.BitDFA` depending on ``REPRO_KERNEL``
+    (see :mod:`repro.automata.kernel.dispatch`); both kernels produce
+    identical diagnostics and counterexample words.
     """
     limits = limits or Limits()
     tracer = tracer or NULL_TRACER
@@ -101,20 +106,31 @@ def check_parsed_class(
             deadline=deadline,
             tracer=tracer,
         )
-    dfa: DFA | None = None
+    kernel: KernelCheck | None = None
+    if use_bitset():
+        kernel = KernelCheck(
+            behavior,
+            max_states=limits.max_states,
+            deadline=deadline,
+            tracer=tracer,
+        )
+    dfa: DFA | BitDFA | None = None
     if parsed.is_composite:
         with tracer.span("phase", "determinize"):
-            dfa = determinize(
-                behavior,
-                max_states=limits.max_states,
-                deadline=deadline,
-                tracer=tracer,
-            )
+            if kernel is not None:
+                dfa = kernel.behavior_dfa()
+            else:
+                dfa = determinize(
+                    behavior,
+                    max_states=limits.max_states,
+                    deadline=deadline,
+                    tracer=tracer,
+                )
         with tracer.span("phase", "usage"):
-            result.extend(check_subsystem_usage(parsed, specs, dfa))
+            result.extend(check_subsystem_usage(parsed, specs, dfa, kernel=kernel))
     with tracer.span("phase", "claims"):
-        result.extend(check_claims(parsed, behavior, specs))
-        result.extend(check_claim_vacuity(parsed, behavior, specs))
+        result.extend(check_claims(parsed, behavior, specs, kernel=kernel))
+        result.extend(check_claim_vacuity(parsed, behavior, specs, kernel=kernel))
     return result, dfa
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.automata.determinize import determinize
 from repro.automata.dfa import DFA
+from repro.automata.kernel import KernelCheck
 from repro.automata.nfa import NFA
 from repro.automata.operations import project_nfa, with_alphabet
 from repro.automata.product import intersection
@@ -79,8 +80,15 @@ def check_claims(
     parsed: ParsedClass,
     behavior: NFA | None = None,
     specs: dict[str, "ClassSpec"] | None = None,
+    kernel: KernelCheck | None = None,
 ) -> CheckResult:
-    """Verify every ``@claim`` of ``parsed``."""
+    """Verify every ``@claim`` of ``parsed``.
+
+    With a :class:`~repro.automata.kernel.KernelCheck` the projection,
+    its determinization and the emptiness search run on the bitset
+    kernel (and are shared with the vacuity screen); the verdicts and
+    counterexample words are identical to the classic path.
+    """
     result = CheckResult()
     if not parsed.claims:
         return result
@@ -117,13 +125,17 @@ def check_claims(
                 )
             )
             continue
-        projected: DFA = determinize(project_nfa(behavior, observed))
-        violation_dfa = negation_to_dfa(formula, alphabet=observed)
-        joint = projected.alphabet | violation_dfa.alphabet
-        bad = intersection(
-            with_alphabet(projected, joint), with_alphabet(violation_dfa, joint)
-        )
-        counterexample = shortest_accepted_word(bad)
+        if kernel is not None:
+            counterexample = kernel.claim_counterexample(formula, observed)
+        else:
+            projected: DFA = determinize(project_nfa(behavior, observed))
+            violation_dfa = negation_to_dfa(formula, alphabet=observed)
+            joint = projected.alphabet | violation_dfa.alphabet
+            bad = intersection(
+                with_alphabet(projected, joint),
+                with_alphabet(violation_dfa, joint),
+            )
+            counterexample = shortest_accepted_word(bad)
         if counterexample is not None:
             result.diagnostics.append(
                 Diagnostic(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.automata.determinize import determinize
 from repro.automata.dfa import DFA
+from repro.automata.kernel import BitDFA, KernelCheck, bitset_difference_counterexample
 from repro.automata.operations import inclusion_counterexample, lift_alphabet, with_alphabet
 from repro.core.behavior import behavior_nfa
 from repro.core.diagnostics import (
@@ -78,9 +79,18 @@ def replay_against_spec(
 def find_usage_violations(
     parsed: ParsedClass,
     specs: dict[str, ClassSpec],
-    behavior: DFA | None = None,
+    behavior: DFA | BitDFA | None = None,
+    kernel: KernelCheck | None = None,
 ) -> list[UsageViolation]:
-    """Run the inclusion check for every declared subsystem field."""
+    """Run the inclusion check for every declared subsystem field.
+
+    With a :class:`~repro.automata.kernel.KernelCheck` the inclusion is
+    decided by the fused bitset product (lift applied on the fly, no
+    difference automaton materialized); the counterexample word is the
+    same length-lex-minimal one the classic pipeline computes.
+    """
+    if kernel is not None and not isinstance(behavior, BitDFA):
+        behavior = kernel.behavior_dfa()
     if behavior is None:
         behavior = determinize(behavior_nfa(parsed))
     violations: list[UsageViolation] = []
@@ -91,12 +101,17 @@ def find_usage_violations(
         if spec is None:
             continue  # unknown subsystem class: diagnosed by invocation analysis
         prefix = declaration.field_name + "."
-        spec_dfa = spec.dfa(prefix)
-        joint_alphabet = behavior.alphabet | spec_dfa.alphabet
-        lifted = lift_alphabet(spec_dfa, joint_alphabet)
-        counterexample = inclusion_counterexample(
-            with_alphabet(behavior, joint_alphabet), lifted
-        )
+        if kernel is not None:
+            counterexample = bitset_difference_counterexample(
+                behavior, kernel.spec_dfa(spec, prefix), foreign="lift"
+            )
+        else:
+            spec_dfa = spec.dfa(prefix)
+            joint_alphabet = behavior.alphabet | spec_dfa.alphabet
+            lifted = lift_alphabet(spec_dfa, joint_alphabet)
+            counterexample = inclusion_counterexample(
+                with_alphabet(behavior, joint_alphabet), lifted
+            )
         if counterexample is not None:
             violations.append(
                 UsageViolation(
@@ -111,7 +126,8 @@ def find_usage_violations(
 def check_subsystem_usage(
     parsed: ParsedClass,
     specs: dict[str, ClassSpec],
-    behavior: DFA | None = None,
+    behavior: DFA | BitDFA | None = None,
+    kernel: KernelCheck | None = None,
 ) -> CheckResult:
     """The full usage check, rendered as diagnostics.
 
@@ -120,7 +136,7 @@ def check_subsystem_usage(
     paper's report shape.
     """
     result = CheckResult()
-    violations = find_usage_violations(parsed, specs, behavior)
+    violations = find_usage_violations(parsed, specs, behavior, kernel=kernel)
     if not violations:
         return result
     # Group by counterexample; shortest trace first for determinism.

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.automata.determinize import determinize
 from repro.automata.dfa import DFA
+from repro.automata.kernel import KernelCheck
 from repro.automata.nfa import NFA
 from repro.automata.operations import project_nfa, with_alphabet
 from repro.automata.product import intersection
@@ -186,18 +187,26 @@ def find_vacuous_atoms(
     formula: Formula,
     behavior: NFA | None = None,
     specs: dict | None = None,
+    kernel: KernelCheck | None = None,
 ) -> list[VacuityWitness]:
     """Atoms whose replacement by a constant keeps the claim universally
     true.  Only meaningful when the claim itself holds (callers check)."""
     if behavior is None:
         behavior = behavior_nfa(parsed)
     observed = claim_alphabet(parsed, behavior, formula_atoms(formula), specs)
-    projected = determinize(project_nfa(behavior, observed))
+    projected = (
+        None if kernel is not None
+        else determinize(project_nfa(behavior, observed))
+    )
     witnesses: list[VacuityWitness] = []
     for name, occurrence, label, mutant in strengthening_mutants(formula):
         if mutant == formula:
             continue
-        if _holds_on(projected, mutant, observed):
+        if kernel is not None:
+            holds = kernel.holds_on(mutant, observed)
+        else:
+            holds = _holds_on(projected, mutant, observed)
+        if holds:
             witnesses.append(
                 VacuityWitness(atom_name=name, occurrence=occurrence, replacement=label)
             )
@@ -208,6 +217,7 @@ def check_claim_vacuity(
     parsed: ParsedClass,
     behavior: NFA | None = None,
     specs: dict | None = None,
+    kernel: KernelCheck | None = None,
 ) -> CheckResult:
     """Warn about claims of ``parsed`` that hold vacuously.
 
@@ -227,10 +237,16 @@ def check_claim_vacuity(
         observed = claim_alphabet(parsed, behavior, formula_atoms(formula), specs)
         if formula_atoms(formula) - observed - behavior.alphabet:
             continue  # unknown atoms: reported by check_claims
-        projected = determinize(project_nfa(behavior, observed))
-        if not _holds_on(projected, formula, observed):
+        if kernel is not None:
+            holds = kernel.holds_on(formula, observed)
+        else:
+            projected = determinize(project_nfa(behavior, observed))
+            holds = _holds_on(projected, formula, observed)
+        if not holds:
             continue  # failing claims are not vacuous, they are wrong
-        for witness in find_vacuous_atoms(parsed, formula, behavior, specs):
+        for witness in find_vacuous_atoms(
+            parsed, formula, behavior, specs, kernel=kernel
+        ):
             result.diagnostics.append(
                 Diagnostic(
                     severity=Severity.WARNING,

@@ -1,0 +1,335 @@
+"""Unit tests for the bitset automata kernel.
+
+The differential harness (test_kernel_differential.py) pins the kernel
+against the classic oracle on random inputs; these tests cover the
+kernel's own contracts — representations, budgets, dispatch — directly.
+"""
+
+import pytest
+
+from repro.automata.kernel import (
+    KERNEL_ENV,
+    Alphabet,
+    BitDFA,
+    KernelCheck,
+    KernelConfigError,
+    bitdfa_to_dfa,
+    bitset_difference_counterexample,
+    bitset_equivalent,
+    bitset_included,
+    bitset_intersection_counterexample,
+    determinize_bitset,
+    dfa_to_bitdfa,
+    forced_kernel,
+    kernel_name,
+    minimize_bitset,
+    nfa_to_bitnfa,
+    project_bitnfa,
+    use_bitset,
+)
+from repro.automata.nfa import NFABuilder
+from repro.core.limits import BudgetExceeded
+
+
+def make_nfa(transitions, *, initial, accepting, alphabet=(), epsilon=()):
+    builder = NFABuilder()
+    for source, symbol, target in transitions:
+        builder.add_transition(source, symbol, target)
+    for source, target in epsilon:
+        builder.add_epsilon(source, target)
+    for state in initial:
+        builder.add_state(state)
+        builder.mark_initial(state)
+    for state in accepting:
+        builder.add_state(state)
+        builder.mark_accepting(state)
+    for symbol in alphabet:
+        builder.alphabet.add(symbol)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+def test_default_kernel_is_bitset(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    assert kernel_name() == "bitset"
+    assert use_bitset()
+
+
+def test_env_selects_classic(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "classic")
+    assert kernel_name() == "classic"
+    assert not use_bitset()
+
+
+def test_env_is_normalized(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "  Bitset ")
+    assert kernel_name() == "bitset"
+
+
+def test_junk_env_raises(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "turbo")
+    with pytest.raises(KernelConfigError):
+        kernel_name()
+
+
+def test_forced_kernel_restores_environment(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV, "classic")
+    with forced_kernel("bitset"):
+        assert use_bitset()
+    assert kernel_name() == "classic"
+
+
+def test_forced_kernel_restores_unset(monkeypatch):
+    import os
+
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    with forced_kernel("classic"):
+        assert not use_bitset()
+    assert KERNEL_ENV not in os.environ
+
+
+def test_forced_kernel_rejects_junk():
+    with pytest.raises(KernelConfigError):
+        with forced_kernel("warp"):
+            pass  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# Representations
+# ----------------------------------------------------------------------
+
+def test_bitnfa_accepts_matches_classic():
+    nfa = make_nfa(
+        [("s", "a", "t"), ("t", "b", "u")],
+        initial=["s"],
+        accepting=["u"],
+        epsilon=[("s", "t")],
+    )
+    bit = nfa_to_bitnfa(nfa)
+    for word in [(), ("a",), ("b",), ("a", "b"), ("b", "b"), ("a", "a")]:
+        assert bit.accepts(word) == nfa.accepts(word), word
+
+
+def test_bitnfa_rejects_foreign_symbols():
+    nfa = make_nfa([("s", "a", "t")], initial=["s"], accepting=["t"])
+    assert not nfa_to_bitnfa(nfa).accepts(("z",))
+
+
+def test_bitdfa_validates_delta_length():
+    with pytest.raises(ValueError):
+        BitDFA(Alphabet(["a"]), 2, [0], 0, 0)
+
+
+def test_bitdfa_validates_initial():
+    with pytest.raises(ValueError):
+        BitDFA(Alphabet(["a"]), 2, [-1, -1], 5, 0)
+
+
+def test_epsilon_free_conversion_shares_tables():
+    nfa = make_nfa([("s", "a", "t")], initial=["s"], accepting=["t"])
+    bit = nfa_to_bitnfa(nfa)
+    assert bit.closed_succ is bit.succ  # the fast path really ran
+
+
+def test_epsilon_closure_chains():
+    # s -ε-> t -ε-> u, only u accepts: the empty word is accepted.
+    nfa = make_nfa(
+        [("u", "a", "u")],
+        initial=["s"],
+        accepting=["u"],
+        epsilon=[("s", "t"), ("t", "u")],
+    )
+    bit = nfa_to_bitnfa(nfa)
+    assert bit.accepts(())
+    assert bit.accepts(("a",))
+
+
+def test_round_trip_through_classic_dfa():
+    nfa = make_nfa(
+        [("s", "a", "t"), ("s", "a", "u"), ("t", "b", "u")],
+        initial=["s"],
+        accepting=["u"],
+    )
+    bitdfa = determinize_bitset(nfa_to_bitnfa(nfa))
+    classic = bitdfa_to_dfa(bitdfa)
+    again = dfa_to_bitdfa(classic)
+    for word in [(), ("a",), ("a", "b"), ("b",), ("a", "a")]:
+        assert classic.accepts(word) == bitdfa.accepts(word)
+        assert again.accepts(word) == bitdfa.accepts(word)
+
+
+# ----------------------------------------------------------------------
+# Determinize / minimize budgets
+# ----------------------------------------------------------------------
+
+def _chain_nfa(length: int):
+    transitions = [(f"q{i}", "a", f"q{i + 1}") for i in range(length)]
+    return make_nfa(transitions, initial=["q0"], accepting=[f"q{length}"])
+
+
+def test_determinize_charges_state_budget():
+    with pytest.raises(BudgetExceeded):
+        determinize_bitset(nfa_to_bitnfa(_chain_nfa(64)), max_states=4)
+
+
+def test_determinize_zero_cap_disables_budget():
+    bitdfa = determinize_bitset(nfa_to_bitnfa(_chain_nfa(64)), max_states=0)
+    assert bitdfa.n == 65
+
+
+def test_determinize_deadline_trips():
+    import time
+
+    with pytest.raises(BudgetExceeded):
+        determinize_bitset(
+            nfa_to_bitnfa(_chain_nfa(4096)), max_states=0,
+            deadline=time.monotonic() - 1.0,
+        )
+
+
+def test_minimize_input_budget_trips():
+    bitdfa = determinize_bitset(nfa_to_bitnfa(_chain_nfa(32)))
+    with pytest.raises(BudgetExceeded):
+        minimize_bitset(bitdfa, max_states=4)
+
+
+def test_minimize_collapses_equivalent_states():
+    # Two parallel branches accepting exactly "ab" minimize to one chain
+    # plus the dead sink.
+    nfa = make_nfa(
+        [
+            ("s", "a", "t1"), ("t1", "b", "u1"),
+            ("s", "a", "t2"), ("t2", "b", "u2"),
+        ],
+        initial=["s"],
+        accepting=["u1", "u2"],
+    )
+    minimal = minimize_bitset(determinize_bitset(nfa_to_bitnfa(nfa)))
+    assert minimal.n == 4  # start, after-a, accept, dead
+    assert minimal.accepts(("a", "b"))
+    assert not minimal.accepts(("a",))
+
+
+# ----------------------------------------------------------------------
+# Inclusion / products
+# ----------------------------------------------------------------------
+
+def _dfa_of(words, alphabet):
+    builder = NFABuilder()
+    builder.mark_initial("r")
+    for index, word in enumerate(words):
+        state = "r"
+        for position, symbol in enumerate(word):
+            nxt = f"w{index}p{position}"
+            builder.add_transition(state, symbol, nxt)
+            state = nxt
+        builder.add_state(state)
+        builder.mark_accepting(state)
+    for symbol in alphabet:
+        builder.alphabet.add(symbol)
+    return determinize_bitset(nfa_to_bitnfa(builder.build()))
+
+
+def test_included_and_counterexample():
+    small = _dfa_of([("a",)], ["a", "b"])
+    large = _dfa_of([("a",), ("b",)], ["a", "b"])
+    assert bitset_included(small, large)
+    assert not bitset_included(large, small)
+    assert bitset_difference_counterexample(large, small) == ("b",)
+
+
+def test_difference_counterexample_is_length_lex_minimal():
+    left = _dfa_of([("b",), ("a", "a")], ["a", "b"])
+    right = _dfa_of([], ["a", "b"])
+    # Both ("b",) and ("a","a") are in the difference; BFS over sorted
+    # symbols must return the shortest (then lexicographically first).
+    assert bitset_difference_counterexample(left, right) == ("b",)
+
+
+def test_empty_word_counterexample():
+    left = _dfa_of([()], ["a"])
+    right = _dfa_of([("a",)], ["a"])
+    assert bitset_difference_counterexample(left, right) == ()
+
+
+def test_intersection_counterexample():
+    left = _dfa_of([("a",), ("b",)], ["a", "b"])
+    right = _dfa_of([("b",), ("a", "a")], ["a", "b"])
+    assert bitset_intersection_counterexample(left, right) == ("b",)
+    disjoint = _dfa_of([("a", "a")], ["a", "b"])
+    assert bitset_intersection_counterexample(left, disjoint) is None
+
+
+def test_equivalence():
+    one = _dfa_of([("a",), ("a", "a")], ["a"])
+    two = _dfa_of([("a", "a"), ("a",)], ["a"])
+    assert bitset_equivalent(one, two)
+    assert not bitset_equivalent(one, _dfa_of([("a",)], ["a"]))
+
+
+def test_lift_foreign_symbols_self_loop():
+    # Right accepts "a"; left accepts "x a" where "x" is foreign to the
+    # right.  Under the lift reading the right side ignores "x", so the
+    # inclusion holds; under reject it fails immediately.
+    left = _dfa_of([("x", "a")], ["a", "x"])
+    right = _dfa_of([("a",)], ["a"])
+    assert bitset_difference_counterexample(left, right, foreign="lift") is None
+    assert (
+        bitset_difference_counterexample(left, right, foreign="reject")
+        == ("x", "a")
+    )
+
+
+def test_search_rejects_unknown_foreign_mode():
+    one = _dfa_of([("a",)], ["a"])
+    with pytest.raises(ValueError):
+        bitset_difference_counterexample(one, one, foreign="ignore")
+
+
+# ----------------------------------------------------------------------
+# Projection
+# ----------------------------------------------------------------------
+
+def test_projection_drops_symbols_to_epsilon():
+    nfa = make_nfa(
+        [("s", "hidden", "t"), ("t", "a", "u")],
+        initial=["s"],
+        accepting=["u"],
+    )
+    projected = project_bitnfa(nfa_to_bitnfa(nfa), frozenset({"a"}))
+    assert tuple(projected.alphabet.symbols) == ("a",)
+    assert projected.accepts(("a",))  # "hidden" became an epsilon move
+
+
+def test_projection_keeps_unproduced_symbols_in_alphabet():
+    nfa = make_nfa([("s", "a", "t")], initial=["s"], accepting=["t"])
+    projected = project_bitnfa(
+        nfa_to_bitnfa(nfa), frozenset({"a", "never"})
+    )
+    assert "never" in projected.alphabet
+    assert not projected.accepts(("never",))
+
+
+# ----------------------------------------------------------------------
+# KernelCheck memoization
+# ----------------------------------------------------------------------
+
+def test_kernel_check_memoizes_projections():
+    nfa = make_nfa(
+        [("s", "a", "t"), ("t", "b", "u")],
+        initial=["s"],
+        accepting=["u"],
+    )
+    ctx = KernelCheck(nfa)
+    observed = frozenset({"a", "b"})
+    assert ctx.projected_dfa(observed) is ctx.projected_dfa(observed)
+    assert ctx.behavior_dfa() is ctx.behavior_dfa()
+
+
+def test_kernel_check_budget_flows_to_behavior_dfa():
+    ctx = KernelCheck(_chain_nfa(64), max_states=4)
+    with pytest.raises(BudgetExceeded):
+        ctx.behavior_dfa()

@@ -3,11 +3,25 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.frontend.parse import parse_module
 from repro.micropython.machine import reset_board
 from repro.micropython.timer import reset_clock
 from repro.paper import GOOD_MODULE, SECTION_2_MODULE, SECTOR_MODULE
+
+# The nightly differential-fuzz CI job runs the property suites with a
+# much larger example budget than the per-PR default.  Select with
+# ``pytest --hypothesis-profile=nightly``; the per-run seed comes from
+# ``--hypothesis-seed`` (the workflow passes the GitHub run id) so every
+# night explores fresh inputs while the log records how to replay them.
+settings.register_profile(
+    "nightly",
+    max_examples=2000,
+    deadline=None,
+    derandomize=False,
+    print_blob=True,
+)
 
 
 @pytest.fixture(autouse=True)

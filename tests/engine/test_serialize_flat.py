@@ -1,0 +1,151 @@
+"""Flat bitset-DFA payloads must round-trip exactly (cache correctness).
+
+Under the bitset kernel, process-pool workers ship the behavior DFA back
+as flat int arrays; the cache stores them under ``dfa_flat``.  The codec
+must be exact (same language, same structure) and defensive (malformed
+payloads decode to a cache miss, never a crash).
+"""
+
+import json
+
+import pytest
+
+from repro.automata.kernel import (
+    bitdfa_to_dfa,
+    bitset_equivalent,
+    determinize_bitset,
+    forced_kernel,
+    nfa_to_bitnfa,
+)
+from repro.core.behavior import behavior_nfa
+from repro.engine import BatchVerifier, InferenceCache, cached_behavior_dfa
+from repro.engine.serialize import (
+    FlatFormatError,
+    bitdfa_from_flat,
+    bitdfa_to_flat,
+)
+from repro.frontend.parse import parse_module
+from repro.paper import SECTION_2_MODULE
+from repro.workloads.hierarchy import HierarchyShape, project_source
+
+
+def _behavior_bitdfas(source):
+    module, _ = parse_module(source)
+    for parsed in module.classes:
+        yield determinize_bitset(nfa_to_bitnfa(behavior_nfa(parsed)))
+
+
+class TestFlatRoundTrip:
+    def test_exact_round_trip(self):
+        for bitdfa in _behavior_bitdfas(SECTION_2_MODULE):
+            rebuilt = bitdfa_from_flat(bitdfa_to_flat(bitdfa))
+            assert rebuilt.n == bitdfa.n
+            assert rebuilt.delta == bitdfa.delta
+            assert rebuilt.initial == bitdfa.initial
+            assert rebuilt.accepting == bitdfa.accepting
+            assert rebuilt.alphabet == bitdfa.alphabet
+
+    def test_payload_survives_json(self):
+        for bitdfa in _behavior_bitdfas(SECTION_2_MODULE):
+            payload = json.loads(json.dumps(bitdfa_to_flat(bitdfa)))
+            assert bitset_equivalent(bitdfa_from_flat(payload), bitdfa)
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(FlatFormatError):
+            bitdfa_from_flat({"symbols": ["a"]})
+
+    def test_rejects_out_of_range_transition(self):
+        payload = {
+            "symbols": ["a"],
+            "n": 1,
+            "delta": [7],
+            "initial": 0,
+            "accepting": [],
+        }
+        with pytest.raises(FlatFormatError):
+            bitdfa_from_flat(payload)
+
+    def test_rejects_out_of_range_accepting(self):
+        payload = {
+            "symbols": ["a"],
+            "n": 1,
+            "delta": [0],
+            "initial": 0,
+            "accepting": [3],
+        }
+        with pytest.raises(FlatFormatError):
+            bitdfa_from_flat(payload)
+
+    def test_rejects_duplicate_symbols(self):
+        payload = {
+            "symbols": ["a", "a"],
+            "n": 1,
+            "delta": [0, 0],
+            "initial": 0,
+            "accepting": [],
+        }
+        with pytest.raises(FlatFormatError):
+            bitdfa_from_flat(payload)
+
+
+class TestCachePayloads:
+    SHAPE = HierarchyShape(base_operations=3, subsystems=2, seed=2)
+
+    def _run(self, tmp_path, kernel):
+        module, violations = parse_module(project_source(self.SHAPE, pairs=1))
+        cache = InferenceCache(tmp_path)
+        with forced_kernel(kernel):
+            batch = BatchVerifier(module, violations, cache=cache).run()
+        classes = {parsed.name: parsed for parsed in module.classes}
+        return batch, cache, classes
+
+    def test_bitset_run_stores_flat_payloads(self, tmp_path):
+        _, cache, classes = self._run(tmp_path, "bitset")
+        composite = cached_behavior_dfa(cache, classes["Controller0"], classes)
+        assert composite is not None
+        assert composite.accepts(())
+        assert cached_behavior_dfa(cache, classes["Device0"], classes) is None
+
+    def test_classic_run_still_stores_structured_payloads(self, tmp_path):
+        _, cache, classes = self._run(tmp_path, "classic")
+        composite = cached_behavior_dfa(cache, classes["Controller0"], classes)
+        assert composite is not None
+        assert composite.accepts(())
+
+    def test_kernels_cache_language_equal_dfas(self, tmp_path):
+        _, bit_cache, classes = self._run(tmp_path / "bit", "bitset")
+        _, classic_cache, _ = self._run(tmp_path / "classic", "classic")
+        from repro.automata.kernel import dfa_to_bitdfa
+
+        bit = cached_behavior_dfa(bit_cache, classes["Controller0"], classes)
+        classic = cached_behavior_dfa(
+            classic_cache, classes["Controller0"], classes
+        )
+        assert bit is not None and classic is not None
+        assert bitset_equivalent(dfa_to_bitdfa(bit), dfa_to_bitdfa(classic))
+
+    def test_verdicts_identical_across_kernels(self, tmp_path):
+        bit_batch, _, _ = self._run(tmp_path / "bit", "bitset")
+        classic_batch, _, _ = self._run(tmp_path / "classic", "classic")
+        assert bit_batch.merged().format() == classic_batch.merged().format()
+
+
+def test_worker_outcome_round_trips_through_processes():
+    """A process-pool engine run under the bitset kernel: flat payloads
+    must cross the pickle boundary and the run must stay green."""
+    module, violations = parse_module(
+        project_source(HierarchyShape(base_operations=3, subsystems=2, seed=4), pairs=1)
+    )
+    with forced_kernel("bitset"):
+        batch = BatchVerifier(
+            module, violations, jobs=2, executor="process"
+        ).run()
+    assert batch.ok
+
+
+def test_bitdfa_to_dfa_view_matches_flat_round_trip():
+    for bitdfa in _behavior_bitdfas(SECTION_2_MODULE):
+        via_flat = bitdfa_from_flat(bitdfa_to_flat(bitdfa))
+        classic_view = bitdfa_to_dfa(bitdfa)
+        for word in [(), ("step",)]:
+            assert classic_view.accepts(word) == via_flat.accepts(word)
