@@ -15,6 +15,11 @@ Subcommands::
                               per-phase time breakdown
     repro cache stats|clear   inspect or drop the inference cache
                               (clear also removes the project state)
+    repro cache verify [--repair]
+                              audit every entry's checksum seal; with
+                              --repair delete what fails the audit
+    repro cache gc [--min-age SECONDS]
+                              sweep orphaned temp files from crashes
     repro state show|reset    inspect or drop the incremental state
     repro explain FILE        verify and narrate each usage counterexample
     repro model FILE          print each operation's inferred behavior regex
@@ -152,6 +157,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     tracer=tracer,
                 )
                 batch = outcome.batch
+                if outcome.save is not None and not outcome.save.ok:
+                    reason = outcome.save.reason or (
+                        "lock timeout"
+                        if outcome.save.lock_timeout
+                        else "unknown"
+                    )
+                    print(
+                        "warning: project state not saved "
+                        f"({reason}); the next incremental run is cold",
+                        file=_sys.stderr,
+                    )
             else:
                 verifier = BatchVerifier(
                     module,
@@ -255,6 +271,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         print(summary)
         return 0
+    if args.cache_command == "verify":
+        report = cache.verify(repair=args.repair)
+        corrupt = 0
+        print(f"cache at {args.cache_dir}:")
+        for namespace, numbers in sorted(report.items()):
+            corrupt += numbers["corrupt"]
+            print(
+                f"  {namespace:<8} {numbers['scanned']:6d} scanned  "
+                f"{numbers['ok']:6d} ok  "
+                f"{numbers['version_skew']:4d} version-skew  "
+                f"{numbers['corrupt']:4d} corrupt  "
+                f"{numbers['repaired']:4d} repaired"
+            )
+        if corrupt and not args.repair:
+            print("re-run with --repair to delete the corrupt entries")
+        return 1 if corrupt and not args.repair else 0
+    if args.cache_command == "gc":
+        removed = cache.gc_tmp(min_age_seconds=args.min_age)
+        print(
+            f"swept {removed} orphaned temp file{'' if removed == 1 else 's'}"
+        )
+        return 0
     # stats
     stats = cache.disk_stats()
     stats["state"] = cache.state_stats()
@@ -267,6 +305,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{numbers['bytes']:10d} bytes"
         )
     print(f"  {'total':<8} {total_entries:6d} entries  {total_bytes:10d} bytes")
+    orphans = cache.orphan_count()
+    print(
+        f"  orphaned temp files: {orphans}"
+        + (" (run `repro cache gc` to sweep)" if orphans else "")
+    )
     return 0
 
 
@@ -292,6 +335,9 @@ def _cmd_state(args: argparse.Namespace) -> int:
     print(f"project state at {state_file}:")
     if state.source_name:
         print(f"  source    {state.source_name}")
+    # load_state verifies the checksum seal before accepting the file,
+    # so a shown state is by construction intact.
+    print(f"  generation {state.generation}  (checksum seal intact)")
     verified = sum(1 for entry in state.classes.values() if entry.verified)
     print(
         f"  classes   {len(state.classes)} recorded, {verified} with a "
@@ -638,7 +684,25 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="per-namespace entry counts and sizes"
     )
     cache_clear = cache_sub.add_parser("clear", help="drop every cache entry")
-    for sub in (cache_stats, cache_clear):
+    cache_verify = cache_sub.add_parser(
+        "verify", help="audit every entry's checksum seal"
+    )
+    cache_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="delete corrupt entries (they become misses on the next run)",
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="sweep orphaned temp files left by crashed writers"
+    )
+    cache_gc.add_argument(
+        "--min-age",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="only sweep temp files older than this (default: 0, sweep all)",
+    )
+    for sub in (cache_stats, cache_clear, cache_verify, cache_gc):
         sub.add_argument(
             "--cache-dir",
             default=".repro-cache",

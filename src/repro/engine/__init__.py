@@ -11,8 +11,14 @@ The scaling substrate on top of :mod:`repro.core` (see docs/engine.md):
 * :mod:`repro.engine.serialize` — exact diagnostic round trips,
 * :mod:`repro.engine.faults` — deterministic fault injection for
   exercising the supervisor's recovery paths (docs/robustness.md),
+* :mod:`repro.engine.store` — crash-safe storage primitives: sealed
+  (checksummed) envelopes, atomic writes with fault-injection sync
+  points, orphaned-temp-file GC (docs/robustness.md),
+* :mod:`repro.engine.locking` — portable advisory file locks for
+  cross-process write coordination,
 * :mod:`repro.engine.state` — the persistent per-project snapshot
-  (``.repro-cache/state.json``),
+  (``.repro-cache/state.json``), single-writer across processes with
+  generation counting and read-modify-merge,
 * :mod:`repro.engine.incremental` — incremental re-verification: diff
   against the state, re-check only the dirty classes, splice the rest
   (docs/incremental.md).
@@ -41,9 +47,11 @@ from repro.engine.faults import (
     FaultRule,
     FaultSpecError,
     InjectedFault,
+    InjectedLockTimeout,
     WorkerKilled,
     parse_faults,
 )
+from repro.engine.locking import FileLock, LockTimeout, lock_for
 from repro.engine.fingerprint import (
     class_fingerprint,
     class_key,
@@ -69,7 +77,9 @@ from repro.engine.state import (
     STATE_VERSION,
     ClassState,
     ProjectState,
+    SaveReport,
     load_state,
+    merge_states,
     remove_state,
     save_state,
     state_path,
@@ -87,15 +97,21 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "FaultSpecError",
+    "FileLock",
     "IncrementalPlan",
     "IncrementalResult",
     "InferenceCache",
     "InjectedFault",
+    "InjectedLockTimeout",
+    "LockTimeout",
     "ProjectState",
     "STATE_VERSION",
+    "SaveReport",
     "WorkerKilled",
     "parse_faults",
     "cached_behavior_dfa",
+    "lock_for",
+    "merge_states",
     "class_fingerprint",
     "class_key",
     "diagnostic_from_dict",

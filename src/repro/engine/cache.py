@@ -13,18 +13,23 @@ Layout on disk (the directory is safe to delete at any time)::
 
     .repro-cache/
         CACHEDIR.TAG
+        locks/<namespace>.lock
         method/<k[:2]>/<k>.json
         class/<k[:2]>/<k>.json
 
-Every payload is wrapped in an envelope carrying ``cache_version``;
-entries written by an incompatible build, as well as unreadable or
-truncated files, are treated as misses — the cache can only ever cost a
-recomputation, never wrong output.  Writes go through a temp file +
-``os.replace`` so concurrent runs see whole entries or nothing.
+Every payload is wrapped in an envelope carrying ``cache_version`` and
+a SHA-256 **seal** over the envelope body (:mod:`repro.engine.store`);
+entries written by an incompatible build, as well as unreadable,
+truncated, or checksum-mismatched files, are treated as misses — the
+cache can only ever cost a recomputation, never wrong output.  Writes
+go through a temp file + ``os.replace`` so concurrent runs see whole
+entries or nothing, and the seal catches the one failure mode rename
+cannot: a power cut that persists the rename but tears the data blocks.
 
 The cache is additionally **self-healing**: a corrupt or truncated
-entry (unreadable file, invalid JSON, malformed envelope) is deleted on
-discovery and counted in ``stats.corrupt``, so one bad sector or
+entry (unreadable file, invalid JSON, malformed envelope, checksum
+mismatch) is deleted on discovery and counted in ``stats.corrupt``
+(checksum mismatches also in ``stats.checksum``), so one bad sector or
 interrupted write costs exactly one recomputation instead of a
 re-parse-and-fail on every future run.  Version-mismatched entries are
 left in place — another build may still want them.
@@ -36,6 +41,17 @@ directory, racing process) and later reads keep seeing the corrupt
 file.  A successful :meth:`put` under the same key re-arms counting, so
 a *new* corruption of the rewritten entry counts again.
 
+**Multi-process coordination** (docs/robustness.md).  Writes in each
+namespace are serialized across processes by an advisory file lock
+(:mod:`repro.engine.locking`) with a short deadline; a timed-out writer
+*proceeds anyway* — entries are content-addressed, so concurrent
+writers of one key produce identical bytes and the loser of the rename
+race loses nothing — but the contention is counted
+(``stats.lock_waits`` / ``stats.lock_timeouts``) and surfaced as
+``lock-wait`` / ``lock-timeout`` events.  Construction sweeps orphaned
+``.tmp-*`` files older than an hour (crashed writers; see
+``repro cache gc``) into ``stats.orphans_removed``.
+
 The in-memory layer makes repeated lookups within one process free and
 is guarded by a lock, so a thread-pool engine can share one instance;
 the counters share that lock.
@@ -44,21 +60,25 @@ the counters share that lock.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.engine import faults
+from repro.engine import faults, store
+from repro.engine.locking import FileLock, LockTimeout
 from repro.obs.tracer import NULL_TRACER
 
-#: Bump together with payload shape changes.
-CACHE_VERSION = 1
+#: Bump together with payload shape changes.  Version 2 added the
+#: checksum seal; version-1 entries read as version skew (a miss).
+CACHE_VERSION = 2
 
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Deadline for the per-namespace write lock; timing out is harmless
+#: (the write proceeds) but counted.
+WRITE_LOCK_TIMEOUT = 5.0
 
 _NAMESPACES = ("method", "class")
 
@@ -76,6 +96,22 @@ class CacheStats:
     misses: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
     writes: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
     corrupt: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
+    #: Subset of ``corrupt``: entries whose JSON parsed but whose seal
+    #: did not match — the torn-but-valid payloads only checksums catch.
+    checksum: dict[str, int] = field(
+        default_factory=lambda: {n: 0 for n in _NAMESPACES}
+    )
+    #: Disk persists that failed (ENOSPC, rename failure, ...); the
+    #: memory layer still holds the payload.
+    write_failures: dict[str, int] = field(
+        default_factory=lambda: {n: 0 for n in _NAMESPACES}
+    )
+    #: Cross-process write-lock contention (docs/robustness.md).
+    lock_waits: int = 0
+    lock_wait_seconds: float = 0.0
+    lock_timeouts: int = 0
+    #: Orphaned ``.tmp-*`` files swept at construction or by ``gc``.
+    orphans_removed: int = 0
 
     def hit_rate(self, namespace: str) -> float:
         total = self.hits[namespace] + self.misses[namespace]
@@ -86,12 +122,26 @@ class CacheStats:
         """Total corrupt entries found (and deleted) across namespaces."""
         return sum(self.corrupt.values())
 
+    @property
+    def checksum_failures(self) -> int:
+        return sum(self.checksum.values())
+
+    @property
+    def write_failure_count(self) -> int:
+        return sum(self.write_failures.values())
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "hits": dict(self.hits),
             "misses": dict(self.misses),
             "writes": dict(self.writes),
             "corrupt": dict(self.corrupt),
+            "checksum": dict(self.checksum),
+            "write_failures": dict(self.write_failures),
+            "lock_waits": self.lock_waits,
+            "lock_wait_seconds": self.lock_wait_seconds,
+            "lock_timeouts": self.lock_timeouts,
+            "orphans_removed": self.orphans_removed,
         }
 
 
@@ -103,9 +153,16 @@ class InferenceCache:
     the user did not opt into ``--cache``.
     """
 
-    def __init__(self, root: str | Path | None = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        root: str | Path | None = DEFAULT_CACHE_DIR,
+        *,
+        lock_timeout: float = WRITE_LOCK_TIMEOUT,
+        tmp_gc_min_age: float = store.DEFAULT_TMP_GC_MIN_AGE,
+    ):
         self.root = None if root is None else Path(root)
         self.stats = CacheStats()
+        self.lock_timeout = lock_timeout
         #: Set by the engine when a run is traced; cache events then show
         #: up on the open span.  The no-op default costs nothing.
         self.tracer = NULL_TRACER
@@ -114,11 +171,25 @@ class InferenceCache:
         #: contract in the module docstring); ``put`` re-arms them.
         self._healed: set[tuple[str, str]] = set()
         self._lock = threading.Lock()
+        self._write_locks: dict[str, FileLock] = {}
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             tag = self.root / "CACHEDIR.TAG"
             if not tag.exists():
                 tag.write_text(_CACHEDIR_TAG, encoding="utf-8")
+            self._write_locks = {
+                namespace: FileLock(
+                    self.root / "locks" / f"{namespace}.lock",
+                    name=namespace,
+                    timeout=lock_timeout,
+                )
+                for namespace in _NAMESPACES
+            }
+            # Startup GC: crashed writers leave .tmp-* orphans behind;
+            # the age gate keeps live writers out of reach.
+            self.stats.orphans_removed += store.gc_tmp_files(
+                self.root, min_age_seconds=tmp_gc_min_age
+            )
 
     # ------------------------------------------------------------------
 
@@ -156,23 +227,18 @@ class InferenceCache:
         except OSError:
             self._heal(namespace, key, path)
             return None
-        try:
-            envelope = json.loads(text)
-        except ValueError:  # truncated/garbled write: delete it
-            self._heal(namespace, key, path)
-            return None
-        if not isinstance(envelope, dict):
-            self._heal(namespace, key, path)
-            return None
-        if envelope.get("cache_version") != CACHE_VERSION:
+        verdict, payload = classify_entry(text)
+        if verdict == "ok":
+            return payload
+        if verdict == "version-skew":
             # Readable but written by another build; leave it alone.
             return None
-        if not isinstance(envelope.get("payload"), dict):
-            self._heal(namespace, key, path)
-            return None
-        return envelope["payload"]
+        self._heal(namespace, key, path, checksum=(verdict == "checksum"))
+        return None
 
-    def _heal(self, namespace: str, key: str, path: Path) -> None:
+    def _heal(
+        self, namespace: str, key: str, path: Path, *, checksum: bool = False
+    ) -> None:
         """Delete a corrupt entry so it costs one recomputation, once.
 
         One physical corruption counts once, no matter how many reads
@@ -186,7 +252,13 @@ class InferenceCache:
             if first:
                 self._healed.add((namespace, key))
                 self.stats.corrupt[namespace] += 1
+                if checksum:
+                    self.stats.checksum[namespace] += 1
         if first:
+            if checksum:
+                self.tracer.event(
+                    "checksum-fail", namespace=namespace, key=key
+                )
             self.tracer.event("cache-heal", namespace=namespace, key=key)
         try:
             path.unlink()
@@ -205,22 +277,45 @@ class InferenceCache:
         if self.root is None:
             return
         path = self._path(namespace, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        envelope = {"cache_version": CACHE_VERSION, "payload": payload}
+        envelope = store.seal({"cache_version": CACHE_VERSION, "payload": payload})
         text = json.dumps(envelope, sort_keys=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        write_lock = self._write_locks[namespace]
+        locked = False
         try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                stream.write(text)
-            os.replace(temp_name, path)
-        except OSError:
-            try:  # best effort: a failed write must not kill the check
-                os.unlink(temp_name)
-            except OSError:
-                pass
+            write_lock.acquire()
+            locked = True
+            if write_lock.waited > 0.001:
+                with self._lock:
+                    self.stats.lock_waits += 1
+                    self.stats.lock_wait_seconds += write_lock.waited
+                self.tracer.event(
+                    "lock-wait", lock=namespace,
+                    seconds=round(write_lock.waited, 6),
+                )
+        except LockTimeout:
+            # Advisory only: the atomic rename below is safe without the
+            # lock (identical bytes under one content key), so proceed —
+            # but make the contention visible.
+            with self._lock:
+                self.stats.lock_timeouts += 1
+            self.tracer.event("lock-timeout", lock=namespace)
+        try:
+            store.atomic_write_text(
+                path, text, fault_key=f"{namespace}/{key}"
+            )
+        except OSError as error:
+            # A failed persist must not kill the check; the memory layer
+            # still serves this process, and the failure is counted.
+            with self._lock:
+                self.stats.write_failures[namespace] += 1
+            self.tracer.event(
+                "cache-write-failed", namespace=namespace, key=key,
+                error=str(error),
+            )
             return
+        finally:
+            if locked:
+                write_lock.release()
         # Fault-injection site: lets tests corrupt the just-written
         # entry to exercise the self-healing read path.
         faults.fire("cache-put", f"{namespace}/{key}", path)
@@ -262,6 +357,74 @@ class InferenceCache:
                             pass
             stats[namespace] = {"entries": entries, "bytes": size}
         return stats
+
+    # -- audit, repair, and GC (docs/robustness.md) ---------------------
+
+    def orphan_count(self) -> int:
+        """Orphaned ``.tmp-*`` files currently on disk."""
+        if self.root is None:
+            return 0
+        return len(store.orphan_tmp_files(self.root))
+
+    def gc_tmp(self, *, min_age_seconds: float = 0.0) -> int:
+        """Sweep orphaned temp files; returns how many were removed."""
+        if self.root is None:
+            return 0
+        removed = store.gc_tmp_files(
+            self.root, min_age_seconds=min_age_seconds
+        )
+        with self._lock:
+            self.stats.orphans_removed += removed
+        return removed
+
+    def verify(self, *, repair: bool = False) -> dict[str, dict[str, int]]:
+        """Full-scan audit of every entry's envelope and checksum.
+
+        Returns per-namespace counts ``{"scanned", "ok", "version_skew",
+        "corrupt", "repaired"}``.  With ``repair=True`` corrupt entries
+        are deleted (exactly what the lazy self-healing read would do,
+        but eagerly and store-wide); version-skewed entries are always
+        left in place.  Memory-only caches report all zeros.
+        """
+        report: dict[str, dict[str, int]] = {}
+        for namespace in _NAMESPACES:
+            counts = {
+                "scanned": 0, "ok": 0, "version_skew": 0,
+                "corrupt": 0, "repaired": 0,
+            }
+            report[namespace] = counts
+            if self.root is None:
+                continue
+            directory = self.root / namespace
+            if not directory.is_dir():
+                continue
+            for entry in sorted(directory.rglob("*.json")):
+                counts["scanned"] += 1
+                try:
+                    text = entry.read_text(encoding="utf-8")
+                except OSError:
+                    verdict = "corrupt"
+                else:
+                    verdict, _payload = classify_entry(text)
+                if verdict == "ok":
+                    counts["ok"] += 1
+                elif verdict == "version-skew":
+                    counts["version_skew"] += 1
+                else:
+                    counts["corrupt"] += 1
+                    self.tracer.event(
+                        "checksum-fail" if verdict == "checksum"
+                        else "cache-heal",
+                        namespace=namespace,
+                        key=entry.stem,
+                    )
+                    if repair:
+                        try:
+                            entry.unlink()
+                            counts["repaired"] += 1
+                        except OSError:
+                            pass
+        return report
 
     # -- incremental project state (docs/incremental.md) ----------------
 
@@ -322,3 +485,26 @@ class InferenceCache:
                 except OSError:
                     pass
         return removed
+
+
+def classify_entry(text: str) -> tuple[str, dict[str, Any] | None]:
+    """Classify one cache file's content.
+
+    Returns ``("ok", payload)``, ``("version-skew", None)`` for entries
+    another build wrote, or ``("corrupt", None)`` / ``("checksum",
+    None)`` for the two corruption flavors (structural vs. a parsed
+    envelope whose seal does not match its content).
+    """
+    try:
+        envelope = json.loads(text)
+    except ValueError:
+        return "corrupt", None
+    if not isinstance(envelope, dict):
+        return "corrupt", None
+    if envelope.get("cache_version") != CACHE_VERSION:
+        return "version-skew", None
+    if not store.seal_intact(envelope):
+        return "checksum", None
+    if not isinstance(envelope.get("payload"), dict):
+        return "corrupt", None
+    return "ok", envelope["payload"]

@@ -672,6 +672,20 @@ class BatchVerifier:
             corrupt_entries=(
                 self.cache.stats.corrupt_entries if self.cache else 0
             ),
+            checksum_failures=(
+                self.cache.stats.checksum_failures if self.cache else 0
+            ),
+            write_failures=(
+                self.cache.stats.write_failure_count if self.cache else 0
+            ),
+            lock_waits=self.cache.stats.lock_waits if self.cache else 0,
+            lock_wait_seconds=(
+                self.cache.stats.lock_wait_seconds if self.cache else 0.0
+            ),
+            lock_timeouts=self.cache.stats.lock_timeouts if self.cache else 0,
+            orphans_removed=(
+                self.cache.stats.orphans_removed if self.cache else 0
+            ),
             retries=counters.retries,
             quarantines=counters.quarantines,
             budget_trips=counters.budget_trips,

@@ -20,7 +20,14 @@ Sites and the ``key`` they match ``pattern`` against (``fnmatch``):
 
 * ``worker`` — entry of the per-class check task; key = class name;
 * ``cache-put`` — after a cache entry is persisted;
-  key = ``namespace/content-key``.
+  key = ``namespace/content-key``;
+* ``store-write`` — inside :func:`repro.engine.store.atomic_write_text`
+  after the payload landed in the temp file; key = the logical store
+  name (``state``, ``method/<k>``, ``class/<k>``); ``path`` = the temp
+  file, so ``torn`` tears the payload *before* the rename publishes it;
+* ``store-rename`` — same write, immediately before ``os.replace``;
+* ``lock-acquire`` — entry of :meth:`repro.engine.locking.FileLock.acquire`;
+  key = the lock name (``state``, ``method``, ``class``).
 
 Actions:
 
@@ -31,7 +38,21 @@ Actions:
   where exiting would take the whole interpreter down, raise
   :class:`WorkerKilled` instead;
 * ``corrupt`` — truncate the just-written file at ``path`` (only
-  meaningful at ``cache-put``; exercises cache self-healing).
+  meaningful at ``cache-put``; exercises cache self-healing);
+* ``torn`` — truncate the file at ``path`` at byte offset ``arg``
+  (default: half).  At ``store-write`` this models the power-cut tear
+  that atomic rename cannot prevent: the rename still happens, so a
+  syntactically broken — or torn-but-valid — payload becomes visible
+  and only the checksum envelope catches it;
+* ``enospc`` — raise ``OSError(ENOSPC)``, a full disk;
+* ``rename-fail`` — raise ``OSError(EPERM)`` (meaningful at
+  ``store-rename``: the write happened, publishing it failed);
+* ``sigkill`` — ``SIGKILL`` the current process, exactly as if the OOM
+  killer or the chaos harness struck at this sync point; nothing below
+  this line runs, temp files are orphaned, locks are dropped by the OS;
+* ``lock-timeout`` — raise :class:`InjectedLockTimeout`, which
+  :meth:`~repro.engine.locking.FileLock.acquire` converts into its
+  timed-out path without waiting out a real deadline.
 
 **Determinism.**  Probabilistic rules do not consult a shared RNG whose
 draws would depend on thread interleaving.  Each evaluation hashes
@@ -45,10 +66,12 @@ when a test needs an exact global count).
 
 from __future__ import annotations
 
+import errno
 import fnmatch
 import hashlib
 import multiprocessing
 import os
+import signal
 import threading
 import time
 from dataclasses import dataclass
@@ -61,8 +84,18 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Exit status used by the ``kill`` action in a process worker.
 KILL_EXIT_CODE = 117
 
-SITES = ("worker", "cache-put")
-ACTIONS = ("delay", "raise", "kill", "corrupt")
+SITES = ("worker", "cache-put", "store-write", "store-rename", "lock-acquire")
+ACTIONS = (
+    "delay",
+    "raise",
+    "kill",
+    "corrupt",
+    "torn",
+    "enospc",
+    "rename-fail",
+    "sigkill",
+    "lock-timeout",
+)
 
 
 class FaultSpecError(ValueError):
@@ -75,6 +108,11 @@ class InjectedFault(RuntimeError):
 
 class WorkerKilled(InjectedFault):
     """The ``kill`` action in a thread worker (no process to kill)."""
+
+
+class InjectedLockTimeout(InjectedFault):
+    """The ``lock-timeout`` action; :class:`repro.engine.locking.FileLock`
+    converts it into a real :class:`~repro.engine.locking.LockTimeout`."""
 
 
 @dataclass(frozen=True)
@@ -152,13 +190,40 @@ class FaultPlan:
         elif rule.action == "corrupt":
             if path is not None:
                 _truncate_file(Path(path))
+        elif rule.action == "torn":
+            if path is not None:
+                offset = None if rule.arg is None else int(rule.arg)
+                _truncate_file(Path(path), offset)
+        elif rule.action == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC at {site} for {key!r}",
+            )
+        elif rule.action == "rename-fail":
+            raise OSError(
+                errno.EPERM,
+                f"injected rename failure at {site} for {key!r}",
+            )
+        elif rule.action == "sigkill":
+            if hasattr(signal, "SIGKILL"):
+                os.kill(os.getpid(), signal.SIGKILL)
+            os._exit(KILL_EXIT_CODE)  # Windows: the closest thing
+        elif rule.action == "lock-timeout":
+            raise InjectedLockTimeout(
+                f"injected lock timeout at {site} for {key!r}"
+            )
 
 
-def _truncate_file(path: Path) -> None:
-    """Leave the front half of ``path`` behind — an interrupted write."""
+def _truncate_file(path: Path, offset: int | None = None) -> None:
+    """Leave the front of ``path`` behind — an interrupted write.
+
+    ``offset=None`` keeps half the bytes (the classic ``corrupt``
+    action); an explicit offset makes torn-write tests byte-precise.
+    """
     try:
         data = path.read_bytes()
-        path.write_bytes(data[: len(data) // 2])
+        cut = len(data) // 2 if offset is None else max(0, min(offset, len(data)))
+        path.write_bytes(data[:cut])
     except OSError:
         pass
 

@@ -63,6 +63,7 @@ from repro.engine.serialize import diagnostics_from_list, diagnostics_to_list
 from repro.engine.state import (
     ClassState,
     ProjectState,
+    SaveReport,
     load_state,
     save_state,
 )
@@ -322,6 +323,10 @@ class IncrementalResult:
     #: The fresh state snapshot (persisted unless ``write_state=False``).
     state: ProjectState
     state_file: Path
+    #: What persisting the snapshot actually did — lock waits, merged
+    #: concurrent verdicts, or a reported (never silent) failure; ``None``
+    #: when ``write_state=False``.
+    save: SaveReport | None = None
 
 
 def verify_incremental(
@@ -429,6 +434,17 @@ def verify_incremental(
             key=lambda timing: (timing.wave, timing.class_name),
         )
     )
+
+    snapshot = snapshot_state(
+        module,
+        dict(spliced),
+        timings={timing.class_name: timing for timing in timings},
+        previous=previous,
+    )
+    save: SaveReport | None = None
+    if write_state:
+        save = save_state(state_file, snapshot, tracer=tracer)
+
     metrics = replace(
         batch.metrics,
         classes=len(module.classes),
@@ -437,6 +453,11 @@ def verify_incremental(
         incremental=True,
         reused_verdicts=len(reused_timings),
         dirty_classes=len(plan.dirty),
+        state_save_failures=(
+            1 if save is not None and not save.ok else 0
+        ),
+        state_merged_entries=save.merged_classes if save is not None else 0,
+        state_generation=save.generation if save is not None else 0,
     )
     final = BatchResult(
         module=module,
@@ -444,15 +465,7 @@ def verify_incremental(
         class_results=tuple(spliced),
         metrics=metrics,
     )
-
-    snapshot = snapshot_state(
-        module,
-        dict(final.class_results),
-        timings={timing.class_name: timing for timing in timings},
-        previous=previous,
-    )
-    if write_state:
-        save_state(state_file, snapshot)
     return IncrementalResult(
-        batch=final, plan=plan, state=snapshot, state_file=state_file
+        batch=final, plan=plan, state=snapshot, state_file=state_file,
+        save=save,
     )

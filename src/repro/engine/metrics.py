@@ -61,6 +61,18 @@ class EngineMetrics:
     incremental: bool = False
     reused_verdicts: int = 0
     dirty_classes: int = 0
+    # Crash-safe store counters (docs/robustness.md): checksum-detected
+    # corruption, cross-process lock contention, failed persists, and
+    # swept crash debris.  All zero on a healthy single-process run.
+    checksum_failures: int = 0
+    write_failures: int = 0
+    lock_waits: int = 0
+    lock_wait_seconds: float = 0.0
+    lock_timeouts: int = 0
+    orphans_removed: int = 0
+    state_save_failures: int = 0
+    state_merged_entries: int = 0
+    state_generation: int = 0
 
     @property
     def reuse_ratio(self) -> float:
@@ -105,6 +117,17 @@ class EngineMetrics:
                 "dirty": self.dirty_classes,
                 "reuse_ratio": self.reuse_ratio,
             },
+            "store": {
+                "checksum_failures": self.checksum_failures,
+                "write_failures": self.write_failures,
+                "lock_waits": self.lock_waits,
+                "lock_wait_seconds": self.lock_wait_seconds,
+                "lock_timeouts": self.lock_timeouts,
+                "orphans_removed": self.orphans_removed,
+                "state_save_failures": self.state_save_failures,
+                "state_merged_entries": self.state_merged_entries,
+                "state_generation": self.state_generation,
+            },
             # Sorted here as well as at construction: the export is the
             # byte-stability contract (same project + cache temperature
             # => identical file regardless of jobs/completion order), so
@@ -147,6 +170,29 @@ class EngineMetrics:
             lines.append(
                 f"  cache healed          {self.corrupt_entries} corrupt "
                 f"entr{'y' if self.corrupt_entries == 1 else 'ies'} deleted"
+                + (
+                    f" ({self.checksum_failures} checksum mismatch(es))"
+                    if self.checksum_failures
+                    else ""
+                )
+            )
+        if (
+            self.write_failures
+            or self.lock_waits
+            or self.lock_timeouts
+            or self.orphans_removed
+            or self.state_save_failures
+            or self.state_merged_entries
+        ):
+            lines.append(
+                f"  store                 {self.write_failures} failed "
+                f"write(s), {self.lock_waits} lock wait(s) "
+                f"({self.lock_wait_seconds * 1000.0:.1f} ms), "
+                f"{self.lock_timeouts} lock timeout(s), "
+                f"{self.orphans_removed} orphan(s) swept, "
+                f"{self.state_save_failures} state save failure(s), "
+                f"{self.state_merged_entries} merged state entr"
+                f"{'y' if self.state_merged_entries == 1 else 'ies'}"
             )
         if (
             self.retries

@@ -11,11 +11,23 @@ The file is versioned twice over: by :data:`STATE_VERSION` (this
 module's payload shape) *and* by
 :data:`repro.engine.fingerprint.FINGERPRINT_VERSION` (the meaning of the
 stored digests).  A mismatch on either — like any unreadable, truncated
-or structurally malformed file — makes :func:`load_state` report an
-unusable state, and the caller falls back to a cold run instead of
-erroring: stale state can only ever cost a recomputation, never wrong
-output.  Writes are atomic (temp file + ``os.replace``), mirroring
-:mod:`repro.engine.cache`.
+or structurally malformed file, or an envelope whose SHA-256 seal does
+not match its content (:mod:`repro.engine.store`) — makes
+:func:`load_state` report an unusable state, and the caller falls back
+to a cold run instead of erroring: stale state can only ever cost a
+recomputation, never wrong output.
+
+**Crash-safe, multi-process writes** (docs/robustness.md).  The file is
+single-writer across processes: :func:`save_state` takes an advisory
+file lock (``state.json.lock``, :mod:`repro.engine.locking`), re-reads
+the file on disk, **merges** a concurrent writer's verdicts into the
+fresh snapshot (a verified entry with identical digests is never
+clobbered by our "unverified"), bumps the envelope's ``generation``
+counter, and publishes with a fsynced atomic rename.  Every failure —
+lock timeout, full disk, failed rename — degrades to "this run's state
+was not recorded" (the next run is colder, never wrong) and comes back
+as a structured :class:`SaveReport` instead of vanishing in a silent
+``except``.
 
 Classes the supervisor quarantined are stored with ``diagnostics=None``
 ("digests known, verdict unknown"): the next incremental run re-checks
@@ -26,17 +38,23 @@ its spec structure — was computed from the parse and is still valid.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.engine import store
 from repro.engine.fingerprint import FINGERPRINT_VERSION
+from repro.engine.locking import LockTimeout, lock_for
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: Bump when the state payload shape changes; old files then fall back
-#: to a cold run instead of being misread.
-STATE_VERSION = 1
+#: to a cold run instead of being misread.  Version 2 added the
+#: checksum seal and the generation counter.
+STATE_VERSION = 2
+
+#: Deadline for the state write lock; a timed-out save is skipped (and
+#: reported), never forced — state is an optimization, not an output.
+STATE_LOCK_TIMEOUT = 5.0
 
 #: File name inside the cache directory (state is co-located with the
 #: content-addressed cache; ``repro cache clear`` removes both).
@@ -93,11 +111,16 @@ class ProjectState:
 
     classes: Mapping[str, ClassState] = field(default_factory=dict)
     source_name: str = ""
+    #: Monotonic write counter: every successful :func:`save_state`
+    #: stores the on-disk generation + 1, so concurrent writers are
+    #: observable and "did someone write since I loaded?" is a compare.
+    generation: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "state_version": STATE_VERSION,
             "fingerprint_version": FINGERPRINT_VERSION,
+            "generation": self.generation,
             "source_name": self.source_name,
             "classes": {
                 name: entry.to_dict()
@@ -178,6 +201,10 @@ def load_state(path: str | Path) -> tuple[ProjectState | None, str | None]:
             f"stale fingerprint version {envelope.get('fingerprint_version')!r} "
             f"(this build expects {FINGERPRINT_VERSION})"
         )
+    if not store.seal_intact(envelope):
+        # Valid JSON, right versions, wrong bytes: the torn-but-valid
+        # write only the checksum catches.
+        return None, "corrupt state file (checksum mismatch)"
     raw_classes = envelope.get("classes")
     if not isinstance(raw_classes, dict):
         return None, "corrupt state file (no class table)"
@@ -190,32 +217,150 @@ def load_state(path: str | Path) -> tuple[ProjectState | None, str | None]:
             continue
         classes[name] = entry
     source_name = envelope.get("source_name")
+    generation = envelope.get("generation")
     return (
         ProjectState(
             classes=classes,
             source_name=source_name if isinstance(source_name, str) else "",
+            generation=generation if isinstance(generation, int) else 0,
         ),
         None,
     )
 
 
-def save_state(path: str | Path, state: ProjectState) -> None:
-    """Atomically persist ``state`` (temp file + ``os.replace``)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(state.to_dict(), indent=2, sort_keys=True)
-    handle, temp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=".tmp-state-", suffix=".json"
+@dataclass(frozen=True)
+class SaveReport:
+    """What one :func:`save_state` call actually did.
+
+    ``ok=False`` means the snapshot was *not* published — the next run
+    degrades toward cold, nothing worse — and ``reason`` says why.
+    """
+
+    ok: bool
+    reason: str | None = None
+    #: Generation written (or the last one observed when the save failed).
+    generation: int = 0
+    #: Verdicts preserved from a concurrent writer's on-disk state.
+    merged_classes: int = 0
+    #: Wall time spent waiting for the state lock.
+    waited: float = 0.0
+    lock_timeout: bool = False
+
+
+def merge_states(
+    disk: ProjectState, fresh: ProjectState
+) -> tuple[ProjectState, int]:
+    """Overlay ``fresh`` onto ``disk``; returns (merged, kept-from-disk).
+
+    The fresh snapshot is authoritative for the class *set* (it reflects
+    the current parse) and for every class it verified.  The one thing a
+    concurrent writer can contribute is a **verdict we lack**: where our
+    entry is unverified (quarantined this run) and the on-disk entry has
+    identical fingerprints *and* a stored verdict, theirs is kept —
+    verdicts are pure functions of those digests, so this can never
+    merge in wrong output, only rescue work another process finished.
+    """
+    kept = 0
+    classes: dict[str, ClassState] = {}
+    for name, ours in fresh.classes.items():
+        theirs = disk.classes.get(name)
+        if (
+            ours.diagnostics is None
+            and theirs is not None
+            and theirs.diagnostics is not None
+            and theirs.fingerprint == ours.fingerprint
+            and theirs.spec == ours.spec
+        ):
+            classes[name] = theirs
+            kept += 1
+        else:
+            classes[name] = ours
+    return (
+        ProjectState(
+            classes=classes,
+            source_name=fresh.source_name,
+            generation=fresh.generation,
+        ),
+        kept,
     )
+
+
+def save_state(
+    path: str | Path,
+    state: ProjectState,
+    *,
+    lock_timeout: float = STATE_LOCK_TIMEOUT,
+    tracer: Tracer | None = None,
+) -> SaveReport:
+    """Persist ``state`` crash-safely with single-writer semantics.
+
+    Under the ``<path>.lock`` advisory lock: re-read the file on disk,
+    merge a concurrent writer's compatible verdicts into the snapshot
+    (:func:`merge_states`), bump the generation counter, seal, and
+    publish with a fsynced atomic rename.  Every failure mode is
+    reported (and traced), never swallowed: a lock timeout skips the
+    save entirely (writing without the lock could drop a concurrent
+    writer's generation), a failed write leaves the previous state
+    intact.
+    """
+    path = Path(path)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock = lock_for(path, name="state", timeout=lock_timeout)
     try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            stream.write(text)
-        os.replace(temp_name, path)
-    except OSError:
-        try:  # best effort: a failed state write must not kill the run
-            os.unlink(temp_name)
-        except OSError:
-            pass
+        lock.acquire()
+    except LockTimeout as timeout:
+        tracer.event("lock-timeout", lock="state")
+        tracer.event("state-save-failed", reason="lock timeout")
+        return SaveReport(
+            ok=False,
+            reason=f"state lock timeout: {timeout}",
+            waited=timeout.waited,
+            lock_timeout=True,
+        )
+    try:
+        if lock.waited > 0.001:
+            tracer.event(
+                "lock-wait", lock="state", seconds=round(lock.waited, 6)
+            )
+        disk, _reason = load_state(path)
+        merged_classes = 0
+        generation = 1
+        merged = state
+        if disk is not None:
+            generation = disk.generation + 1
+            if disk.source_name == state.source_name:
+                merged, merged_classes = merge_states(disk, state)
+                if merged_classes:
+                    tracer.event(
+                        "state-merge", kept=merged_classes,
+                        generation=generation,
+                    )
+        merged = ProjectState(
+            classes=merged.classes,
+            source_name=merged.source_name,
+            generation=generation,
+        )
+        text = json.dumps(store.seal(merged.to_dict()), indent=2, sort_keys=True)
+        try:
+            store.atomic_write_text(path, text, fault_key="state", fsync=True)
+        except OSError as error:
+            tracer.event("state-save-failed", reason=str(error))
+            return SaveReport(
+                ok=False,
+                reason=f"state write failed: {error}",
+                generation=generation,
+                merged_classes=merged_classes,
+                waited=lock.waited,
+            )
+        return SaveReport(
+            ok=True,
+            generation=generation,
+            merged_classes=merged_classes,
+            waited=lock.waited,
+        )
+    finally:
+        lock.release()
 
 
 def remove_state(path: str | Path) -> bool:

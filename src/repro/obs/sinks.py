@@ -165,6 +165,37 @@ def prometheus_text(payload: dict[str, Any], prefix: str = "repro") -> str:
             "Fraction of class verdicts spliced from the project state.",
             [("", incremental.get("reuse_ratio", 0.0))],
         )
+    persistence = payload.get("store")
+    if persistence:
+        emit(
+            "store_events_total",
+            "counter",
+            "Crash-safe store events by kind.",
+            [
+                (f'{{kind="{_escape_label(kind)}"}}', persistence.get(kind, 0))
+                for kind in (
+                    "checksum_failures",
+                    "write_failures",
+                    "lock_waits",
+                    "lock_timeouts",
+                    "orphans_removed",
+                    "state_save_failures",
+                    "state_merged_entries",
+                )
+            ],
+        )
+        emit(
+            "store_lock_wait_seconds_total",
+            "counter",
+            "Total time spent waiting on store write locks.",
+            [("", persistence.get("lock_wait_seconds", 0.0))],
+        )
+        emit(
+            "store_state_generation",
+            "gauge",
+            "Generation counter of the persisted project state.",
+            [("", persistence.get("state_generation", 0))],
+        )
     supervisor = payload.get("supervisor", {})
     emit(
         "supervisor_events_total",

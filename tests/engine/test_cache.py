@@ -146,7 +146,18 @@ class TestCacheStats:
         stats.hits["method"] += 3
         as_dict = stats.to_dict()
         assert as_dict["hits"]["method"] == 3
-        assert set(as_dict) == {"hits", "misses", "writes", "corrupt"}
+        assert set(as_dict) == {
+            "hits",
+            "misses",
+            "writes",
+            "corrupt",
+            "checksum",
+            "write_failures",
+            "lock_waits",
+            "lock_wait_seconds",
+            "lock_timeouts",
+            "orphans_removed",
+        }
 
 
 class TestCounterContract:

@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from repro.engine import faults
+from repro.engine import faults, store
 from repro.engine.engine import BatchVerifier, EngineError
 from repro.engine.incremental import (
     named_subsystems,
@@ -281,7 +281,11 @@ class TestStateFile:
         )
         payload = json.loads(path.read_text(encoding="utf-8"))
         payload["classes"]["Bad"] = {"fingerprint": 42}
-        path.write_text(json.dumps(payload), encoding="utf-8")
+        # Re-seal: the mutation simulates a buggy writer, not torn bytes,
+        # so the checksum must be consistent for the entry-level skip to
+        # be what's under test.
+        payload.pop(store.CHECKSUM_KEY, None)
+        path.write_text(json.dumps(store.seal(payload)), encoding="utf-8")
         state, reason = load_state(path)
         assert reason is None
         assert set(state.classes) == {"Good"}

@@ -104,6 +104,26 @@ class TestPrometheus:
         assert 'repro_phase_seconds_total{phase="infer"} 0.25' in text
         assert 'repro_phase_calls_total{phase="infer"} 1' in text
 
+    def test_store_family_from_store_section(self):
+        text = prometheus_text(
+            {
+                "store": {
+                    "checksum_failures": 2,
+                    "lock_timeouts": 1,
+                    "lock_wait_seconds": 0.125,
+                    "state_generation": 7,
+                }
+            }
+        )
+        assert 'repro_store_events_total{kind="checksum_failures"} 2' in text
+        assert 'repro_store_events_total{kind="lock_timeouts"} 1' in text
+        assert "repro_store_lock_wait_seconds_total 0.125" in text
+        assert "# TYPE repro_store_state_generation gauge" in text
+        assert "repro_store_state_generation 7" in text
+
+    def test_store_family_absent_without_store_section(self):
+        assert "repro_store_" not in prometheus_text({"classes": 1})
+
     def test_label_values_are_escaped(self):
         assert (
             'kind="class_hits"'

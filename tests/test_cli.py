@@ -172,6 +172,60 @@ class TestCacheCommand:
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert "no project state" in capsys.readouterr().out
 
+    def test_verify_flags_and_repairs_corruption(self, good, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["check", good, "--cache", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 0
+        clean = capsys.readouterr().out
+        assert "0 corrupt" in clean
+
+        victim = next((cache_dir / "method").rglob("*.json"))
+        victim.write_text("torn garbage", encoding="utf-8")
+
+        assert main(["cache", "verify", "--cache-dir", str(cache_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "--repair" in out
+        assert victim.exists()  # audit alone never deletes
+
+        assert main(
+            ["cache", "verify", "--repair", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "1 repaired" in capsys.readouterr().out
+        assert not victim.exists()
+
+    def test_stats_counts_orphans_and_gc_sweeps_them(
+        self, good, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        assert main(["check", good, "--cache", "--cache-dir", str(cache_dir)]) == 0
+        (cache_dir / "method" / ".tmp-orphan.json").write_text(
+            "debris", encoding="utf-8"
+        )
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "orphaned temp files: 1" in capsys.readouterr().out
+
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert "swept 1 orphaned temp file" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "orphaned temp files: 0" in capsys.readouterr().out
+
+    def test_gc_min_age_spares_young_orphans(self, good, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["check", good, "--cache", "--cache-dir", str(cache_dir)]) == 0
+        (cache_dir / "method" / ".tmp-young.json").write_text(
+            "debris", encoding="utf-8"
+        )
+        capsys.readouterr()
+        assert main(
+            ["cache", "gc", "--min-age", "3600", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert "swept 0" in capsys.readouterr().out
+
 
 class TestIncrementalCheck:
     def test_warm_run_reuses_and_keeps_output_identical(
@@ -220,6 +274,7 @@ class TestStateCommand:
         assert main(["state", "show", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "project state at" in out
+        assert "generation 1  (checksum seal intact)" in out
         assert "wave" in out and "fp" in out and "spec" in out
 
         assert main(["state", "reset", "--cache-dir", cache_dir]) == 0
