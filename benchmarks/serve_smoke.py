@@ -1,0 +1,335 @@
+"""CI smoke gate for the ``repro serve`` daemon.
+
+Boots a real daemon subprocess and drives the PR's robustness story end
+to end, under the clock:
+
+* **baseline** — a concurrent multi-tenant burst that fits the queue;
+  every job must complete and the per-tenant completion counts must be
+  fair (identical);
+* **overload** — a burst sized past the queue bound under an injected
+  ``serve-dispatch`` delay; every excess submission must be shed
+  *explicitly* (429/503 with a structured reason and a Retry-After
+  header), never silently dropped, and the health endpoints must stay
+  live throughout;
+* **crash-recovery** — an injected SIGKILL mid-dispatch; the restarted
+  daemon must recover the journaled job and finish it;
+* **drain** — ``/readyz`` must flip to 503 the moment a drain starts,
+  and SIGTERM must exit 0 with the drain summary on stderr.
+
+Measurements land in ``--out`` (``BENCH_serve.json``) and the final
+Prometheus exposition in ``--metrics-out`` for CI to archive.  Exits
+non-zero on any violated invariant.
+
+Usage::
+
+    python benchmarks/serve_smoke.py --out BENCH_serve.json \
+        --metrics-out BENCH_serve_metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any(Path(p).resolve() == REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SRC_DIR = str(REPO_ROOT / "src")
+EXAMPLE = REPO_ROOT / "examples" / "greenhouse_monitor.py"
+SIGKILLED = -signal.SIGKILL
+
+TENANTS = ("alice", "bob", "carol")
+
+
+class Daemon:
+    """One ``repro serve`` subprocess plus a stdlib JSON client."""
+
+    def __init__(self, cache_dir: Path, *extra_args: str):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--cache-dir", str(cache_dir),
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR},
+        )
+        self.ready_line = self.proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", self.ready_line)
+        if match is None:
+            self.proc.wait(timeout=10)
+            raise SystemExit(
+                f"daemon did not come up: {self.ready_line!r}\n"
+                f"{self.proc.stderr.read()}"
+            )
+        self.base = f"http://{match.group(1)}:{match.group(2)}"
+
+    def request(self, method: str, path: str, payload=None):
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        req = urllib.request.Request(self.base + path, data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=60) as response:
+                status, body = response.status, response.read()
+                headers = dict(response.headers)
+        except urllib.error.HTTPError as error:
+            status, body = error.code, error.read()
+            headers = dict(error.headers)
+        text = body.decode("utf-8")
+        try:
+            return status, json.loads(text), headers
+        except ValueError:
+            return status, text, headers
+
+    def submit(self, files, tenant="default"):
+        return self.request(
+            "POST", "/v1/jobs", {"tenant": tenant, "files": files}
+        )
+
+    def wait_job(self, job_id: str, timeout: float = 180.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, job, _headers = self.request("GET", f"/v1/jobs/{job_id}")
+            check(status == 200, f"job poll returned {status}")
+            if job["state"] in ("done", "failed"):
+                return job
+            time.sleep(0.05)
+        raise SystemExit(f"job {job_id} not terminal after {timeout}s")
+
+    def terminate(self, timeout: float = 120.0):
+        self.proc.send_signal(signal.SIGTERM)
+        _out, err = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, err
+
+    def close(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.communicate(timeout=30)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"serve smoke FAILED: {message}")
+
+
+def _files(tag: str, source: str):
+    return {"monitor.py": source + f"\n# {tag}\n"}
+
+
+def phase_baseline(root: Path, source: str) -> dict:
+    """Fair multi-tenant completion of a burst that fits the queue."""
+    daemon = Daemon(root / "baseline", "--workers", "2", "--queue-depth", "16")
+    try:
+        status, health, _ = daemon.request("GET", "/healthz")
+        check(status == 200 and health["ok"], "healthz not green at boot")
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            jobs = list(
+                pool.map(
+                    lambda item: daemon.submit(
+                        _files(f"{item[0]}-{item[1]}", source), tenant=item[0]
+                    ),
+                    [(t, i) for t in TENANTS for i in range(2)],
+                )
+            )
+        check(
+            all(status == 202 for status, _j, _h in jobs),
+            "baseline burst should fit the queue",
+        )
+        done = [daemon.wait_job(job["id"]) for _s, job, _h in jobs]
+        elapsed = time.perf_counter() - started
+        check(all(j["state"] == "done" for j in done), "baseline job failed")
+        _s, metrics_text, _h = daemon.request("GET", "/metrics")
+        counts = dict(
+            re.findall(
+                r'repro_serve_tenant_completed_total\{tenant="(\w+)"\} (\d+)',
+                metrics_text,
+            )
+        )
+        check(
+            counts == {tenant: "2" for tenant in TENANTS},
+            f"per-tenant completions uneven: {counts}",
+        )
+        rc, _err = daemon.terminate()
+        check(rc == 0, f"baseline daemon exited {rc}")
+        return {"jobs": len(done), "seconds": round(elapsed, 3)}
+    finally:
+        daemon.close()
+
+
+def phase_overload(root: Path, source: str) -> dict:
+    """Shed explicitly under an injected dispatch delay; stay healthy."""
+    daemon = Daemon(
+        root / "overload",
+        "--workers", "1", "--queue-depth", "2",
+        "--faults", "serve-dispatch:delay:*:arg=1",
+    )
+    try:
+        with ThreadPoolExecutor(max_workers=9) as pool:
+            results = list(
+                pool.map(
+                    lambda item: daemon.submit(
+                        _files(f"ov-{item[0]}-{item[1]}", source),
+                        tenant=item[0],
+                    ),
+                    [(t, i) for t in TENANTS for i in range(3)],
+                )
+            )
+        statuses = [status for status, _b, _h in results]
+        accepted = statuses.count(202)
+        shed = [
+            (status, body, headers)
+            for status, body, headers in results
+            if status in (429, 503)
+        ]
+        check(accepted >= 1, "overload burst admitted nothing")
+        check(shed, "overload burst shed nothing — queue bound not enforced")
+        check(
+            accepted + len(shed) == len(results),
+            f"silent drop: {statuses}",
+        )
+        for status, body, headers in shed:
+            check(
+                body.get("reason") in ("queue-full", "tenant-limit", "breaker-open"),
+                f"shed without a structured reason: {body}",
+            )
+            check(
+                int(headers.get("Retry-After", 0)) >= 1,
+                "shed without a Retry-After header",
+            )
+        # Health stays live while saturated.
+        status, _health, _ = daemon.request("GET", "/healthz")
+        check(status == 200, "healthz went dark under load")
+        for _status, job, _h in results:
+            if _status == 202:
+                daemon.wait_job(job["id"])
+        rc, _err = daemon.terminate()
+        check(rc == 0, f"overload daemon exited {rc}")
+        return {
+            "submitted": len(results),
+            "accepted": accepted,
+            "shed": len(shed),
+        }
+    finally:
+        daemon.close()
+
+
+def phase_crash_recovery(root: Path, source: str) -> dict:
+    """SIGKILL mid-dispatch, then recover the journaled job."""
+    cache = root / "crash"
+    daemon = Daemon(cache, "--faults", "serve-dispatch:sigkill:*:times=1")
+    job = None
+    try:
+        status, job, _h = daemon.submit(_files("crash", source))
+        check(status == 202, f"crash-phase submit got {status}")
+        check(
+            daemon.proc.wait(timeout=120) == SIGKILLED,
+            "injected sigkill did not fire",
+        )
+    finally:
+        daemon.close()
+    started = time.perf_counter()
+    restarted = Daemon(cache)
+    try:
+        check(
+            "1 job(s) recovered" in restarted.ready_line,
+            f"journal not recovered: {restarted.ready_line!r}",
+        )
+        done = restarted.wait_job(job["id"])
+        recovery_seconds = time.perf_counter() - started
+        check(done["state"] == "done", f"recovered job failed: {done}")
+        check(done["recovered"] == 1, "recovery counter missing")
+        rc, _err = restarted.terminate()
+        check(rc == 0, f"recovered daemon exited {rc}")
+        return {"recovery_seconds": round(recovery_seconds, 3)}
+    finally:
+        restarted.close()
+
+
+def phase_drain(root: Path, source: str, metrics_out: Path | None) -> dict:
+    """Readiness flips on drain; SIGTERM finishes in-flight work."""
+    daemon = Daemon(root / "drain", "--workers", "1")
+    try:
+        status, ready, _ = daemon.request("GET", "/readyz")
+        check(status == 200 and ready["ready"], "readyz not green at boot")
+        _s, job, _h = daemon.submit(_files("drain", source))
+        status, _b, _h = daemon.request("POST", "/v1/drain")
+        check(status == 202, "drain request rejected")
+        status, ready, _ = daemon.request("GET", "/readyz")
+        check(
+            status == 503 and "draining" in ready["blockers"],
+            f"readyz did not flip on drain: {status} {ready}",
+        )
+        if metrics_out is not None:
+            _s, text, _h = daemon.request("GET", "/metrics")
+            check("repro_serve_draining 1" in text, "draining gauge not set")
+            metrics_out.write_text(text, encoding="utf-8")
+        rc, err = daemon.terminate()
+        check(rc == 0, f"drain exit code {rc}")
+        check("drained" in err, f"no drain summary on stderr: {err!r}")
+        # The in-flight job finished before exit: its journal record is
+        # terminal, so a fresh daemon serves the verdict immediately.
+        verifier = Daemon(root / "drain")
+        try:
+            status, record, _h = verifier.request("GET", f"/v1/jobs/{job['id']}")
+            check(
+                status == 200 and record["state"] == "done",
+                "drained job did not survive the restart",
+            )
+        finally:
+            verifier.close()
+        return {"inflight_finished": True}
+    finally:
+        daemon.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="archive the drain-phase Prometheus exposition here",
+    )
+    args = parser.parse_args(argv)
+
+    source = EXAMPLE.read_text(encoding="utf-8")
+    started = time.perf_counter()
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        root = Path(tmp)
+        results["baseline"] = phase_baseline(root, source)
+        print(f"baseline: {results['baseline']}", flush=True)
+        results["overload"] = phase_overload(root, source)
+        print(f"overload: {results['overload']}", flush=True)
+        results["crash_recovery"] = phase_crash_recovery(root, source)
+        print(f"crash-recovery: {results['crash_recovery']}", flush=True)
+        results["drain"] = phase_drain(
+            root, source,
+            Path(args.metrics_out) if args.metrics_out else None,
+        )
+        print(f"drain: {results['drain']}", flush=True)
+    results["total_seconds"] = round(time.perf_counter() - started, 3)
+    Path(args.out).write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"serve smoke OK in {results['total_seconds']}s → {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,10 @@ Subcommands::
                               --trace-out/--metrics-out/--prom-out for
                               structured observability;
                               paper-style error reports either way)
+    repro serve               run the fault-tolerant verification daemon
+                              (bounded admission, per-tenant fairness,
+                              job deadlines, circuit breaker, crash-safe
+                              job journal, graceful drain; docs/serve.md)
     repro profile FILE        verify with tracing on; print the
                               per-phase time breakdown
     repro cache stats|clear   inspect or drop the inference cache
@@ -90,10 +94,27 @@ def _apply_kernel(args: argparse.Namespace) -> None:
         os.environ[KERNEL_ENV] = kernel
 
 
+def _install_interrupt_handler() -> None:
+    """Make SIGTERM interrupt like Ctrl-C so both signals reach the
+    clean ``ENGINE INTERRUPTED`` path (main thread only — signal
+    handlers cannot be installed elsewhere)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _interrupt(_signum, _frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _interrupt)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import os
 
     _apply_kernel(args)
+    _install_interrupt_handler()
 
     from repro.engine import (
         BatchVerifier,
@@ -112,6 +133,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
         write_prometheus,
         write_trace_jsonl,
     )
+
+    # Validate REPRO_FAULTS *now*: a typo'd site or action should be a
+    # one-line usage error at startup, not a baffling quarantine deep
+    # inside a worker once the lazy parse finally happens.
+    try:
+        faults.validate_environment()
+    except FaultSpecError as error:
+        raise SystemExit(f"error: invalid {faults.FAULTS_ENV}: {error}")
 
     tracing = bool(
         args.trace or args.trace_out or args.metrics_out or args.prom_out
@@ -204,6 +233,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 if args.prom_out:
                     write_prometheus(payload, args.prom_out)
         return 0 if result.ok else 1
+    except KeyboardInterrupt:
+        # Ctrl-C / SIGTERM mid-run.  Every persistent structure this
+        # command touches (inference cache, project state) writes
+        # atomically through the crash-safe store, so there is nothing
+        # to roll back — report cleanly instead of dumping a traceback.
+        print(
+            "repro check: ENGINE INTERRUPTED (signal received); partial "
+            "results discarded; the inference cache and project state "
+            "remain consistent (crash-safe store)",
+            file=_sys.stderr,
+        )
+        return 130
     finally:
         if args.faults:
             # Leave no plan behind (matters for in-process callers).
@@ -212,6 +253,54 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 os.environ.pop(faults.FAULTS_ENV, None)
             else:
                 os.environ[faults.FAULTS_ENV] = previous_env
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    _apply_kernel(args)
+
+    from repro.engine import FaultSpecError, faults
+    from repro.serve import ServeConfig, ServeConfigError
+    from repro.serve.http import serve_forever
+
+    try:
+        faults.validate_environment()
+    except FaultSpecError as error:
+        raise SystemExit(f"error: invalid {faults.FAULTS_ENV}: {error}")
+    if args.faults:
+        try:
+            faults.install(faults.parse_faults(args.faults))
+        except FaultSpecError as error:
+            raise SystemExit(f"error: {error}")
+        os.environ[faults.FAULTS_ENV] = args.faults
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            queue_depth=args.queue_depth,
+            tenant_queue_cap=args.tenant_queue_cap,
+            tenant_concurrency=args.tenant_concurrency,
+            workers=args.workers,
+            engine_jobs=args.engine_jobs,
+            engine_executor=args.executor,
+            job_deadline=args.deadline,
+            class_timeout=args.class_timeout,
+            job_retries=args.job_retries,
+            breaker_threshold=args.breaker_threshold,
+            breaker_backoff=args.breaker_backoff,
+            breaker_max_backoff=args.breaker_max_backoff,
+            drain_grace=args.drain_grace,
+            trace=args.trace,
+        )
+    except ServeConfigError as error:
+        raise SystemExit(f"error: {error}")
+    try:
+        return asyncio.run(serve_forever(config))
+    except KeyboardInterrupt:  # non-POSIX fallback: treat as drain
+        return 130
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -626,6 +715,142 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run metrics in Prometheus text format",
     )
     check.set_defaults(func=_cmd_check)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the fault-tolerant verification daemon (docs/serve.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listen port; 0 picks a free one and records it in "
+        "<cache-dir>/serve/endpoint.json (default: 8765)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="cache + journal location shared with `repro check` "
+        "(default: .repro-cache)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="K",
+        help="bounded queue depth; submissions past it are shed with "
+        "429 + Retry-After (default: 16)",
+    )
+    serve.add_argument(
+        "--tenant-queue-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max queued jobs per tenant (default: the queue depth)",
+    )
+    serve.add_argument(
+        "--tenant-concurrency",
+        type=int,
+        default=2,
+        metavar="N",
+        help="max executing jobs per tenant (default: 2)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent job slots (default: 2)",
+    )
+    serve.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine worker count within one job (default: 1)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="engine worker pool backend within a job (default: thread)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=["bitset", "classic"],
+        default=None,
+        help="automata kernel (default: REPRO_KERNEL, then bitset)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-job wall-clock deadline (default: 120)",
+    )
+    serve.add_argument(
+        "--class-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-class supervisor deadline (default: the job deadline)",
+    )
+    serve.add_argument(
+        "--job-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="re-runs of a job after a worker crash (default: 1)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive crashes that trip the circuit breaker "
+        "(default: 3)",
+    )
+    serve.add_argument(
+        "--breaker-backoff",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="first breaker-open interval; doubles per consecutive "
+        "trip (default: 1)",
+    )
+    serve.add_argument(
+        "--breaker-max-backoff",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="cap on the breaker-open interval (default: 30)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a SIGTERM drain waits for in-flight jobs "
+        "(default: 30)",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault-injection spec (testing; REPRO_FAULTS grammar, "
+        "including the serve-accept/serve-dispatch/serve-respond sites)",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-job obs spans (for smoke runs and debugging)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     profile = subparsers.add_parser(
         "profile",

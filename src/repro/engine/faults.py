@@ -27,7 +27,15 @@ Sites and the ``key`` they match ``pattern`` against (``fnmatch``):
   file, so ``torn`` tears the payload *before* the rename publishes it;
 * ``store-rename`` — same write, immediately before ``os.replace``;
 * ``lock-acquire`` — entry of :meth:`repro.engine.locking.FileLock.acquire`;
-  key = the lock name (``state``, ``method``, ``class``).
+  key = the lock name (``state``, ``method``, ``class``);
+* ``serve-accept`` — admission path of the ``repro serve`` daemon,
+  fired before a submission is admitted; key = the tenant id;
+* ``serve-dispatch`` — the daemon's dispatcher, fired after a job is
+  journaled and immediately before it starts executing; key = the job
+  id (``sigkill`` here models the daemon dying mid-dispatch, which the
+  restart-recovery contract must survive);
+* ``serve-respond`` — fired before the daemon writes an HTTP response;
+  key = the request route (e.g. ``POST /v1/jobs``).
 
 Actions:
 
@@ -84,7 +92,16 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: Exit status used by the ``kill`` action in a process worker.
 KILL_EXIT_CODE = 117
 
-SITES = ("worker", "cache-put", "store-write", "store-rename", "lock-acquire")
+SITES = (
+    "worker",
+    "cache-put",
+    "store-write",
+    "store-rename",
+    "lock-acquire",
+    "serve-accept",
+    "serve-dispatch",
+    "serve-respond",
+)
 ACTIONS = (
     "delay",
     "raise",
@@ -286,6 +303,23 @@ def parse_faults(spec: str) -> FaultPlan:
             )
         )
     return FaultPlan(tuple(rules), seed=seed)
+
+
+def validate_environment() -> FaultPlan | None:
+    """Parse-validate the ``REPRO_FAULTS`` environment spec *eagerly*.
+
+    The environment spec is normally parsed lazily, on the first
+    :func:`fire` call — which may happen deep inside a worker, turning a
+    typo'd site name into a baffling mid-run quarantine.  Entry points
+    (``repro check``, ``repro serve``) call this at startup instead, so
+    an unknown site or action fails fast with the full list of valid
+    ones.  Returns the parsed plan (or ``None`` when the variable is
+    unset/empty); raises :class:`FaultSpecError` on a malformed spec.
+    """
+    spec = os.environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return None
+    return parse_faults(spec)
 
 
 # ----------------------------------------------------------------------

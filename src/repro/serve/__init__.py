@@ -1,0 +1,51 @@
+"""``repro serve`` — the fault-tolerant verification daemon.
+
+An asyncio HTTP/JSON service over the batch engine: bounded admission
+with explicit load shedding, per-tenant fair scheduling, wall-clock job
+deadlines enforced through the engine supervisor, a circuit breaker
+over repeated worker crashes, a crash-safe job journal (SIGKILL the
+daemon mid-job; the restart re-runs the queue and serves byte-identical
+verdicts), and graceful SIGTERM drain.  See docs/serve.md.
+"""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.config import ServeConfig, ServeConfigError
+from repro.serve.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobError,
+    JobJournal,
+    make_job,
+)
+from repro.serve.metrics import ServeMetrics, serve_prometheus_text
+from repro.serve.queue import AdmissionError, AdmissionQueue
+from repro.serve.service import VerificationService, execute_job
+from repro.serve.http import ServeApp, serve_forever
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "CLOSED",
+    "DONE",
+    "FAILED",
+    "HALF_OPEN",
+    "Job",
+    "JobError",
+    "JobJournal",
+    "OPEN",
+    "QUEUED",
+    "RUNNING",
+    "ServeApp",
+    "ServeConfig",
+    "ServeConfigError",
+    "ServeMetrics",
+    "VerificationService",
+    "execute_job",
+    "make_job",
+    "serve_forever",
+    "serve_prometheus_text",
+]

@@ -1,0 +1,121 @@
+"""A circuit breaker over worker-pool crashes.
+
+A healthy daemon absorbs the occasional crashed job (the supervisor
+retries it, the journal keeps it durable).  *Repeated* crashes are a
+different animal — a poisoned input class, a leaking worker, a broken
+interpreter — and re-dispatching into a dying pool just burns the queue.
+The breaker watches consecutive job-execution crashes and, past a
+threshold, **trips open**: admission and dispatch both stop, callers get
+an explicit 503 with a retry-after equal to the remaining backoff.
+
+Recovery is deterministic: the open interval is
+``base * 2**(consecutive_trips - 1)`` capped at ``max_backoff`` — no
+randomness, so tests (and operators) can predict exactly when the
+breaker will probe again.  After the interval one **half-open** probe
+job is let through; success closes the breaker and resets the backoff,
+another crash re-trips it with a doubled interval.
+
+The clock is injected so unit tests can drive time by hand.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip on repeated crashes; recover with deterministic backoff."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        base_backoff: float = 1.0,
+        max_backoff: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if base_backoff <= 0 or max_backoff <= 0:
+            raise ValueError("backoff intervals must be positive")
+        self.threshold = threshold
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        #: Consecutive trips since the last close (drives the backoff).
+        self.consecutive_trips = 0
+        #: Lifetime trip count (monotonic; metrics).
+        self.trips_total = 0
+        self.opened_at: float | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backoff(self) -> float:
+        """The current open interval in seconds."""
+        if self.consecutive_trips == 0:
+            return self.base_backoff
+        return min(
+            self.base_backoff * (2 ** (self.consecutive_trips - 1)),
+            self.max_backoff,
+        )
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe (0 when not open)."""
+        if self.state != OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.opened_at + self.backoff - self._clock())
+
+    def allow(self) -> bool:
+        """May a job be admitted/dispatched right now?
+
+        While open, returns ``False`` until the backoff elapses, then
+        transitions to half-open and lets exactly one probe through
+        (subsequent calls return ``False`` until the probe reports).
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.retry_after() > 0.0:
+                return False
+            self.state = HALF_OPEN
+            return True
+        return False  # half-open: the probe is already out
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self.consecutive_trips = 0
+            self.opened_at = None
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.consecutive_trips += 1
+        self.trips_total += 1
+        self.opened_at = self._clock()
+        self.consecutive_failures = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "consecutive_trips": self.consecutive_trips,
+            "trips_total": self.trips_total,
+            "backoff_seconds": self.backoff,
+            "retry_after_seconds": round(self.retry_after(), 6),
+        }

@@ -1,0 +1,204 @@
+"""Service-level metrics of the verification daemon.
+
+Mirrors the counter/gauge discipline of :mod:`repro.obs.sinks`: one
+plain in-memory accumulator, one pure renderer to the Prometheus text
+format under the ``repro_serve_*`` prefix.  The daemon exposes the text
+form at ``GET /metrics`` and the raw dict in ``/readyz`` payloads and
+the smoke-test artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.sinks import _escape_label
+
+
+@dataclass
+class ServeMetrics:
+    """Counters and gauges of one daemon process (monotonic unless noted)."""
+
+    submissions_total: int = 0
+    #: Accepted jobs by terminal/queued state transition.
+    jobs_queued_total: int = 0
+    jobs_started_total: int = 0
+    jobs_done_total: int = 0
+    jobs_failed_total: int = 0
+    #: Explicit load-shed rejections by machine-readable reason.
+    rejections: dict[str, int] = field(default_factory=dict)
+    #: Crash retries re-enqueued by the supervisor loop.
+    retries_total: int = 0
+    #: Jobs re-enqueued from the journal after a daemon restart.
+    recovered_jobs_total: int = 0
+    breaker_trips_total: int = 0
+    classes_checked_total: int = 0
+    job_seconds_total: float = 0.0
+    #: Completed (done or failed) jobs per tenant — the fairness signal.
+    tenant_completed: dict[str, int] = field(default_factory=dict)
+    journal_write_failures: int = 0
+    journal_corrupt_entries: int = 0
+
+    # Gauges (sampled at render time, not monotonic).
+    queue_depth: int = 0
+    inflight: int = 0
+    draining: bool = False
+    breaker_state: str = "closed"
+    uptime_seconds: float = 0.0
+
+    def reject(self, reason: str) -> None:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+
+    def tenant_done(self, tenant: str) -> None:
+        self.tenant_completed[tenant] = self.tenant_completed.get(tenant, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "submissions_total": self.submissions_total,
+            "jobs_queued_total": self.jobs_queued_total,
+            "jobs_started_total": self.jobs_started_total,
+            "jobs_done_total": self.jobs_done_total,
+            "jobs_failed_total": self.jobs_failed_total,
+            "rejections_total": dict(sorted(self.rejections.items())),
+            "retries_total": self.retries_total,
+            "recovered_jobs_total": self.recovered_jobs_total,
+            "breaker_trips_total": self.breaker_trips_total,
+            "classes_checked_total": self.classes_checked_total,
+            "job_seconds_total": round(self.job_seconds_total, 6),
+            "tenant_completed_total": dict(sorted(self.tenant_completed.items())),
+            "journal_write_failures": self.journal_write_failures,
+            "journal_corrupt_entries": self.journal_corrupt_entries,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "draining": self.draining,
+            "breaker_state": self.breaker_state,
+            "uptime_seconds": round(self.uptime_seconds, 3),
+        }
+
+
+_BREAKER_STATES = ("closed", "open", "half-open")
+
+
+def serve_prometheus_text(metrics: ServeMetrics, prefix: str = "repro_serve") -> str:
+    """Render the daemon metrics in Prometheus text format (0.0.4)."""
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, help_text: str, samples: list[tuple[str, Any]]) -> None:
+        lines.append(f"# HELP {prefix}_{name} {help_text}")
+        lines.append(f"# TYPE {prefix}_{name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{prefix}_{name}{labels} {value}")
+
+    emit(
+        "jobs_total",
+        "counter",
+        "Job lifecycle transitions by state.",
+        [
+            (f'{{state="{state}"}}', value)
+            for state, value in (
+                ("queued", metrics.jobs_queued_total),
+                ("started", metrics.jobs_started_total),
+                ("done", metrics.jobs_done_total),
+                ("failed", metrics.jobs_failed_total),
+            )
+        ],
+    )
+    emit(
+        "submissions_total",
+        "counter",
+        "Submission attempts, accepted or shed.",
+        [("", metrics.submissions_total)],
+    )
+    emit(
+        "rejections_total",
+        "counter",
+        "Explicitly shed submissions by reason.",
+        [
+            (f'{{reason="{_escape_label(reason)}"}}', value)
+            for reason, value in sorted(metrics.rejections.items())
+        ]
+        or [('{reason="none"}', 0)],
+    )
+    emit(
+        "retries_total",
+        "counter",
+        "Jobs re-enqueued after a worker crash.",
+        [("", metrics.retries_total)],
+    )
+    emit(
+        "recovered_jobs_total",
+        "counter",
+        "Jobs re-enqueued from the journal after a restart.",
+        [("", metrics.recovered_jobs_total)],
+    )
+    emit(
+        "breaker_trips_total",
+        "counter",
+        "Circuit-breaker open transitions.",
+        [("", metrics.breaker_trips_total)],
+    )
+    emit(
+        "classes_checked_total",
+        "counter",
+        "Classes verified across all completed jobs.",
+        [("", metrics.classes_checked_total)],
+    )
+    emit(
+        "job_seconds_total",
+        "counter",
+        "Execution wall time across all completed jobs.",
+        [("", round(metrics.job_seconds_total, 6))],
+    )
+    emit(
+        "tenant_completed_total",
+        "counter",
+        "Completed (done or failed) jobs per tenant.",
+        [
+            (f'{{tenant="{_escape_label(tenant)}"}}', value)
+            for tenant, value in sorted(metrics.tenant_completed.items())
+        ]
+        or [('{tenant="none"}', 0)],
+    )
+    emit(
+        "journal_events_total",
+        "counter",
+        "Journal degradation events by kind.",
+        [
+            ('{kind="write_failures"}', metrics.journal_write_failures),
+            ('{kind="corrupt_entries"}', metrics.journal_corrupt_entries),
+        ],
+    )
+    emit(
+        "queue_depth",
+        "gauge",
+        "Jobs currently queued for dispatch.",
+        [("", metrics.queue_depth)],
+    )
+    emit(
+        "inflight",
+        "gauge",
+        "Jobs currently executing.",
+        [("", metrics.inflight)],
+    )
+    emit(
+        "draining",
+        "gauge",
+        "1 while the daemon is draining for shutdown.",
+        [("", int(metrics.draining))],
+    )
+    emit(
+        "breaker_state",
+        "gauge",
+        "Circuit-breaker state (1 on the active state's label).",
+        [
+            (f'{{state="{state}"}}', int(metrics.breaker_state == state))
+            for state in _BREAKER_STATES
+        ],
+    )
+    emit(
+        "uptime_seconds",
+        "gauge",
+        "Seconds since the daemon started.",
+        [("", round(metrics.uptime_seconds, 3))],
+    )
+    return "\n".join(lines) + "\n"

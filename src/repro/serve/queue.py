@@ -1,0 +1,151 @@
+"""Admission control and per-tenant fair scheduling.
+
+The queue is the daemon's backpressure boundary: its depth is **bounded**
+(``queue_depth``), and a submission past the bound — or past a tenant's
+own queued-job cap — is rejected *explicitly* with a structured
+:class:`AdmissionError` carrying a machine-readable reason and a
+retry-after hint.  Nothing is ever silently dropped: every job the
+queue accepts is eventually dispatched or checkpointed.
+
+Scheduling is **round-robin across tenants** (not FIFO across jobs): the
+dispatcher asks :meth:`AdmissionQueue.take` for the next job, and the
+queue rotates through tenants in sorted cyclic order, skipping tenants
+at their concurrency cap.  A tenant with a hundred queued jobs and a
+tenant with one therefore alternate, and a tenant whose jobs are slow
+(occupying its concurrency slots) cannot starve the rest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+from repro.serve.jobs import Job
+
+#: Machine-readable rejection reasons (HTTP layer maps them to status
+#: codes; metrics count them per reason).
+REASON_QUEUE_FULL = "queue-full"
+REASON_TENANT_LIMIT = "tenant-limit"
+REASON_DRAINING = "draining"
+REASON_BREAKER_OPEN = "breaker-open"
+
+
+class AdmissionError(Exception):
+    """An explicit load-shedding rejection (never a silent drop)."""
+
+    def __init__(self, reason: str, message: str, retry_after: float):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """Bounded multi-tenant job queue with round-robin fair draining."""
+
+    def __init__(self, depth: int, tenant_cap: int):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        if tenant_cap < 1:
+            raise ValueError(f"tenant cap must be >= 1, got {tenant_cap}")
+        self.depth = depth
+        self.tenant_cap = tenant_cap
+        self._pending: dict[str, deque[Job]] = {}
+        self._size = 0
+        #: Cyclic fairness pointer: the tenant served last.
+        self._last_tenant: str | None = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def saturated(self) -> bool:
+        return self._size >= self.depth
+
+    def tenant_depth(self, tenant: str) -> int:
+        bucket = self._pending.get(tenant)
+        return len(bucket) if bucket else 0
+
+    def depths(self) -> dict[str, int]:
+        return {
+            tenant: len(bucket)
+            for tenant, bucket in sorted(self._pending.items())
+            if bucket
+        }
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, job: Job, retry_after: float) -> None:
+        """Admit ``job`` or raise a structured :class:`AdmissionError`."""
+        if self._size >= self.depth:
+            raise AdmissionError(
+                REASON_QUEUE_FULL,
+                f"queue full ({self._size}/{self.depth} jobs queued)",
+                retry_after,
+            )
+        if self.tenant_depth(job.tenant) >= self.tenant_cap:
+            raise AdmissionError(
+                REASON_TENANT_LIMIT,
+                f"tenant {job.tenant!r} already has "
+                f"{self.tenant_depth(job.tenant)} queued job(s) "
+                f"(cap {self.tenant_cap})",
+                retry_after,
+            )
+        self._pending.setdefault(job.tenant, deque()).append(job)
+        self._size += 1
+
+    def restore(self, job: Job, *, front: bool = False) -> None:
+        """Re-enqueue without admission checks (recovery and crash
+        retries re-insert jobs that were already admitted once)."""
+        bucket = self._pending.setdefault(job.tenant, deque())
+        if front:
+            bucket.appendleft(job)
+        else:
+            bucket.append(job)
+        self._size += 1
+
+    # -- fair draining -------------------------------------------------
+
+    def take(
+        self,
+        active_per_tenant: Mapping[str, int] | None = None,
+        tenant_concurrency: int | None = None,
+    ) -> Job | None:
+        """The next job, round-robin across tenants; ``None`` when every
+        pending tenant is at its concurrency cap (or nothing pends)."""
+        active = active_per_tenant or {}
+        tenants = sorted(
+            tenant for tenant, bucket in self._pending.items() if bucket
+        )
+        if not tenants:
+            return None
+        eligible = [
+            tenant
+            for tenant in tenants
+            if tenant_concurrency is None
+            or active.get(tenant, 0) < tenant_concurrency
+        ]
+        if not eligible:
+            return None
+        # Start strictly after the last-served tenant, cyclically.
+        chosen = eligible[0]
+        if self._last_tenant is not None:
+            for tenant in eligible:
+                if tenant > self._last_tenant:
+                    chosen = tenant
+                    break
+        self._last_tenant = chosen
+        bucket = self._pending[chosen]
+        job = bucket.popleft()
+        if not bucket:
+            del self._pending[chosen]
+        self._size -= 1
+        return job
+
+    def drain_all(self) -> list[Job]:
+        """Remove and return every queued job (shutdown checkpointing)."""
+        jobs: list[Job] = []
+        for tenant in sorted(self._pending):
+            jobs.extend(self._pending[tenant])
+        self._pending.clear()
+        self._size = 0
+        return jobs

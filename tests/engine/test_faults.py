@@ -55,6 +55,52 @@ class TestSpecParsing:
         with pytest.raises(FaultSpecError):
             parse_faults(spec)
 
+    @pytest.mark.parametrize(
+        "site", ["serve-accept", "serve-dispatch", "serve-respond"]
+    )
+    def test_serve_sites_parse(self, site):
+        plan = parse_faults(f"{site}:delay:*:arg=0.5")
+        assert plan.rules[0].site == site
+
+    def test_unknown_site_error_lists_the_valid_sites(self):
+        with pytest.raises(FaultSpecError) as excinfo:
+            parse_faults("nowhere:raise:*")
+        message = str(excinfo.value)
+        for site in faults.SITES:
+            assert site in message
+
+    def test_unknown_action_error_lists_the_valid_actions(self):
+        with pytest.raises(FaultSpecError) as excinfo:
+            parse_faults("worker:explode:*")
+        message = str(excinfo.value)
+        for action in faults.ACTIONS:
+            assert action in message
+
+
+class TestValidateEnvironment:
+    """Eager REPRO_FAULTS validation at entry-point startup."""
+
+    def test_unset_or_blank_env_returns_none(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+        assert faults.validate_environment() is None
+        monkeypatch.setenv(faults.FAULTS_ENV, "   ")
+        assert faults.validate_environment() is None
+
+    def test_valid_spec_returns_the_parsed_plan(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.FAULTS_ENV, "serve-dispatch:raise:*:times=1"
+        )
+        plan = faults.validate_environment()
+        assert plan is not None
+        assert plan.rules[0].site == "serve-dispatch"
+
+    def test_malformed_spec_raises_with_the_site_list(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULTS_ENV, "typo-site:raise:*")
+        with pytest.raises(FaultSpecError) as excinfo:
+            faults.validate_environment()
+        assert "typo-site" in str(excinfo.value)
+        assert "serve-dispatch" in str(excinfo.value)
+
 
 class TestFiring:
     def test_raise_action(self):

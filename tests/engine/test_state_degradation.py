@@ -1,0 +1,104 @@
+"""LockTimeout degradation of the project state (``repro.engine.state``).
+
+A contended state lock must never change a verdict: the save degrades
+to a structured :class:`SaveReport` failure, the run's metrics count it
+(``store.state_save_failures``), and the CLI warns on stderr that the
+next incremental run starts cold.  In-process first, then the same
+story end-to-end through ``repro check --incremental``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.engine import faults
+from repro.engine.incremental import verify_incremental
+from repro.engine.state import load_state
+from repro.frontend.parse import parse_module
+from repro.paper import GOOD_MODULE
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+class TestInProcessDegradation:
+    def test_lock_timeout_degrades_the_save_not_the_verdict(
+        self, tmp_path, no_ambient_faults
+    ):
+        faults.install(faults.parse_faults("lock-acquire:lock-timeout:state"))
+        module, violations = parse_module(GOOD_MODULE)
+        state_file = tmp_path / "state.json"
+        outcome = verify_incremental(
+            module, violations, state_file=state_file
+        )
+        # The verdict is untouched by the persistence failure.
+        assert outcome.batch.merged().ok
+        # The failure is structured, not silent.
+        assert outcome.save is not None
+        assert outcome.save.ok is False
+        assert outcome.save.lock_timeout is True
+        assert outcome.batch.metrics.state_save_failures == 1
+        # Nothing half-written: the state file simply does not exist.
+        state, reason = load_state(state_file)
+        assert state is None and reason is not None
+
+    def test_next_healthy_run_saves_and_reuses(
+        self, tmp_path, no_ambient_faults
+    ):
+        faults.install(faults.parse_faults("lock-acquire:lock-timeout:state"))
+        module, violations = parse_module(GOOD_MODULE)
+        state_file = tmp_path / "state.json"
+        degraded = verify_incremental(
+            module, violations, state_file=state_file
+        )
+        assert degraded.batch.metrics.reused_verdicts == 0  # cold
+
+        faults.install(None)
+        warm_up = verify_incremental(module, violations, state_file=state_file)
+        assert warm_up.save is not None and warm_up.save.ok
+        reused = verify_incremental(module, violations, state_file=state_file)
+        assert reused.batch.metrics.reused_verdicts == len(module.classes)
+        assert reused.batch.merged().format() == degraded.batch.merged().format()
+
+
+class TestCliDegradation:
+    def _check_incremental(self, target, cache_dir, metrics_out, *, fault=None):
+        env = {"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR}
+        if fault:
+            env["REPRO_FAULTS"] = fault
+        return subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "check", str(target),
+                "--incremental", "--cache-dir", str(cache_dir),
+                "--metrics-out", str(metrics_out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+
+    def test_incremental_under_lock_timeout_warns_and_counts(self, tmp_path):
+        target = tmp_path / "good.py"
+        target.write_text(GOOD_MODULE, encoding="utf-8")
+        metrics_out = tmp_path / "metrics.json"
+        degraded = self._check_incremental(
+            target, tmp_path / "cache", metrics_out,
+            fault="lock-acquire:lock-timeout:state",
+        )
+        assert degraded.returncode == 0
+        assert "project state not saved" in degraded.stderr
+        assert "Traceback" not in degraded.stderr
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["store"]["state_save_failures"] == 1
+
+        # The very next healthy run saves state and reports zero failures.
+        healthy = self._check_incremental(
+            target, tmp_path / "cache", metrics_out
+        )
+        assert healthy.returncode == 0
+        assert healthy.stdout == degraded.stdout
+        assert "project state not saved" not in healthy.stderr
+        metrics = json.loads(metrics_out.read_text())
+        assert metrics["store"]["state_save_failures"] == 0

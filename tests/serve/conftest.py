@@ -1,0 +1,137 @@
+"""Shared helpers for the daemon tests: a real ``repro serve``
+subprocess plus a tiny JSON-over-HTTP client (stdlib only)."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+EXAMPLE = (
+    Path(__file__).resolve().parents[2] / "examples" / "greenhouse_monitor.py"
+)
+
+SIGKILLED = -signal.SIGKILL if hasattr(signal, "SIGKILL") else 117
+
+
+@pytest.fixture(scope="session")
+def example_source():
+    return EXAMPLE.read_text(encoding="utf-8")
+
+
+class Daemon:
+    """One live ``repro serve`` subprocess on an OS-assigned port."""
+
+    def __init__(self, cache_dir, *extra_args, env_faults=None):
+        env = {"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR}
+        if env_faults is not None:
+            env["REPRO_FAULTS"] = env_faults
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--cache-dir", str(cache_dir),
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self.ready_line = self.proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", self.ready_line)
+        if match is None:
+            self.proc.wait(timeout=10)
+            raise AssertionError(
+                f"daemon did not come up: {self.ready_line!r}\n"
+                f"{self.proc.stderr.read()}"
+            )
+        self.base = f"http://{match.group(1)}:{match.group(2)}"
+
+    # -- client --------------------------------------------------------
+
+    def request(self, method, path, payload=None):
+        """(status, parsed JSON | text).  4xx/5xx do not raise."""
+        data = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        req = urllib.request.Request(self.base + path, data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=60) as response:
+                status, body = response.status, response.read()
+                headers = dict(response.headers)
+        except urllib.error.HTTPError as error:
+            status, body = error.code, error.read()
+            headers = dict(error.headers)
+        text = body.decode("utf-8")
+        try:
+            return status, json.loads(text), headers
+        except ValueError:
+            return status, text, headers
+
+    def get(self, path):
+        status, body, _headers = self.request("GET", path)
+        return status, body
+
+    def post(self, path, payload=None):
+        status, body, _headers = self.request("POST", path, payload)
+        return status, body
+
+    def submit(self, files, tenant="default"):
+        return self.request("POST", "/v1/jobs", {"tenant": tenant, "files": files})
+
+    def wait_job(self, job_id, timeout=120.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, job = self.get(f"/v1/jobs/{job_id}")
+            assert status == 200, job
+            if job["state"] in ("done", "failed"):
+                return job
+            time.sleep(0.05)
+        raise AssertionError(f"job {job_id} not terminal after {timeout}s")
+
+    # -- lifecycle -----------------------------------------------------
+
+    def sigkill(self):
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=30)
+        return self.proc.returncode
+
+    def terminate(self, timeout=60):
+        """SIGTERM and wait for the graceful drain; returns (rc, stderr)."""
+        self.proc.send_signal(signal.SIGTERM)
+        _out, err = self.proc.communicate(timeout=timeout)
+        return self.proc.returncode, err
+
+    def close(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.communicate(timeout=30)
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    """Start daemons against per-test cache dirs; always reaped."""
+    started = []
+
+    def start(*extra_args, cache_dir=None, env_faults=None):
+        daemon = Daemon(
+            cache_dir if cache_dir is not None else tmp_path / "cache",
+            *extra_args,
+            env_faults=env_faults,
+        )
+        started.append(daemon)
+        return daemon
+
+    yield start
+    for daemon in started:
+        daemon.close()

@@ -1,0 +1,116 @@
+"""The circuit breaker's state machine and deterministic backoff."""
+
+import pytest
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def tripped(clock, threshold=3, base=1.0, maximum=30.0):
+    breaker = CircuitBreaker(threshold, base, maximum, clock=clock)
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    return breaker
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = CircuitBreaker(3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_crash_streak(self, clock):
+        breaker = CircuitBreaker(3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never 3 *consecutive* failures
+
+    def test_threshold_trips_open_and_blocks(self, clock):
+        breaker = tripped(clock)
+        assert not breaker.allow()
+        assert breaker.trips_total == 1
+        assert breaker.retry_after() == pytest.approx(1.0)
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(0, clock=clock)
+        with pytest.raises(ValueError):
+            CircuitBreaker(1, base_backoff=0.0, clock=clock)
+
+
+class TestDeterministicBackoff:
+    def test_backoff_doubles_per_consecutive_trip(self, clock):
+        breaker = tripped(clock, threshold=1, base=1.0, maximum=30.0)
+        observed = []
+        for _ in range(7):
+            observed.append(breaker.backoff)
+            clock.advance(breaker.backoff)
+            assert breaker.allow()  # half-open probe
+            breaker.record_failure()  # probe crashes: re-trip
+        assert observed == [1.0, 2.0, 4.0, 8.0, 16.0, 30.0, 30.0]
+
+    def test_retry_after_counts_down_with_the_clock(self, clock):
+        breaker = tripped(clock, threshold=1, base=4.0)
+        clock.advance(1.5)
+        assert breaker.retry_after() == pytest.approx(2.5)
+        clock.advance(10.0)
+        assert breaker.retry_after() == 0.0
+
+
+class TestHalfOpen:
+    def test_exactly_one_probe_is_admitted(self, clock):
+        breaker = tripped(clock)
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow()  # a second job must wait for the verdict
+
+    def test_probe_success_closes_and_resets_backoff(self, clock):
+        breaker = tripped(clock, threshold=1, base=1.0)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # trip 2 → backoff 2s
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_trips == 0
+        assert breaker.backoff == pytest.approx(1.0)  # back to base
+        assert breaker.allow()
+
+    def test_probe_failure_retrips_immediately(self, clock):
+        breaker = tripped(clock)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # one probe crash suffices in half-open
+        assert breaker.state == OPEN
+        assert breaker.trips_total == 2
+
+    def test_snapshot_is_json_shaped(self, clock):
+        breaker = tripped(clock)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == OPEN
+        assert snapshot["trips_total"] == 1
+        assert snapshot["backoff_seconds"] == 1.0
+        assert snapshot["retry_after_seconds"] == 1.0

@@ -1,0 +1,116 @@
+"""Admission control and round-robin fairness (repro.serve.queue)."""
+
+import pytest
+
+from repro.serve.jobs import make_job
+from repro.serve.queue import (
+    REASON_QUEUE_FULL,
+    REASON_TENANT_LIMIT,
+    AdmissionError,
+    AdmissionQueue,
+)
+
+
+def job_for(seq, tenant):
+    job, _files = make_job(
+        seq, tenant, {"m.py": f"# job {seq}\n"}, deadline=10.0, now=0.0
+    )
+    return job
+
+
+class TestAdmission:
+    def test_accepts_up_to_depth(self):
+        queue = AdmissionQueue(depth=3, tenant_cap=3)
+        for seq in range(3):
+            queue.submit(job_for(seq, "a"), retry_after=1.0)
+        assert len(queue) == 3
+        assert queue.saturated
+
+    def test_overflow_is_an_explicit_rejection(self):
+        queue = AdmissionQueue(depth=2, tenant_cap=2)
+        queue.submit(job_for(1, "a"), retry_after=1.0)
+        queue.submit(job_for(2, "b"), retry_after=1.0)
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.submit(job_for(3, "c"), retry_after=2.5)
+        assert excinfo.value.reason == REASON_QUEUE_FULL
+        assert excinfo.value.retry_after == 2.5
+        assert "2/2" in str(excinfo.value)
+        assert len(queue) == 2  # nothing silently dropped or displaced
+
+    def test_tenant_cap_is_enforced_before_global_depth(self):
+        queue = AdmissionQueue(depth=10, tenant_cap=2)
+        queue.submit(job_for(1, "greedy"), retry_after=1.0)
+        queue.submit(job_for(2, "greedy"), retry_after=1.0)
+        with pytest.raises(AdmissionError) as excinfo:
+            queue.submit(job_for(3, "greedy"), retry_after=1.0)
+        assert excinfo.value.reason == REASON_TENANT_LIMIT
+        # Another tenant still gets in.
+        queue.submit(job_for(4, "modest"), retry_after=1.0)
+        assert queue.depths() == {"greedy": 2, "modest": 1}
+
+    def test_restore_bypasses_admission(self):
+        queue = AdmissionQueue(depth=1, tenant_cap=1)
+        queue.submit(job_for(1, "a"), retry_after=1.0)
+        # A crash-retry re-enqueue must never be shed.
+        queue.restore(job_for(2, "a"))
+        assert len(queue) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(depth=0, tenant_cap=1)
+        with pytest.raises(ValueError):
+            AdmissionQueue(depth=1, tenant_cap=0)
+
+
+class TestFairTake:
+    def test_round_robin_across_tenants(self):
+        queue = AdmissionQueue(depth=12, tenant_cap=12)
+        for seq in range(4):
+            queue.submit(job_for(seq, "a"), retry_after=1.0)
+        for seq in range(4, 6):
+            queue.submit(job_for(seq, "b"), retry_after=1.0)
+        order = []
+        while True:
+            job = queue.take()
+            if job is None:
+                break
+            order.append(job.tenant)
+        # Tenants alternate while both have work; "a" never starves "b".
+        assert order == ["a", "b", "a", "b", "a", "a"]
+
+    def test_fifo_within_a_tenant(self):
+        queue = AdmissionQueue(depth=4, tenant_cap=4)
+        for seq in (1, 2, 3):
+            queue.submit(job_for(seq, "a"), retry_after=1.0)
+        assert [queue.take().seq for _ in range(3)] == [1, 2, 3]
+
+    def test_concurrency_cap_skips_saturated_tenants(self):
+        queue = AdmissionQueue(depth=4, tenant_cap=4)
+        queue.submit(job_for(1, "busy"), retry_after=1.0)
+        queue.submit(job_for(2, "idle"), retry_after=1.0)
+        job = queue.take({"busy": 2}, tenant_concurrency=2)
+        assert job.tenant == "idle"
+        # Everyone at cap: nothing is dispatchable, nothing is lost.
+        assert queue.take({"busy": 2, "idle": 2}, tenant_concurrency=2) is None
+        assert len(queue) == 1
+
+    def test_restore_front_preserves_retry_priority(self):
+        queue = AdmissionQueue(depth=4, tenant_cap=4)
+        queue.submit(job_for(1, "a"), retry_after=1.0)
+        queue.submit(job_for(2, "a"), retry_after=1.0)
+        first = queue.take()
+        queue.restore(first, front=True)
+        assert queue.take().seq == first.seq
+
+    def test_drain_all_empties_deterministically(self):
+        queue = AdmissionQueue(depth=6, tenant_cap=6)
+        for seq, tenant in ((1, "b"), (2, "a"), (3, "b")):
+            queue.submit(job_for(seq, tenant), retry_after=1.0)
+        drained = queue.drain_all()
+        assert [(job.tenant, job.seq) for job in drained] == [
+            ("a", 2),
+            ("b", 1),
+            ("b", 3),
+        ]
+        assert len(queue) == 0
+        assert queue.take() is None

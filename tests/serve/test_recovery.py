@@ -1,0 +1,128 @@
+"""The PR's chaos acceptance scenario: SIGKILL the daemon mid-job, then
+prove the restarted daemon recovers the journaled queue and serves
+**byte-identical** verdicts, with the shared store auditing clean."""
+
+import subprocess
+import sys
+
+from tests.serve.conftest import SIGKILLED, SRC_DIR
+
+
+def batch_check(target, cache_dir):
+    """A cold ``repro check`` subprocess — the reference verdict."""
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "check", str(target),
+            "--cache", "--cache-dir", str(cache_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR},
+    )
+
+
+def cache_verify(cache_dir):
+    return subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "cache", "verify",
+            "--cache-dir", str(cache_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR},
+    )
+
+
+class TestSigkillRecovery:
+    def test_injected_sigkill_mid_dispatch(
+        self, daemon_factory, tmp_path, example_source
+    ):
+        """The ``serve-dispatch`` fault site kills the daemon at the
+        worst moment: the job journaled RUNNING, nothing executed."""
+        cache = tmp_path / "cache"
+        daemon = daemon_factory(
+            "--faults", "serve-dispatch:sigkill:*:times=1",
+            cache_dir=cache,
+        )
+        _status, job, _headers = daemon.submit(
+            {"greenhouse.py": example_source}, tenant="alice"
+        )
+        assert _status == 202
+        assert daemon.proc.wait(timeout=60) == SIGKILLED
+
+        restarted = daemon_factory(cache_dir=cache)
+        assert "1 job(s) recovered" in restarted.ready_line
+        done = restarted.wait_job(job["id"])
+        assert done["state"] == "done"
+        assert done["recovered"] == 1
+        daemon_report = done["report"]
+        rc, _err = restarted.terminate()
+        assert rc == 0
+
+        # Byte-identity: a pristine batch run over the spooled sources
+        # (fresh cache — no shared warm state) prints the same verdict.
+        spool = cache / "serve" / "spool" / job["id"] / "greenhouse.py"
+        reference = batch_check(spool, tmp_path / "pristine-cache")
+        assert reference.returncode == 0
+        assert reference.stdout == daemon_report + "\n"
+
+        # And the store the crash tore through audits clean.
+        assert cache_verify(cache).returncode == 0
+
+    def test_external_sigkill_while_running(
+        self, daemon_factory, tmp_path, example_source
+    ):
+        """SIGKILL from outside while the job is mid-execution."""
+        cache = tmp_path / "cache"
+        daemon = daemon_factory(
+            # Hold the job in RUNNING long enough to kill deterministically.
+            "--faults", "serve-dispatch:delay:*:arg=10",
+            cache_dir=cache,
+        )
+        _status, job, _headers = daemon.submit(
+            {"greenhouse.py": example_source}, tenant="alice"
+        )
+        # Wait until the journal says RUNNING, then murder the daemon.
+        for _ in range(200):
+            status, record = daemon.get(f"/v1/jobs/{job['id']}")
+            if record["state"] == "running":
+                break
+        assert record["state"] == "running"
+        assert daemon.sigkill() == SIGKILLED
+
+        restarted = daemon_factory(cache_dir=cache)
+        done = restarted.wait_job(job["id"])
+        assert done["state"] == "done"
+        assert done["ok"] is True
+        assert done["recovered"] == 1
+        rc, _err = restarted.terminate()
+        assert rc == 0
+        assert cache_verify(cache).returncode == 0
+
+    def test_kill_restart_kill_restart(
+        self, daemon_factory, tmp_path, example_source
+    ):
+        """Two crashes in a row: the recovery counter keeps score and
+        the verdict still lands."""
+        cache = tmp_path / "cache"
+        daemon = daemon_factory(
+            "--faults", "serve-dispatch:sigkill:*:times=1", cache_dir=cache
+        )
+        _status, job, _headers = daemon.submit(
+            {"greenhouse.py": example_source}
+        )
+        assert daemon.proc.wait(timeout=60) == SIGKILLED
+
+        second = daemon_factory(
+            "--faults", "serve-dispatch:sigkill:*:times=1", cache_dir=cache
+        )
+        assert second.proc.wait(timeout=60) == SIGKILLED
+
+        third = daemon_factory(cache_dir=cache)
+        done = third.wait_job(job["id"])
+        assert done["state"] == "done"
+        assert done["recovered"] == 2
+        rc, _err = third.terminate()
+        assert rc == 0

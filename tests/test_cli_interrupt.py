@@ -1,0 +1,73 @@
+"""Signal discipline of ``repro check``: SIGINT/SIGTERM mid-run must
+produce one clean ``ENGINE INTERRUPTED`` diagnostic and exit 130 — no
+traceback, no partial report — and a typo'd ``REPRO_FAULTS`` must be a
+one-line usage error at startup, not a quarantine deep in a worker."""
+
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.paper import GOOD_MODULE
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+ENV = {"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR}
+
+
+@pytest.fixture
+def slow_check(tmp_path):
+    """A ``repro check`` subprocess held mid-run by an injected delay."""
+    target = tmp_path / "good.py"
+    target.write_text(GOOD_MODULE, encoding="utf-8")
+
+    def start():
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "check", str(target),
+                "--faults", "worker:delay:*:arg=30",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=ENV,
+        )
+        time.sleep(2.0)  # clear interpreter startup; park in the delay
+        assert proc.poll() is None, "check finished before the signal"
+        return proc
+
+    return start
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_signal_exits_130_with_clean_diagnostic(slow_check, signum):
+    proc = slow_check()
+    proc.send_signal(signum)
+    stdout, stderr = proc.communicate(timeout=60)
+    assert proc.returncode == 130
+    assert "ENGINE INTERRUPTED" in stderr
+    assert "Traceback" not in stderr
+    assert "Traceback" not in stdout
+    # The diagnostic names the guarantee the user cares about.
+    assert "remain consistent" in stderr
+
+
+def test_bad_faults_env_is_a_startup_error(tmp_path):
+    target = tmp_path / "good.py"
+    target.write_text(GOOD_MODULE, encoding="utf-8")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "check", str(target)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={**ENV, "REPRO_FAULTS": "nonsense:raise:*"},
+    )
+    assert completed.returncode != 0
+    assert "invalid REPRO_FAULTS" in completed.stderr
+    assert "unknown fault site" in completed.stderr
+    # The error teaches: every valid site is listed.
+    assert "serve-dispatch" in completed.stderr
+    assert "Traceback" not in completed.stderr
