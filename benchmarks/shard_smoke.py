@@ -1,0 +1,172 @@
+"""CI smoke gate for distributed sharded verification.
+
+Boots a real ``repro cache serve`` daemon, then drives the PR's
+distribution story end to end, under the clock:
+
+* **serial baseline** — one plain ``repro check`` run; its report is
+  the byte-identity oracle for everything after;
+* **cold coordinated run** — ``repro coordinate --shards 2`` with one
+  fresh local cache tree per worker, sharing the remote endpoint; the
+  merged report must equal the serial one byte for byte, and the
+  workers must have uploaded their verdicts;
+* **warm coordinated run** — a second 2-shard fleet with *new, empty*
+  local trees; every class verdict must now arrive over the wire
+  (``remote_hits > 0``, zero class misses), and the report must still
+  be byte-identical.
+
+Measurements land in ``--out`` (``BENCH_shard.json``).  Exits non-zero
+on any violated invariant.
+
+Usage::
+
+    python benchmarks/shard_smoke.py --out BENCH_shard.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any(Path(p).resolve() == REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SRC_DIR = str(REPO_ROOT / "src")
+
+from repro.workloads.hierarchy import HierarchyShape, project_source  # noqa: E402
+
+SHAPE = HierarchyShape(base_operations=5, subsystems=3, seed=41)
+SHARDS = 2
+
+
+class CacheDaemon:
+    """One ``repro cache serve`` subprocess on an OS-assigned port."""
+
+    def __init__(self, root: Path):
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "cache", "serve",
+                "--port", "0", "--cache-dir", str(root),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR},
+        )
+        line = self.proc.stdout.readline().strip()
+        if not line.startswith("http://"):
+            self.proc.kill()
+            raise AssertionError(
+                f"cache daemon did not come up: {line!r}\n"
+                f"{self.proc.stderr.read()}"
+            )
+        self.endpoint = line
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def check(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env={"PATH": "/usr/bin:/bin", "PYTHONPATH": SRC_DIR},
+        timeout=300,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_shard.json")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    numbers: dict[str, object] = {"shards": SHARDS}
+
+    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as scratch_dir:
+        scratch = Path(scratch_dir)
+        target = scratch / "project.py"
+        target.write_text(
+            project_source(SHAPE, pairs=3, correct=False), encoding="utf-8"
+        )
+
+        started = time.perf_counter()
+        serial = check("check", str(target))
+        numbers["serial_seconds"] = round(time.perf_counter() - started, 3)
+        if serial.returncode not in (0, 1):
+            print(serial.stderr, file=sys.stderr)
+            raise SystemExit("serial baseline check failed outright")
+        baseline = serial.stdout
+
+        daemon = CacheDaemon(scratch / "served")
+        try:
+            from repro.engine import coordinate
+
+            started = time.perf_counter()
+            cold = coordinate(
+                target,
+                shards=SHARDS,
+                worker_cache_root=scratch / "cold-workers",
+                remote_cache=daemon.endpoint,
+            )
+            numbers["cold_seconds"] = round(time.perf_counter() - started, 3)
+            cold_report = cold.batch.merged().format() + "\n"
+            numbers["cold_remote_puts"] = cold.batch.metrics.remote_puts
+            if cold_report != baseline:
+                failures.append("cold coordinated report diverged from serial")
+            if cold.batch.metrics.remote_puts <= 0:
+                failures.append("cold run uploaded nothing to the remote tier")
+
+            started = time.perf_counter()
+            warm = coordinate(
+                target,
+                shards=SHARDS,
+                worker_cache_root=scratch / "warm-workers",
+                remote_cache=daemon.endpoint,
+            )
+            numbers["warm_seconds"] = round(time.perf_counter() - started, 3)
+            warm_report = warm.batch.merged().format() + "\n"
+            numbers["warm_remote_hits"] = warm.batch.metrics.remote_hits
+            numbers["warm_class_misses"] = warm.batch.metrics.class_misses
+            if warm_report != baseline:
+                failures.append("warm coordinated report diverged from serial")
+            if warm.batch.metrics.remote_hits <= 0:
+                failures.append(
+                    "warm fleet saw no remote hits — cross-worker cache "
+                    "warming is broken"
+                )
+            if warm.batch.metrics.class_misses != 0:
+                failures.append(
+                    f"warm fleet recomputed {warm.batch.metrics.class_misses} "
+                    "class verdict(s) despite a fully seeded remote"
+                )
+        finally:
+            daemon.stop()
+
+    numbers["ok"] = not failures
+    numbers["failures"] = failures
+    Path(args.out).write_text(
+        json.dumps(numbers, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(numbers, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("shard smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,11 @@ Subcommands::
                               --trace-out/--metrics-out/--prom-out for
                               structured observability;
                               paper-style error reports either way)
+    repro coordinate FILE --shards N
+                              fan a check out to N shard worker
+                              processes (optionally sharing a remote
+                              cache) and merge the results into a
+                              report byte-identical to the serial run
     repro serve               run the fault-tolerant verification daemon
                               (bounded admission, per-tenant fairness,
                               job deadlines, circuit breaker, crash-safe
@@ -24,6 +29,8 @@ Subcommands::
                               --repair delete what fails the audit
     repro cache gc [--min-age SECONDS]
                               sweep orphaned temp files from crashes
+    repro cache serve         run the shared HTTP cache daemon that
+                              shard workers warm each other through
     repro state show|reset    inspect or drop the incremental state
     repro explain FILE        verify and narrate each usage counterexample
     repro model FILE          print each operation's inferred behavior regex
@@ -110,18 +117,66 @@ def _install_interrupt_handler() -> None:
     signal.signal(signal.SIGTERM, _interrupt)
 
 
+def _build_cache(args: argparse.Namespace):
+    """The inference cache for a check-style command, or ``None``.
+
+    ``--remote-cache URL`` implies caching and layers the remote HTTP
+    tier over the local directory (read-through, write-behind,
+    degrading to local-only when the remote misbehaves;
+    docs/distributed.md).  Plain ``--cache`` keeps today's local-only
+    sealed store.
+    """
+    from repro.engine import InferenceCache
+
+    remote = getattr(args, "remote_cache", None)
+    if remote:
+        from pathlib import Path as _Path
+
+        from repro.engine import (
+            LocalDirBackend,
+            RemoteHTTPBackend,
+            TieredBackend,
+        )
+
+        backend = TieredBackend(
+            LocalDirBackend(_Path(args.cache_dir)),
+            RemoteHTTPBackend(remote),
+        )
+        return InferenceCache(backend=backend)
+    return InferenceCache(args.cache_dir) if args.cache else None
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import os
 
     _apply_kernel(args)
     _install_interrupt_handler()
 
+    sharded = args.shards is not None or args.shard_index is not None
+    if sharded:
+        if args.shards is None or args.shard_index is None:
+            raise SystemExit(
+                "error: --shards and --shard-index must be given together"
+            )
+        if args.shards < 1:
+            raise SystemExit(f"error: --shards must be >= 1, got {args.shards}")
+        if not 0 <= args.shard_index < args.shards:
+            raise SystemExit(
+                f"error: --shard-index must be in [0, {args.shards}), "
+                f"got {args.shard_index}"
+            )
+        if args.incremental or args.since_state is not None:
+            raise SystemExit(
+                "error: --shards is incompatible with --incremental "
+                "(the dirty set is a whole-project property; shard a "
+                "full run instead)"
+            )
+
     from repro.engine import (
         BatchVerifier,
         EngineAborted,
         EngineError,
         FaultSpecError,
-        InferenceCache,
         faults,
     )
 
@@ -160,10 +215,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 module, violations = _load(args.file)
         else:
             module, violations = _load(args.file)
-        cache = InferenceCache(args.cache_dir) if args.cache else None
+        cache = _build_cache(args)
         incremental = args.incremental or args.since_state is not None
         try:
-            if incremental:
+            if sharded:
+                from repro.engine import (
+                    plan_shards,
+                    run_shard,
+                    shard_result_to_dict,
+                )
+
+                plans = plan_shards(module, args.shards)
+                plan = plans[args.shard_index]
+                batch = run_shard(
+                    module,
+                    violations,
+                    plan,
+                    jobs=args.jobs,
+                    executor=args.executor,
+                    cache=cache,
+                    timeout=args.timeout,
+                    max_states=args.max_states,
+                    retries=args.retries,
+                    fail_fast=args.fail_fast,
+                    tracer=tracer,
+                )
+                if args.shard_out:
+                    import json as _json
+
+                    Path(args.shard_out).write_text(
+                        _json.dumps(
+                            shard_result_to_dict(plan, batch),
+                            indent=2,
+                            sort_keys=True,
+                        )
+                        + "\n",
+                        encoding="utf-8",
+                    )
+            elif incremental:
                 from repro.engine import state as engine_state
                 from repro.engine import verify_incremental
 
@@ -215,6 +304,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: {error}")
         except EngineAborted as error:
             raise SystemExit(f"error: {error}")
+        if cache is not None:
+            # Drain the write-behind queue (a no-op for local-only
+            # backends) so every verdict reaches the remote tier before
+            # the process exits.
+            cache.flush()
         result = batch.merged()
         print(result.format())
         if args.stats:
@@ -255,6 +349,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 os.environ[faults.FAULTS_ENV] = previous_env
 
 
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    _apply_kernel(args)
+    _install_interrupt_handler()
+
+    from repro.engine import EngineError, coordinate
+
+    if args.shards < 1:
+        raise SystemExit(f"error: --shards must be >= 1, got {args.shards}")
+    try:
+        run = coordinate(
+            args.file,
+            shards=args.shards,
+            jobs=args.jobs,
+            executor=args.executor,
+            cache_dir=args.cache_dir if args.cache else None,
+            worker_cache_root=args.worker_cache_dir,
+            remote_cache=args.remote_cache,
+            kernel=args.kernel,
+            timeout_seconds=args.shard_timeout,
+        )
+    except EngineError as error:
+        raise SystemExit(f"error: {error}")
+    except KeyboardInterrupt:
+        print(
+            "repro coordinate: ENGINE INTERRUPTED (signal received); "
+            "worker shards terminated; caches remain consistent "
+            "(crash-safe store)",
+            file=_sys.stderr,
+        )
+        return 130
+    result = run.batch.merged()
+    print(result.format())
+    if args.stats:
+        print()
+        print(run.batch.metrics.format())
+    return 0 if result.ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
@@ -280,6 +412,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             cache_dir=args.cache_dir,
+            remote_cache=args.remote_cache,
             queue_depth=args.queue_depth,
             tenant_queue_cap=args.tenant_queue_cap,
             tenant_concurrency=args.tenant_concurrency,
@@ -348,6 +481,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command == "serve":
+        from repro.engine.backends.server import serve_cache
+
+        try:
+            return serve_cache(
+                args.cache_dir, host=args.host, port=args.port
+            )
+        except OSError as error:
+            raise SystemExit(f"error: cannot serve cache: {error}")
+
     from repro.engine import InferenceCache
 
     cache = InferenceCache(args.cache_dir)
@@ -714,7 +857,108 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the run metrics in Prometheus text format",
     )
+    check.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run as one shard of an N-way split (with --shard-index; "
+        "the shard plan is deterministic, so every worker computes "
+        "the same slices; docs/distributed.md)",
+    )
+    check.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="which shard this worker is (0-based, < --shards)",
+    )
+    check.add_argument(
+        "--shard-out",
+        default=None,
+        metavar="FILE",
+        help="write this shard's mergeable result as JSON "
+        "(consumed by `repro coordinate`)",
+    )
+    check.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="URL",
+        help="layer a shared remote cache tier (`repro cache serve`) "
+        "over the local one; implies --cache, degrades to local-only "
+        "if the remote misbehaves",
+    )
     check.set_defaults(func=_cmd_check)
+
+    coordinate = subparsers.add_parser(
+        "coordinate",
+        help="fan a check out to shard worker processes and merge the "
+        "results byte-identically (docs/distributed.md)",
+    )
+    coordinate.add_argument("file")
+    coordinate.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of worker processes (each runs one shard)",
+    )
+    coordinate.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker threads per shard process (default: 1)",
+    )
+    coordinate.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool backend inside each shard (default: thread)",
+    )
+    coordinate.add_argument(
+        "--kernel",
+        choices=["bitset", "classic"],
+        default=None,
+        help="automata kernel forwarded to every shard",
+    )
+    coordinate.add_argument(
+        "--cache",
+        action="store_true",
+        help="give the shards a shared local inference cache",
+    )
+    coordinate.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="shared cache location for --cache (default: .repro-cache)",
+    )
+    coordinate.add_argument(
+        "--worker-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="give each shard its own local cache tree under DIR "
+        "(worker-0, worker-1, ...); with --remote-cache this is how "
+        "workers warm each other through the shared tier",
+    )
+    coordinate.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="URL",
+        help="shared remote cache endpoint forwarded to every shard",
+    )
+    coordinate.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="deadline per shard process (default: 600)",
+    )
+    coordinate.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the merged engine metrics after the report",
+    )
+    coordinate.set_defaults(func=_cmd_coordinate)
 
     serve = subparsers.add_parser(
         "serve",
@@ -737,6 +981,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=".repro-cache",
         help="cache + journal location shared with `repro check` "
         "(default: .repro-cache)",
+    )
+    serve.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="URL",
+        help="layer a shared remote cache tier (`repro cache serve`) "
+        "over the daemon's local cache (docs/distributed.md)",
     )
     serve.add_argument(
         "--queue-depth",
@@ -927,7 +1178,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="only sweep temp files older than this (default: 0, sweep all)",
     )
-    for sub in (cache_stats, cache_clear, cache_verify, cache_gc):
+    cache_serve = cache_sub.add_parser(
+        "serve",
+        help="run the shared HTTP cache daemon workers warm each other "
+        "through (docs/distributed.md)",
+    )
+    cache_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    cache_serve.add_argument(
+        "--port",
+        type=int,
+        default=8123,
+        help="listen port; 0 picks a free one — the chosen endpoint is "
+        "the first stdout line and <cache-dir>/cache-endpoint.json "
+        "(default: 8123)",
+    )
+    for sub in (cache_stats, cache_clear, cache_verify, cache_gc, cache_serve):
         sub.add_argument(
             "--cache-dir",
             default=".repro-cache",

@@ -21,7 +21,13 @@ The scaling substrate on top of :mod:`repro.core` (see docs/engine.md):
   generation counting and read-modify-merge,
 * :mod:`repro.engine.incremental` — incremental re-verification: diff
   against the state, re-check only the dirty classes, splice the rest
-  (docs/incremental.md).
+  (docs/incremental.md),
+* :mod:`repro.engine.backends` — pluggable cache transports: the local
+  sealed-store directory, a remote HTTP tier, and a tiered
+  read-through/write-behind composition (docs/distributed.md),
+* :mod:`repro.engine.shard` — deterministic shard plans and the
+  coordinator that fans a check out to worker processes and merges the
+  per-shard results byte-identically (docs/distributed.md).
 
 Quickstart::
 
@@ -33,11 +39,19 @@ Quickstart::
 """
 
 from repro.engine.cache import CacheStats, InferenceCache
+from repro.engine.backends import (
+    CacheBackend,
+    LocalDirBackend,
+    RemoteHTTPBackend,
+    RemoteUnavailable,
+    TieredBackend,
+)
 from repro.engine.engine import (
     BatchResult,
     BatchVerifier,
     EngineAborted,
     EngineError,
+    VerificationPlan,
     cached_behavior_dfa,
     verify_module,
     verify_path,
@@ -73,6 +87,17 @@ from repro.engine.scheduler import (
     topological_waves,
 )
 from repro.engine.serialize import diagnostic_from_dict, diagnostic_to_dict
+from repro.engine.shard import (
+    CoordinatedRun,
+    ShardPlan,
+    ShardResult,
+    coordinate,
+    merge_shard_results,
+    plan_shards,
+    run_shard,
+    shard_result_from_dict,
+    shard_result_to_dict,
+)
 from repro.engine.state import (
     STATE_VERSION,
     ClassState,
@@ -88,8 +113,10 @@ from repro.engine.state import (
 __all__ = [
     "BatchResult",
     "BatchVerifier",
+    "CacheBackend",
     "CacheStats",
     "ClassState",
+    "CoordinatedRun",
     "ClassTiming",
     "EngineAborted",
     "EngineError",
@@ -103,12 +130,25 @@ __all__ = [
     "InferenceCache",
     "InjectedFault",
     "InjectedLockTimeout",
+    "LocalDirBackend",
     "LockTimeout",
     "ProjectState",
+    "RemoteHTTPBackend",
+    "RemoteUnavailable",
     "STATE_VERSION",
     "SaveReport",
+    "ShardPlan",
+    "ShardResult",
+    "TieredBackend",
+    "VerificationPlan",
     "WorkerKilled",
+    "coordinate",
+    "merge_shard_results",
     "parse_faults",
+    "plan_shards",
+    "run_shard",
+    "shard_result_from_dict",
+    "shard_result_to_dict",
     "cached_behavior_dfa",
     "lock_for",
     "merge_states",

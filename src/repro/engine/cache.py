@@ -1,6 +1,6 @@
 """Content-addressed inference cache.
 
-Two namespaces, both keyed by SHA-256 fingerprints from
+Two namespaces by default, both keyed by SHA-256 fingerprints from
 :mod:`repro.engine.fingerprint`:
 
 * ``method`` — the inferred behavior of one body term: the ongoing regex
@@ -9,7 +9,21 @@ Two namespaces, both keyed by SHA-256 fingerprints from
 * ``class`` — a class's check verdict: the diagnostic list, plus the
   determinized behavior DFA when the check computed one (composites).
 
-Layout on disk (the directory is safe to delete at any time)::
+Further namespaces can be registered at runtime
+(:meth:`InferenceCache.register_namespace`); lookups against an
+*unregistered* namespace still raise ``ValueError`` — that is a caller
+bug, not a miss.
+
+**Storage backends** (docs/distributed.md).  Where envelope text
+physically lives is delegated to a
+:class:`~repro.engine.backends.base.CacheBackend`: the default
+:class:`~repro.engine.backends.local.LocalDirBackend` keeps today's
+on-disk layout, :class:`~repro.engine.backends.remote.RemoteHTTPBackend`
+talks to a shared ``repro cache serve`` daemon, and
+:class:`~repro.engine.backends.tiered.TieredBackend` layers the two.
+The cache itself stays the single owner of *semantics*: envelopes,
+seals, healing, and the counter contract below hold identically over
+every backend.  Layout of the local tree (safe to delete at any time)::
 
     .repro-cache/
         CACHEDIR.TAG
@@ -32,11 +46,13 @@ mismatch) is deleted on discovery and counted in ``stats.corrupt``
 (checksum mismatches also in ``stats.checksum``), so one bad sector or
 interrupted write costs exactly one recomputation instead of a
 re-parse-and-fail on every future run.  Version-mismatched entries are
-left in place — another build may still want them.
+left in place — another build may still want them.  An *unreachable
+remote* backend is deliberately not a corruption: it reads as a plain
+miss and, in a tiered setup, degrades the run to local-only.
 
 **Counter contract** (docs/observability.md): one healed read counts
 exactly once as a miss in ``stats.misses`` *and* once in
-``stats.corrupt`` — never more, even when the unlink fails (read-only
+``stats.corrupt`` — never more, even when the delete fails (read-only
 directory, racing process) and later reads keep seeing the corrupt
 file.  A successful :meth:`put` under the same key re-arms counting, so
 a *new* corruption of the rewritten entry counts again.
@@ -60,13 +76,15 @@ the counters share that lock.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.engine import faults, store
-from repro.engine.locking import FileLock, LockTimeout
+from repro.engine import store
+from repro.engine.backends import LocalDirBackend, RemoteUnavailable
+from repro.engine.backends.base import CacheBackend
 from repro.obs.tracer import NULL_TRACER
 
 #: Bump together with payload shape changes.  Version 2 added the
@@ -80,42 +98,61 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: (the write proceeds) but counted.
 WRITE_LOCK_TIMEOUT = 5.0
 
+#: The namespaces every cache starts with; more can be registered.
 _NAMESPACES = ("method", "class")
 
-_CACHEDIR_TAG = (
-    "Signature: 8a477f597d28d172789f06886806bc55\n"
-    "# This directory holds the repro inference cache; safe to delete.\n"
-)
+#: Registered namespaces must be shippable through paths and URLs alike.
+_NAMESPACE_PATTERN = re.compile(r"^[a-z][a-z0-9_-]{0,31}$")
+
+
+def _namespace_counters() -> dict[str, int]:
+    return {namespace: 0 for namespace in _NAMESPACES}
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write/corruption counters, per namespace."""
+    """Hit/miss/write/corruption counters, per namespace.
 
-    hits: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
-    misses: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
-    writes: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
-    corrupt: dict[str, int] = field(default_factory=lambda: {n: 0 for n in _NAMESPACES})
+    The per-namespace dicts grow on demand: a namespace registered after
+    construction simply appears with zeroed counters on first use —
+    fixed pre-seeding used to make :meth:`hit_rate` raise ``KeyError``
+    for anything beyond the built-in two.
+    """
+
+    hits: dict[str, int] = field(default_factory=_namespace_counters)
+    misses: dict[str, int] = field(default_factory=_namespace_counters)
+    writes: dict[str, int] = field(default_factory=_namespace_counters)
+    corrupt: dict[str, int] = field(default_factory=_namespace_counters)
     #: Subset of ``corrupt``: entries whose JSON parsed but whose seal
     #: did not match — the torn-but-valid payloads only checksums catch.
-    checksum: dict[str, int] = field(
-        default_factory=lambda: {n: 0 for n in _NAMESPACES}
-    )
+    checksum: dict[str, int] = field(default_factory=_namespace_counters)
     #: Disk persists that failed (ENOSPC, rename failure, ...); the
     #: memory layer still holds the payload.
-    write_failures: dict[str, int] = field(
-        default_factory=lambda: {n: 0 for n in _NAMESPACES}
-    )
+    write_failures: dict[str, int] = field(default_factory=_namespace_counters)
     #: Cross-process write-lock contention (docs/robustness.md).
     lock_waits: int = 0
     lock_wait_seconds: float = 0.0
     lock_timeouts: int = 0
     #: Orphaned ``.tmp-*`` files swept at construction or by ``gc``.
     orphans_removed: int = 0
+    #: Remote-tier traffic (docs/distributed.md): requests answered /
+    #: missed / uploaded by the remote cache, transport failures, and
+    #: whether the run degraded to local-only.
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_puts: int = 0
+    remote_errors: int = 0
+    remote_degraded: int = 0
+
+    def bump(self, counter: str, namespace: str, value: int = 1) -> None:
+        """Increment a per-namespace counter, creating the slot."""
+        counts = getattr(self, counter)
+        counts[namespace] = counts.get(namespace, 0) + value
 
     def hit_rate(self, namespace: str) -> float:
-        total = self.hits[namespace] + self.misses[namespace]
-        return self.hits[namespace] / total if total else 0.0
+        hits = self.hits.get(namespace, 0)
+        total = hits + self.misses.get(namespace, 0)
+        return hits / total if total else 0.0
 
     @property
     def corrupt_entries(self) -> int:
@@ -142,6 +179,11 @@ class CacheStats:
             "lock_wait_seconds": self.lock_wait_seconds,
             "lock_timeouts": self.lock_timeouts,
             "orphans_removed": self.orphans_removed,
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "remote_puts": self.remote_puts,
+            "remote_errors": self.remote_errors,
+            "remote_degraded": self.remote_degraded,
         }
 
 
@@ -150,41 +192,38 @@ class InferenceCache:
 
     ``root=None`` keeps the cache purely in memory (one process, no
     persistence) — useful for tests and for the engine's default when
-    the user did not opt into ``--cache``.
+    the user did not opt into ``--cache``.  Passing ``backend=``
+    overrides where persisted envelopes live (the ``root`` argument is
+    then ignored; the backend's own local tree, if any, becomes
+    :attr:`root` for the scan/GC/state machinery).
     """
 
     def __init__(
         self,
         root: str | Path | None = DEFAULT_CACHE_DIR,
         *,
+        backend: CacheBackend | None = None,
         lock_timeout: float = WRITE_LOCK_TIMEOUT,
         tmp_gc_min_age: float = store.DEFAULT_TMP_GC_MIN_AGE,
     ):
-        self.root = None if root is None else Path(root)
+        if backend is None and root is not None:
+            backend = LocalDirBackend(Path(root), lock_timeout=lock_timeout)
+        self.backend = backend
+        self.root = None if backend is None else backend.local_root
         self.stats = CacheStats()
         self.lock_timeout = lock_timeout
         #: Set by the engine when a run is traced; cache events then show
         #: up on the open span.  The no-op default costs nothing.
         self.tracer = NULL_TRACER
+        self._namespaces: list[str] = list(_NAMESPACES)
         self._memory: dict[tuple[str, str], dict[str, Any]] = {}
         #: Keys whose corruption was already counted (see the counter
         #: contract in the module docstring); ``put`` re-arms them.
         self._healed: set[tuple[str, str]] = set()
         self._lock = threading.Lock()
-        self._write_locks: dict[str, FileLock] = {}
+        if backend is not None:
+            backend.bind(self)
         if self.root is not None:
-            self.root.mkdir(parents=True, exist_ok=True)
-            tag = self.root / "CACHEDIR.TAG"
-            if not tag.exists():
-                tag.write_text(_CACHEDIR_TAG, encoding="utf-8")
-            self._write_locks = {
-                namespace: FileLock(
-                    self.root / "locks" / f"{namespace}.lock",
-                    name=namespace,
-                    timeout=lock_timeout,
-                )
-                for namespace in _NAMESPACES
-            }
             # Startup GC: crashed writers leave .tmp-* orphans behind;
             # the age gate keeps live writers out of reach.
             self.stats.orphans_removed += store.gc_tmp_files(
@@ -193,56 +232,75 @@ class InferenceCache:
 
     # ------------------------------------------------------------------
 
+    def register_namespace(self, namespace: str) -> None:
+        """Allow a further namespace beyond the built-in two.
+
+        Idempotent.  Names must be path- and URL-safe
+        (``[a-z][a-z0-9_-]*``, at most 32 characters) so every backend
+        can carry them.
+        """
+        if not _NAMESPACE_PATTERN.match(namespace):
+            raise ValueError(f"invalid cache namespace: {namespace!r}")
+        with self._lock:
+            if namespace not in self._namespaces:
+                self._namespaces.append(namespace)
+
+    @property
+    def namespaces(self) -> tuple[str, ...]:
+        return tuple(self._namespaces)
+
     def _path(self, namespace: str, key: str) -> Path:
         assert self.root is not None
         return self.root / namespace / key[:2] / f"{key}.json"
 
     def get(self, namespace: str, key: str) -> dict[str, Any] | None:
         """The stored payload, or ``None`` on any kind of miss."""
-        if namespace not in _NAMESPACES:
+        if namespace not in self._namespaces:
             raise ValueError(f"unknown cache namespace: {namespace!r}")
         with self._lock:
             payload = self._memory.get((namespace, key))
-        if payload is None and self.root is not None:
-            payload = self._read_file(namespace, key)
+        if payload is None and self.backend is not None:
+            payload = self._read_entry(namespace, key)
             if payload is not None:
                 with self._lock:
                     self._memory[(namespace, key)] = payload
         if payload is None:
             with self._lock:
-                self.stats.misses[namespace] += 1
+                self.stats.bump("misses", namespace)
             self.tracer.event("cache-miss", namespace=namespace, key=key)
             return None
         with self._lock:
-            self.stats.hits[namespace] += 1
+            self.stats.bump("hits", namespace)
         self.tracer.event("cache-hit", namespace=namespace, key=key)
         return payload
 
-    def _read_file(self, namespace: str, key: str) -> dict[str, Any] | None:
-        path = self._path(namespace, key)
+    def _read_entry(self, namespace: str, key: str) -> dict[str, Any] | None:
+        assert self.backend is not None
         try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return None  # a plain miss, nothing to heal
-        except OSError:
-            self._heal(namespace, key, path)
+            text = self.backend.get_text(namespace, key)
+        except RemoteUnavailable:
+            # A down endpoint is a miss, not a corrupt entry; the remote
+            # backend already counted the transport failure.
             return None
+        except OSError:
+            self._heal(namespace, key)
+            return None
+        if text is None:
+            return None  # a plain miss, nothing to heal
         verdict, payload = classify_entry(text)
         if verdict == "ok":
             return payload
         if verdict == "version-skew":
             # Readable but written by another build; leave it alone.
             return None
-        self._heal(namespace, key, path, checksum=(verdict == "checksum"))
+        self._heal(namespace, key, checksum=(verdict == "checksum"))
         return None
 
-    def _heal(
-        self, namespace: str, key: str, path: Path, *, checksum: bool = False
-    ) -> None:
+    def _heal(self, namespace: str, key: str, *, checksum: bool = False) -> None:
         """Delete a corrupt entry so it costs one recomputation, once.
 
         One physical corruption counts once, no matter how many reads
-        see it: when the unlink below fails the file survives, and the
+        see it: when the delete below fails the entry survives, and the
         next ``get`` heals the *same* entry again — ``_healed`` keeps
         those repeats out of ``stats.corrupt``.  A successful
         :meth:`put` under the key re-arms counting.
@@ -251,74 +309,55 @@ class InferenceCache:
             first = (namespace, key) not in self._healed
             if first:
                 self._healed.add((namespace, key))
-                self.stats.corrupt[namespace] += 1
+                self.stats.bump("corrupt", namespace)
                 if checksum:
-                    self.stats.checksum[namespace] += 1
+                    self.stats.bump("checksum", namespace)
         if first:
             if checksum:
                 self.tracer.event(
                     "checksum-fail", namespace=namespace, key=key
                 )
             self.tracer.event("cache-heal", namespace=namespace, key=key)
+        assert self.backend is not None
         try:
-            path.unlink()
+            self.backend.delete(namespace, key)
         except OSError:
-            pass  # already gone, or unreadable dir: best effort
+            pass  # already gone, or unreachable tier: best effort
 
     def put(self, namespace: str, key: str, payload: dict[str, Any]) -> None:
-        """Store ``payload``; persists when the cache has a root."""
-        if namespace not in _NAMESPACES:
+        """Store ``payload``; persists when the cache has a backend."""
+        if namespace not in self._namespaces:
             raise ValueError(f"unknown cache namespace: {namespace!r}")
         with self._lock:
             self._memory[(namespace, key)] = payload
             self._healed.discard((namespace, key))
-            self.stats.writes[namespace] += 1
+            self.stats.bump("writes", namespace)
         self.tracer.event("cache-write", namespace=namespace, key=key)
-        if self.root is None:
+        if self.backend is None:
             return
-        path = self._path(namespace, key)
         envelope = store.seal({"cache_version": CACHE_VERSION, "payload": payload})
         text = json.dumps(envelope, sort_keys=True)
-        write_lock = self._write_locks[namespace]
-        locked = False
         try:
-            write_lock.acquire()
-            locked = True
-            if write_lock.waited > 0.001:
-                with self._lock:
-                    self.stats.lock_waits += 1
-                    self.stats.lock_wait_seconds += write_lock.waited
-                self.tracer.event(
-                    "lock-wait", lock=namespace,
-                    seconds=round(write_lock.waited, 6),
-                )
-        except LockTimeout:
-            # Advisory only: the atomic rename below is safe without the
-            # lock (identical bytes under one content key), so proceed —
-            # but make the contention visible.
-            with self._lock:
-                self.stats.lock_timeouts += 1
-            self.tracer.event("lock-timeout", lock=namespace)
-        try:
-            store.atomic_write_text(
-                path, text, fault_key=f"{namespace}/{key}"
-            )
+            self.backend.put_text(namespace, key, text)
         except OSError as error:
             # A failed persist must not kill the check; the memory layer
             # still serves this process, and the failure is counted.
             with self._lock:
-                self.stats.write_failures[namespace] += 1
+                self.stats.bump("write_failures", namespace)
             self.tracer.event(
                 "cache-write-failed", namespace=namespace, key=key,
                 error=str(error),
             )
-            return
-        finally:
-            if locked:
-                write_lock.release()
-        # Fault-injection site: lets tests corrupt the just-written
-        # entry to exercise the self-healing read path.
-        faults.fire("cache-put", f"{namespace}/{key}", path)
+
+    def flush(self) -> None:
+        """Wait for deferred backend writes (tiered write-behind)."""
+        if self.backend is not None:
+            self.backend.flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources."""
+        if self.backend is not None:
+            self.backend.close()
 
     # ------------------------------------------------------------------
 
@@ -327,7 +366,7 @@ class InferenceCache:
         if self.root is None:
             return len(self._memory)
         count = 0
-        for namespace in _NAMESPACES:
+        for namespace in self._namespaces:
             directory = self.root / namespace
             if directory.is_dir():
                 count += sum(1 for _ in directory.rglob("*.json"))
@@ -340,7 +379,7 @@ class InferenceCache:
         bytes — there is nothing on disk to measure.
         """
         stats: dict[str, dict[str, int]] = {}
-        for namespace in _NAMESPACES:
+        for namespace in self._namespaces:
             entries = size = 0
             if self.root is None:
                 entries = sum(
@@ -387,7 +426,7 @@ class InferenceCache:
         left in place.  Memory-only caches report all zeros.
         """
         report: dict[str, dict[str, int]] = {}
-        for namespace in _NAMESPACES:
+        for namespace in self._namespaces:
             counts = {
                 "scanned": 0, "ok": 0, "version_skew": 0,
                 "corrupt": 0, "repaired": 0,
@@ -474,7 +513,7 @@ class InferenceCache:
         if self.root is None:
             return 0
         removed = 0
-        for namespace in _NAMESPACES:
+        for namespace in self._namespaces:
             directory = self.root / namespace
             if not directory.is_dir():
                 continue

@@ -35,7 +35,14 @@ Sites and the ``key`` they match ``pattern`` against (``fnmatch``):
   id (``sigkill`` here models the daemon dying mid-dispatch, which the
   restart-recovery contract must survive);
 * ``serve-respond`` — fired before the daemon writes an HTTP response;
-  key = the request route (e.g. ``POST /v1/jobs``).
+  key = the request route (e.g. ``POST /v1/jobs``);
+* ``remote-get`` / ``remote-put`` — fired by
+  :class:`repro.engine.backends.remote.RemoteHTTPBackend` immediately
+  before the corresponding HTTP request; key =
+  ``namespace/content-key``.  Any raising action here surfaces as
+  :class:`~repro.engine.backends.base.RemoteUnavailable`, which is how
+  tests and CI rehearse flaky or dead remote caches (the tiered backend
+  must degrade to local-only without changing a byte of any report).
 
 Actions:
 
@@ -101,6 +108,8 @@ SITES = (
     "serve-accept",
     "serve-dispatch",
     "serve-respond",
+    "remote-get",
+    "remote-put",
 )
 ACTIONS = (
     "delay",

@@ -73,6 +73,13 @@ class EngineMetrics:
     state_save_failures: int = 0
     state_merged_entries: int = 0
     state_generation: int = 0
+    # Remote cache tier counters (docs/distributed.md).  All zero when
+    # the run used a purely local backend.
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_puts: int = 0
+    remote_errors: int = 0
+    remote_degraded: int = 0
 
     @property
     def reuse_ratio(self) -> float:
@@ -127,6 +134,13 @@ class EngineMetrics:
                 "state_save_failures": self.state_save_failures,
                 "state_merged_entries": self.state_merged_entries,
                 "state_generation": self.state_generation,
+            },
+            "remote": {
+                "hits": self.remote_hits,
+                "misses": self.remote_misses,
+                "puts": self.remote_puts,
+                "errors": self.remote_errors,
+                "degraded": self.remote_degraded,
             },
             # Sorted here as well as at construction: the export is the
             # byte-stability contract (same project + cache temperature
@@ -193,6 +207,20 @@ class EngineMetrics:
                 f"{self.state_save_failures} state save failure(s), "
                 f"{self.state_merged_entries} merged state entr"
                 f"{'y' if self.state_merged_entries == 1 else 'ies'}"
+            )
+        if (
+            self.remote_hits
+            or self.remote_misses
+            or self.remote_puts
+            or self.remote_errors
+            or self.remote_degraded
+        ):
+            lines.append(
+                f"  remote cache          {self.remote_hits} hit(s), "
+                f"{self.remote_misses} miss(es), "
+                f"{self.remote_puts} upload(s), "
+                f"{self.remote_errors} error(s)"
+                + (" — degraded to local-only" if self.remote_degraded else "")
             )
         if (
             self.retries

@@ -196,6 +196,17 @@ def prometheus_text(payload: dict[str, Any], prefix: str = "repro") -> str:
             "Generation counter of the persisted project state.",
             [("", persistence.get("state_generation", 0))],
         )
+    remote = payload.get("remote")
+    if remote and any(remote.get(kind, 0) for kind in remote):
+        emit(
+            "cache_remote_events_total",
+            "counter",
+            "Remote cache tier events by kind.",
+            [
+                (f'{{kind="{_escape_label(kind)}"}}', remote.get(kind, 0))
+                for kind in ("hits", "misses", "puts", "errors", "degraded")
+            ],
+        )
     supervisor = payload.get("supervisor", {})
     emit(
         "supervisor_events_total",

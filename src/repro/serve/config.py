@@ -31,6 +31,12 @@ class ServeConfig:
     #: ``serve/`` spool all live here.
     cache_dir: str = ".repro-cache"
 
+    #: Endpoint of a shared ``repro cache serve`` daemon; when set, the
+    #: inference cache layers a remote tier over the local directory
+    #: (read-through, write-behind; docs/distributed.md).  ``None``
+    #: keeps the daemon local-only.
+    remote_cache: str | None = None
+
     # -- admission control ---------------------------------------------
     #: Bounded queue depth K: submissions past it are shed with an
     #: explicit 429 + Retry-After, never silently dropped.
@@ -82,6 +88,13 @@ class ServeConfig:
     trace: bool = False
 
     def __post_init__(self) -> None:
+        if self.remote_cache is not None and not self.remote_cache.startswith(
+            ("http://", "https://")
+        ):
+            raise ServeConfigError(
+                "remote_cache must be an http:// or https:// URL, "
+                f"got {self.remote_cache!r}"
+            )
         if self.queue_depth < 1:
             raise ServeConfigError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"

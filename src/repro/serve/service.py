@@ -130,7 +130,23 @@ class VerificationService:
         )
         self.metrics = ServeMetrics()
         self.tracer: Any = Tracer() if config.trace else NULL_TRACER
-        self.cache = InferenceCache(config.cache_dir)
+        if config.remote_cache:
+            from pathlib import Path
+
+            from repro.engine.backends import (
+                LocalDirBackend,
+                RemoteHTTPBackend,
+                TieredBackend,
+            )
+
+            self.cache = InferenceCache(
+                backend=TieredBackend(
+                    LocalDirBackend(Path(config.cache_dir)),
+                    RemoteHTTPBackend(config.remote_cache),
+                )
+            )
+        else:
+            self.cache = InferenceCache(config.cache_dir)
         #: Every job this process knows, id → latest state (terminal
         #: jobs loaded from the journal included, so a restarted daemon
         #: keeps serving finished verdicts).
@@ -140,6 +156,12 @@ class VerificationService:
         self._started_wall = time.time()
         self._started_mono = time.monotonic()
         self._active: dict[str, int] = {}  # tenant → executing jobs
+        #: Monotonic start instants of RUNNING jobs.  Durations must
+        #: never come from ``time.time()`` diffs — a clock step (NTP,
+        #: DST, manual set) would poison ``job_seconds_total`` and with
+        #: it every Retry-After hint.  Wall timestamps stay on the Job
+        #: for display and the journal only.
+        self._job_started_mono: dict[str, float] = {}
         self._busy = 0  # occupied worker threads (deadline-expired included)
         self._pool: ThreadPoolExecutor | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -220,6 +242,9 @@ class VerificationService:
             await asyncio.wait(pending, timeout=self.config.drain_grace)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        # Drain the cache's write-behind queue too: verdicts computed
+        # by the last jobs must reach the remote tier before exit.
+        self.cache.flush()
         self._refresh_gauges()
         self.drained = True
         self._notify()
@@ -323,6 +348,7 @@ class VerificationService:
         )
         self.journal.record(running)
         self.jobs[job.id] = running
+        self._job_started_mono[job.id] = time.monotonic()
         self._active[job.tenant] = self._active.get(job.tenant, 0) + 1
         self._busy += 1
         self.metrics.jobs_started_total += 1
@@ -384,6 +410,7 @@ class VerificationService:
             self._crashed(job, error)
             return
         self.breaker.record_success()
+        self._job_started_mono.pop(job.id, None)
         done = replace(
             job,
             state=DONE,
@@ -417,6 +444,7 @@ class VerificationService:
         self.breaker.record_failure()
         detail = f"{type(error).__name__}: {error}"
         if job.attempts <= self.config.job_retries:
+            self._job_started_mono.pop(job.id, None)
             retried = replace(job, state=QUEUED, started_at=None)
             self.journal.record(retried)
             self.jobs[job.id] = retried
@@ -429,6 +457,16 @@ class VerificationService:
             self._finish_failed(job, KIND_CRASH, detail)
 
     def _finish_failed(self, job: Job, kind: str, error: str) -> None:
+        # Failed jobs count in _retry_after_hint's denominator, so they
+        # must contribute their (monotonic) duration to the numerator
+        # too — else every failure drags the mean toward zero.  Jobs
+        # that never started (lost spool at recovery) contribute 0.
+        started_mono = self._job_started_mono.pop(job.id, None)
+        seconds = (
+            max(0.0, time.monotonic() - started_mono)
+            if started_mono is not None
+            else 0.0
+        )
         failed = replace(
             self.jobs.get(job.id, job),
             state=FAILED,
@@ -436,10 +474,12 @@ class VerificationService:
             error=error,
             ok=False,
             finished_at=time.time(),
+            seconds=seconds,
         )
         self.journal.record(failed)
         self.jobs[job.id] = failed
         self.metrics.jobs_failed_total += 1
+        self.metrics.job_seconds_total += seconds
         self.metrics.tenant_done(job.tenant)
         self.tracer.counter("serve.jobs.failed")
         self._notify()

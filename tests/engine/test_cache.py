@@ -140,6 +140,30 @@ class TestMaintenance:
         assert InferenceCache(tmp_path).get("method", "aa11") == {"v": 1}
 
 
+class TestCachedirTag:
+    def test_tag_write_is_atomic_and_failure_tolerant(self, tmp_path):
+        # Regression: the tag used to be a bare write_text — a torn or
+        # failed write could publish half a tag.  It now goes through
+        # store.atomic_write_text (fault key "cachedir-tag"): a full
+        # disk leaves no tag, no temp debris, and a working cache.
+        from repro.engine import faults
+        from repro.engine.faults import parse_faults
+
+        faults.install(parse_faults("store-write:enospc:cachedir-tag"))
+        try:
+            cache = InferenceCache(tmp_path)
+        finally:
+            faults.install(None)
+        assert not (tmp_path / "CACHEDIR.TAG").exists()
+        assert cache.orphan_count() == 0
+        cache.put("method", "abcdef", {"v": 1})
+        # A later construction (disk recovered) writes the tag whole.
+        fresh = InferenceCache(tmp_path)
+        assert fresh.get("method", "abcdef") == {"v": 1}
+        tag = tmp_path / "CACHEDIR.TAG"
+        assert tag.read_text(encoding="utf-8").startswith("Signature:")
+
+
 class TestCacheStats:
     def test_to_dict_shape(self):
         stats = CacheStats()
@@ -157,7 +181,48 @@ class TestCacheStats:
             "lock_wait_seconds",
             "lock_timeouts",
             "orphans_removed",
+            "remote_hits",
+            "remote_misses",
+            "remote_puts",
+            "remote_errors",
+            "remote_degraded",
         }
+
+    def test_dynamic_namespaces_never_keyerror(self):
+        # Regression: the per-namespace dicts were pre-seeded with the
+        # fixed built-in set, so any later namespace raised KeyError in
+        # hit_rate()/counter updates.
+        stats = CacheStats()
+        assert stats.hit_rate("regex") == 0.0
+        stats.bump("hits", "regex")
+        stats.bump("misses", "regex")
+        stats.bump("writes", "regex", 2)
+        assert stats.hit_rate("regex") == pytest.approx(0.5)
+        assert stats.to_dict()["writes"]["regex"] == 2
+        # The built-in namespaces are still pre-seeded as zeros.
+        assert stats.to_dict()["hits"]["method"] == 0
+
+
+class TestDynamicNamespaces:
+    def test_registered_namespace_round_trips(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        cache.register_namespace("regex")
+        cache.register_namespace("regex")  # idempotent
+        cache.put("regex", "deadbeef", {"v": 1})
+        assert cache.get("regex", "deadbeef") == {"v": 1}
+        assert cache.stats.hits["regex"] == 1
+        assert cache.stats.hit_rate("regex") == 1.0
+        assert (tmp_path / "regex" / "de" / "deadbeef.json").is_file()
+        # Maintenance scans cover the new namespace too.
+        assert cache.disk_stats()["regex"]["entries"] == 1
+        assert "regex" in cache.verify()
+
+    def test_unregistered_namespace_still_rejected(self, tmp_path):
+        cache = InferenceCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("regex", "k")
+        with pytest.raises(ValueError):
+            cache.register_namespace("Not/A/Namespace")
 
 
 class TestCounterContract:

@@ -1,0 +1,71 @@
+"""Durations must come from the monotonic clock (regression).
+
+``started_at``/``finished_at`` are wall-clock timestamps for display
+and the journal; the *durations* feeding ``job_seconds_total`` — and
+through it every Retry-After hint — must never be wall-clock diffs,
+or an NTP step / manual clock set poisons admission control with
+negative or absurd means.
+"""
+
+import time
+
+from repro.serve.config import ServeConfig
+from repro.serve.jobs import Job
+from repro.serve.service import VerificationService
+
+
+def _service(tmp_path):
+    return VerificationService(ServeConfig(cache_dir=str(tmp_path)))
+
+
+def _job(job_id="j1"):
+    return Job(id=job_id, tenant="t", seq=1, files=("a.py",), deadline=30.0)
+
+
+class TestMonotonicDurations:
+    def test_failed_job_duration_survives_wall_clock_step(
+        self, tmp_path, monkeypatch
+    ):
+        service = _service(tmp_path)
+        job = _job()
+        service.jobs[job.id] = job
+        service._job_started_mono[job.id] = time.monotonic() - 2.5
+        # The wall clock steps *backwards* mid-job (NTP correction).
+        monkeypatch.setattr(
+            "repro.serve.service.time.time", lambda: 1000.0
+        )
+        service._finish_failed(job, "crash", "boom")
+        failed = service.jobs[job.id]
+        assert failed.seconds >= 0.0
+        assert 2.0 <= failed.seconds <= 60.0
+        assert service.metrics.job_seconds_total == failed.seconds
+        # The hint stays sane: mean of one ~2.5s job, not a negative
+        # or clamped-to-floor artifact of a wall-clock diff.
+        hint = service._retry_after_hint()
+        assert 0.1 <= hint <= service.config.job_deadline
+        assert hint >= 2.0
+
+    def test_never_started_job_contributes_zero(self, tmp_path):
+        service = _service(tmp_path)
+        job = _job("lost")
+        service.jobs[job.id] = job
+        # No _job_started_mono entry: the job failed before execution
+        # (lost spool at recovery).
+        service._finish_failed(job, "lost-spool", "spool lost")
+        assert service.jobs[job.id].seconds == 0.0
+        assert service.metrics.job_seconds_total == 0.0
+        assert service._retry_after_hint() >= 0.1
+
+    def test_crash_requeue_clears_the_start_instant(self, tmp_path):
+        service = _service(tmp_path)
+        job = _job("retry")
+        started = Job(
+            id=job.id, tenant=job.tenant, seq=job.seq, files=job.files,
+            deadline=job.deadline, attempts=1,
+        )
+        service.jobs[job.id] = started
+        service._job_started_mono[job.id] = time.monotonic()
+        service._crashed(started, RuntimeError("boom"))
+        # Requeued (attempts <= retries): the stale start instant must
+        # not leak into the next attempt's duration.
+        assert job.id not in service._job_started_mono
