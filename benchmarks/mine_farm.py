@@ -1,0 +1,161 @@
+"""Differential mining farm gate.
+
+Runs the seeded mining farm (:mod:`repro.mine.farm`) over random
+workload projects and fails when any of the pipeline's guarantees break:
+
+* **soundness** — no mined automaton accepts a statically rejected
+  lifecycle, on any project (the structural guarantee of
+  docs/mining.md);
+* **exact recovery** — on transition-covering corpora the mined
+  automaton is equivalent to the static one (two-way kernel inclusion
+  plus minimized state counts);
+* **coverage** — every generated-workload corpus covers the full static
+  transition relation (the generated implementations are deterministic
+  and single-exit, so anything less is a collector bug);
+* **determinism** — ``repro mine --diff`` over the same file and seed is
+  byte-identical across two fresh interpreter runs.
+
+Measurements (corpus sizes, collect/learn/diff wall time) go to
+``--out`` (``BENCH_mine.json``); on failure the replayable corpora of
+every failing class go to ``--repro-out`` so a nightly farm hit can be
+debugged offline.
+
+Usage::
+
+    python benchmarks/mine_farm.py --out BENCH_mine.json \
+        [--projects 50] [--seed 0] [--repro-out BENCH_mine_failures.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if not any(Path(p).resolve() == REPO_ROOT / "src" for p in sys.path if p):
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.mine.farm import FarmConfig, run_farm  # noqa: E402
+from repro.workloads.hierarchy import HierarchyShape, module_source  # noqa: E402
+
+
+def _determinism_check(seed: int) -> tuple[bool, str]:
+    """Run ``repro mine --diff`` twice in fresh interpreters; compare bytes."""
+    shape = HierarchyShape(
+        base_operations=4, subsystems=2, composite_operations=2, seed=seed
+    )
+    with tempfile.TemporaryDirectory(prefix="mine-bench-") as tmp:
+        target = Path(tmp) / "workload.py"
+        target.write_text(module_source(shape, correct=True), encoding="utf-8")
+        outputs = []
+        for _ in range(2):
+            run = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "mine",
+                    str(target),
+                    "--diff",
+                    "--seed",
+                    str(seed),
+                ],
+                capture_output=True,
+                cwd=tmp,
+                env={
+                    **dict(PATH="/usr/bin:/bin"),
+                    "PYTHONPATH": str(REPO_ROOT / "src"),
+                },
+                timeout=120,
+            )
+            if run.returncode != 0:
+                return False, (
+                    f"repro mine exited {run.returncode}: "
+                    f"{run.stderr.decode(errors='replace')[:500]}"
+                )
+            outputs.append(run.stdout)
+    if outputs[0] != outputs[1]:
+        return False, "repro mine --diff output differs between identical runs"
+    return True, "byte-identical across two runs"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--projects", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--random-runs", type=int, default=16)
+    parser.add_argument("--out", default="BENCH_mine.json")
+    parser.add_argument(
+        "--repro-out",
+        default="BENCH_mine_failures.json",
+        help="where to dump replayable corpora of failing classes",
+    )
+    parser.add_argument(
+        "--skip-determinism",
+        action="store_true",
+        help="skip the double-run byte-identity subprocess check",
+    )
+    args = parser.parse_args(argv)
+
+    config = FarmConfig(
+        projects=args.projects,
+        seed=args.seed,
+        random_runs=args.random_runs,
+    )
+    started = time.perf_counter()
+    result = run_farm(config)
+    farm_seconds = time.perf_counter() - started
+
+    deterministic, determinism_detail = True, "skipped"
+    if not args.skip_determinism:
+        deterministic, determinism_detail = _determinism_check(args.seed)
+
+    payload = {
+        "format": 1,
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        "farm": result.to_payload(),
+        "farm_seconds": farm_seconds,
+        "corpus_events_total": sum(r.corpus_events for r in result.records),
+        "mined_states_total": sum(r.mined_states for r in result.records),
+        "static_states_total": sum(r.static_states for r in result.records),
+        "min_coverage": result.min_coverage,
+        "determinism": {"ok": deterministic, "detail": determinism_detail},
+    }
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    print(result.format())
+    print(
+        f"farm: {farm_seconds:.2f}s over {args.projects} project(s); "
+        f"determinism: {determinism_detail}"
+    )
+    ok = result.ok and deterministic
+    if not result.ok:
+        failures = [
+            {
+                "project": failure.project,
+                "class": failure.class_name,
+                "kind": failure.kind,
+                "detail": failure.detail,
+                "corpus": failure.corpus,
+            }
+            for failure in result.failures
+        ]
+        Path(args.repro_out).write_text(
+            json.dumps(failures, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote replayable failure corpora to {args.repro_out}")
+    if not ok:
+        print("MINE FARM GATE FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

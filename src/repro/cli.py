@@ -40,6 +40,12 @@ Subcommands::
     repro export FILE [CLASS] emit the extracted model as JSON
     repro report FILE         render a Markdown verification report
     repro suite FILE [CLASS]  generate a lifecycle test suite from the model
+    repro mine FILE [CLASS]   execute the module under the runtime monitor,
+                              mine a lifecycle automaton from the recorded
+                              traces (--seed/--random-runs control the
+                              corpus; --diff checks it against the static
+                              model by kernel inclusion; --corpus-out
+                              saves the replayable corpus; docs/mining.md)
     repro theorems            run the bounded metatheory checks (Thm 1-2, Cor 1)
 
 Exit status: 0 on success / verified, 1 on verification errors, 2 on
@@ -635,6 +641,77 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     for sequence in suite:
         print(", ".join(sequence) or "(empty lifecycle)")
     return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    import json as _json
+
+    _install_interrupt_handler()
+
+    from repro.mine import CollectConfig, MineError, mine_path
+    from repro.obs import (
+        Tracer,
+        metrics_payload,
+        render_trace,
+        write_metrics_json,
+        write_prometheus,
+        write_trace_jsonl,
+    )
+    from repro.obs.tracer import NULL_TRACER
+
+    tracing = bool(
+        args.trace or args.trace_out or args.metrics_out or args.prom_out
+    )
+    tracer = Tracer() if tracing else None
+    try:
+        config = CollectConfig(
+            seed=args.seed,
+            random_runs=args.random_runs,
+            max_random_len=args.max_random_len,
+            max_sequences=args.max_sequences,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    try:
+        report = mine_path(
+            args.file,
+            class_name=args.cls,
+            config=config,
+            diff=args.diff,
+            tracer=tracer if tracer is not None else NULL_TRACER,
+        )
+    except MineError as error:
+        raise SystemExit(f"error: {error}")
+    except KeyboardInterrupt:
+        print(
+            "repro mine: interrupted (signal received); partial corpus "
+            "discarded",
+            file=_sys.stderr,
+        )
+        return 130
+    print(report.format())
+    if args.corpus_out:
+        corpora = {
+            result.class_name: result.corpus.to_payload()
+            for result in report.results
+        }
+        Path(args.corpus_out).write_text(
+            _json.dumps(corpora, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if tracer is not None:
+        if args.trace:
+            print()
+            print(render_trace(tracer))
+        if args.trace_out:
+            write_trace_jsonl(tracer, args.trace_out)
+        if args.metrics_out or args.prom_out:
+            payload = metrics_payload(report.metrics(), tracer)
+            if args.metrics_out:
+                write_metrics_json(payload, args.metrics_out)
+            if args.prom_out:
+                write_prometheus(payload, args.prom_out)
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -1252,6 +1329,81 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("cls", nargs="?", default=None)
     suite.add_argument("--max", type=int, default=None, help="cap the suite size")
     suite.set_defaults(func=_cmd_suite)
+
+    mine = subparsers.add_parser(
+        "mine",
+        help="mine a lifecycle automaton from monitored runs and diff it "
+        "against the static model (docs/mining.md)",
+    )
+    mine.add_argument("file")
+    mine.add_argument("cls", nargs="?", default=None)
+    mine.add_argument(
+        "--diff",
+        action="store_true",
+        help="check mined vs static by two-way kernel inclusion; an "
+        "unsound divergence (mined accepts a spec-rejected lifecycle) "
+        "fails the run",
+    )
+    mine.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed of the random-lifecycle driver (default: 0); the "
+        "whole run is deterministic per seed",
+    )
+    mine.add_argument(
+        "--random-runs",
+        type=int,
+        default=32,
+        metavar="N",
+        help="random monitored lifecycles per class beyond the "
+        "transition-covering suite (default: 32)",
+    )
+    mine.add_argument(
+        "--max-random-len",
+        type=int,
+        default=12,
+        metavar="N",
+        help="cap on each random lifecycle's length (default: 12)",
+    )
+    mine.add_argument(
+        "--max-sequences",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the transition-covering suite (default: unlimited)",
+    )
+    mine.add_argument(
+        "--corpus-out",
+        default=None,
+        metavar="FILE",
+        help="save the collected trace corpora (per class, with "
+        "per-prefix monitor evidence) as replayable JSON",
+    )
+    mine.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree (run → class → phase) after the report",
+    )
+    mine.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the trace as a JSONL event log",
+    )
+    mine.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write machine-readable mining metrics as JSON",
+    )
+    mine.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="FILE",
+        help="write the mining metrics in Prometheus text format",
+    )
+    mine.set_defaults(func=_cmd_mine)
 
     report = subparsers.add_parser(
         "report", help="render a Markdown verification report"

@@ -1,0 +1,65 @@
+"""Passive model mining: learn lifecycle automata from monitored runs.
+
+The pipeline inverts the static extractor: instead of deriving the
+automaton from annotations, it observes monitored executions
+(:mod:`repro.runtime`), folds the recorded traces into a prefix-tree
+acceptor, generalizes with evidence-gated RPNI merges, and diffs the
+mined machine against the statically extracted one via the bitset
+kernel's inclusion search.  See docs/mining.md.
+"""
+
+from repro.mine.api import (
+    ClassMineResult,
+    MineError,
+    MineReport,
+    load_implementations,
+    mine_path,
+    mine_source,
+)
+from repro.mine.collect import (
+    CollectConfig,
+    CollectError,
+    collect_corpus,
+    random_lifecycles,
+    transition_coverage,
+)
+from repro.mine.corpus import (
+    KIND_COVER,
+    KIND_RANDOM,
+    KIND_REPLAY,
+    StepEvidence,
+    TraceCorpus,
+    TraceSample,
+)
+from repro.mine.diff import DiffResult, diff_mined, static_bitdfa
+from repro.mine.learn import MinedModel, MineStats, learn, mine_corpus
+from repro.mine.pta import PrefixTreeAcceptor, PTANode
+
+__all__ = [
+    "ClassMineResult",
+    "CollectConfig",
+    "CollectError",
+    "DiffResult",
+    "KIND_COVER",
+    "KIND_RANDOM",
+    "KIND_REPLAY",
+    "MineError",
+    "MineReport",
+    "MineStats",
+    "MinedModel",
+    "PTANode",
+    "PrefixTreeAcceptor",
+    "StepEvidence",
+    "TraceCorpus",
+    "TraceSample",
+    "collect_corpus",
+    "diff_mined",
+    "learn",
+    "load_implementations",
+    "mine_corpus",
+    "mine_path",
+    "mine_source",
+    "random_lifecycles",
+    "static_bitdfa",
+    "transition_coverage",
+]

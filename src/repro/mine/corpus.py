@@ -1,0 +1,187 @@
+"""Trace corpora: the input of the passive automaton learner.
+
+A corpus is a set of *observed* lifecycles of one class, each annotated
+with per-prefix **evidence** probed from the runtime monitor:
+
+* ``allowed`` — the operations the monitor would have accepted next
+  (everything outside the set is a forbidden continuation: negative
+  evidence);
+* ``final`` — whether :func:`repro.runtime.monitor.finalize` would have
+  succeeded at that prefix (definitive accept/reject labels, so the
+  learner never has to guess a state's acceptance).
+
+Corpora serialize to plain JSON (``--corpus-out``, farm failure-repro
+artifacts) and deserialize losslessly, evidence included.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Schema version stamped into serialized corpora.
+CORPUS_SCHEMA = 1
+
+#: Sample provenance kinds.
+KIND_COVER = "cover"
+KIND_RANDOM = "random"
+KIND_REPLAY = "replay"
+
+
+@dataclass(frozen=True)
+class StepEvidence:
+    """What the monitor knew at one prefix of one run."""
+
+    allowed: tuple[str, ...] | None
+    final: bool | None
+
+    @staticmethod
+    def of(allowed, final) -> "StepEvidence":
+        return StepEvidence(
+            allowed=None if allowed is None else tuple(sorted(allowed)),
+            final=final,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "allowed": None if self.allowed is None else list(self.allowed),
+            "final": self.final,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "StepEvidence":
+        allowed = payload.get("allowed")
+        return StepEvidence.of(allowed, payload.get("final"))
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One monitored run: the events performed plus per-prefix evidence.
+
+    ``evidence`` has one entry per prefix of ``word`` *including* the
+    empty prefix, so ``evidence[i]`` describes the state after
+    ``word[:i]``; it may be empty when the corpus carries bare words.
+    ``completed`` records whether the run finalized cleanly — when
+    evidence is present it always agrees with ``evidence[-1].final``.
+    """
+
+    word: tuple[str, ...]
+    completed: bool
+    evidence: tuple[StepEvidence, ...] = ()
+    kind: str = KIND_COVER
+
+    def __post_init__(self) -> None:
+        if self.evidence and len(self.evidence) != len(self.word) + 1:
+            raise ValueError(
+                f"evidence length {len(self.evidence)} does not match "
+                f"word length {len(self.word)} + 1"
+            )
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "word": list(self.word),
+            "completed": self.completed,
+            "kind": self.kind,
+            "evidence": [entry.to_payload() for entry in self.evidence],
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "TraceSample":
+        return TraceSample(
+            word=tuple(str(e) for e in payload["word"]),
+            completed=bool(payload["completed"]),
+            kind=str(payload.get("kind", KIND_REPLAY)),
+            evidence=tuple(
+                StepEvidence.from_payload(entry)
+                for entry in payload.get("evidence", ())
+            ),
+        )
+
+
+@dataclass
+class TraceCorpus:
+    """Every observed run of one class, plus the event vocabulary."""
+
+    class_name: str
+    alphabet: tuple[str, ...]
+    samples: list[TraceSample] = field(default_factory=list)
+    #: Collection anomalies (e.g. a spec-mismatching return value — a
+    #: conformance fault observed while collecting).  Reported, and a
+    #: corpus with notes is never considered clean by the farm.
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.alphabet = tuple(sorted(set(self.alphabet)))
+
+    def add(self, sample: TraceSample) -> None:
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[TraceSample]:
+        return iter(self.samples)
+
+    # -- aggregate views ------------------------------------------------
+
+    def positive_words(self) -> list[tuple[str, ...]]:
+        """Distinct words of *completed* lifecycles, plus every prefix
+        whose evidence marks it finalizable — sorted length-lex."""
+        words: set[tuple[str, ...]] = set()
+        for sample in self.samples:
+            if sample.completed:
+                words.add(sample.word)
+            for cut, entry in enumerate(sample.evidence):
+                if entry.final:
+                    words.add(sample.word[:cut])
+        return sorted(words, key=lambda w: (len(w), w))
+
+    def event_count(self) -> int:
+        return sum(len(sample.word) for sample in self.samples)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "samples": len(self.samples),
+            "events": self.event_count(),
+            "positive_words": len(self.positive_words()),
+            "alphabet": len(self.alphabet),
+        }
+
+    # -- serialization --------------------------------------------------
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "class": self.class_name,
+            "alphabet": list(self.alphabet),
+            "samples": [sample.to_payload() for sample in self.samples],
+            "notes": list(self.notes),
+        }
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "TraceCorpus":
+        schema = payload.get("schema")
+        if schema != CORPUS_SCHEMA:
+            raise ValueError(f"unsupported corpus schema: {schema!r}")
+        return TraceCorpus(
+            class_name=str(payload["class"]),
+            alphabet=tuple(str(s) for s in payload["alphabet"]),
+            samples=[
+                TraceSample.from_payload(entry) for entry in payload["samples"]
+            ],
+            notes=[str(note) for note in payload.get("notes", ())],
+        )
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @staticmethod
+    def load(path: str | Path) -> "TraceCorpus":
+        return TraceCorpus.from_payload(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )

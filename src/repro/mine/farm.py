@@ -1,0 +1,262 @@
+"""Seeded differential farm: mine random workload projects, check soundness.
+
+Each farm project is a synthetic two-class module
+(:func:`repro.workloads.hierarchy.module_source`) with a shape drawn
+from the project seed.  The farm executes the full pipeline on it —
+collect a monitored corpus, mine, diff against the static model — and
+checks the two properties the mining design guarantees:
+
+* **soundness** on every run: ``L(mined) ⊆ L(static)`` (the local-language
+  argument of docs/mining.md makes this structural, so any violation is
+  a bug in the collector, the learner, or the kernel);
+* **exact recovery** on transition-covering corpora: when the corpus
+  exercises every static transition and the implementation is
+  deterministic (single-exit operations, as generated workloads are),
+  the mined automaton must be *equivalent* to the static one, checked by
+  two-way kernel inclusion plus minimized state counts.
+
+Failures carry a replayable corpus payload so a nightly farm hit can be
+debugged offline.  The whole farm is a pure function of its config.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any
+
+from repro.mine.api import MineError, mine_source
+from repro.mine.collect import CollectConfig
+from repro.obs.tracer import NULL_TRACER
+from repro.workloads.hierarchy import HierarchyShape, module_source
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Deterministic knobs of one farm run."""
+
+    projects: int = 50
+    seed: int = 0
+    random_runs: int = 16
+    max_random_len: int = 10
+    coverage_floor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.projects < 1:
+            raise ValueError("projects must be >= 1")
+
+
+@dataclass
+class FarmFailure:
+    """One failed check, with enough context to replay it."""
+
+    project: int
+    class_name: str
+    kind: str  # "unsound" | "inequivalent" | "coverage" | "error"
+    detail: str
+    corpus: dict[str, Any] | None = None
+
+    def format(self) -> str:
+        return (
+            f"project {self.project} class {self.class_name}: "
+            f"{self.kind}: {self.detail}"
+        )
+
+
+@dataclass
+class ProjectRecord:
+    """Per-project summary row."""
+
+    project: int
+    shape: dict[str, int]
+    classes: int = 0
+    corpus_events: int = 0
+    mined_states: int = 0
+    static_states: int = 0
+    min_coverage: float = 1.0
+    seconds: float = 0.0
+
+
+@dataclass
+class FarmResult:
+    """The aggregated outcome of a farm run."""
+
+    config: FarmConfig
+    records: list[ProjectRecord] = field(default_factory=list)
+    failures: list[FarmFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def min_coverage(self) -> float:
+        if not self.records:
+            return 1.0
+        return min(record.min_coverage for record in self.records)
+
+    def unsound(self) -> list[FarmFailure]:
+        return [f for f in self.failures if f.kind == "unsound"]
+
+    def format(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        lines = [
+            f"mine farm: {len(self.records)} project(s), seed "
+            f"{self.config.seed}, min coverage {self.min_coverage:.2f} "
+            f"-> {verdict}"
+        ]
+        lines.extend(failure.format() for failure in self.failures)
+        return "\n".join(lines)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "config": {
+                "projects": self.config.projects,
+                "seed": self.config.seed,
+                "random_runs": self.config.random_runs,
+                "max_random_len": self.config.max_random_len,
+                "coverage_floor": self.config.coverage_floor,
+            },
+            "ok": self.ok,
+            "min_coverage": self.min_coverage,
+            "projects": [
+                {
+                    "project": record.project,
+                    "shape": record.shape,
+                    "classes": record.classes,
+                    "corpus_events": record.corpus_events,
+                    "mined_states": record.mined_states,
+                    "static_states": record.static_states,
+                    "min_coverage": record.min_coverage,
+                    "seconds": record.seconds,
+                }
+                for record in self.records
+            ],
+            "failures": [
+                {
+                    "project": failure.project,
+                    "class": failure.class_name,
+                    "kind": failure.kind,
+                    "detail": failure.detail,
+                    "corpus": failure.corpus,
+                }
+                for failure in self.failures
+            ],
+        }
+
+
+def project_shape(rng: Random) -> HierarchyShape:
+    """Draw one workload shape; bounds keep a project under ~a second."""
+    return HierarchyShape(
+        base_operations=rng.randrange(2, 6),
+        subsystems=rng.randrange(1, 4),
+        composite_operations=rng.randrange(1, 4),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def run_farm(config: FarmConfig = FarmConfig(), tracer=NULL_TRACER) -> FarmResult:
+    """Mine ``config.projects`` random workload projects and check them."""
+    result = FarmResult(config=config)
+    rng = Random(config.seed)
+    with tracer.span("mine-farm", f"seed={config.seed}", projects=config.projects):
+        for project in range(config.projects):
+            shape = project_shape(rng)
+            record = ProjectRecord(
+                project=project,
+                shape={
+                    "base_operations": shape.base_operations,
+                    "subsystems": shape.subsystems,
+                    "composite_operations": shape.composite_operations,
+                    "seed": shape.seed,
+                },
+            )
+            started = time.perf_counter()
+            source = module_source(shape, correct=True)
+            collect = CollectConfig(
+                seed=config.seed * 1_000_003 + project,
+                random_runs=config.random_runs,
+                max_random_len=config.max_random_len,
+            )
+            try:
+                report = mine_source(
+                    source,
+                    source_name=f"<farm:{project}>",
+                    config=collect,
+                    diff=True,
+                    tracer=tracer,
+                )
+            except MineError as error:
+                result.failures.append(
+                    FarmFailure(
+                        project=project,
+                        class_name="*",
+                        kind="error",
+                        detail=str(error),
+                    )
+                )
+                result.records.append(record)
+                continue
+            record.classes = len(report.results)
+            for class_result in report.results:
+                _check_class(project, class_result, config, result)
+                record.corpus_events += class_result.corpus.event_count()
+                record.min_coverage = min(
+                    record.min_coverage, class_result.coverage
+                )
+                if class_result.diff is not None:
+                    record.mined_states += class_result.diff.mined_states
+                    record.static_states += class_result.diff.static_states
+            record.seconds = time.perf_counter() - started
+            result.records.append(record)
+    if not result.ok:
+        tracer.event(
+            "mine-farm-failed",
+            failures=len(result.failures),
+            unsound=len(result.unsound()),
+        )
+    return result
+
+
+def _check_class(
+    project: int, class_result, config: FarmConfig, result: FarmResult
+) -> None:
+    diff = class_result.diff
+    corpus = class_result.corpus
+
+    def fail(kind: str, detail: str) -> None:
+        result.failures.append(
+            FarmFailure(
+                project=project,
+                class_name=class_result.class_name,
+                kind=kind,
+                detail=detail,
+                corpus=corpus.to_payload(),
+            )
+        )
+
+    for note in corpus.notes:
+        fail("error", note)
+    if diff is not None and not diff.sound:
+        witness = ", ".join(diff.unsound_witness or ()) or "(empty)"
+        fail("unsound", f"mined accepts spec-rejected word: {witness}")
+    if class_result.coverage < config.coverage_floor:
+        fail(
+            "coverage",
+            f"transition coverage {class_result.coverage:.2f} "
+            f"< floor {config.coverage_floor:.2f}",
+        )
+    elif (
+        class_result.coverage >= 1.0
+        and diff is not None
+        and diff.sound
+        and not diff.equivalent
+    ):
+        witness = ", ".join(diff.missed_witness or ()) or "(empty)"
+        fail(
+            "inequivalent",
+            "covering corpus but mined != static "
+            f"({diff.mined_states} vs {diff.static_states} states); "
+            f"missed: {witness}",
+        )

@@ -1,0 +1,89 @@
+"""Prefix-tree acceptors over trace corpora.
+
+The PTA is the exact, zero-generalization model of a corpus: one node
+per distinct observed prefix, one edge per observed ``(prefix, event)``
+pair.  Each node aggregates the evidence of every run that visited it:
+
+* ``allowed`` — union of the monitor's allowed sets observed there
+  (``None`` when no run carried evidence);
+* ``final`` — ``True`` when any visiting run was finalizable there,
+  ``False`` when every evidence-carrying visit said not, ``None``
+  without evidence.
+
+Node ids are assigned by inserting samples in sorted word order, so the
+tree — ids, edges, evidence — is a pure function of the corpus content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mine.corpus import TraceCorpus
+
+
+@dataclass
+class PTANode:
+    """One observed prefix."""
+
+    children: dict[str, int] = field(default_factory=dict)
+    allowed: frozenset[str] | None = None
+    final: bool | None = None
+    visits: int = 0
+
+
+class PrefixTreeAcceptor:
+    """The tree acceptor of a corpus; node 0 is the empty prefix."""
+
+    def __init__(self, alphabet: tuple[str, ...]):
+        self.alphabet = tuple(sorted(set(alphabet)))
+        self.nodes: list[PTANode] = [PTANode()]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def _extend(self, word: tuple[str, ...]) -> list[int]:
+        """Nodes along ``word`` from the root, creating missing ones."""
+        path = [0]
+        node = 0
+        for symbol in word:
+            child = self.nodes[node].children.get(symbol)
+            if child is None:
+                child = len(self.nodes)
+                self.nodes.append(PTANode())
+                self.nodes[node].children[symbol] = child
+            path.append(child)
+            node = child
+        return path
+
+    def _observe(self, node_id: int, allowed, final) -> None:
+        node = self.nodes[node_id]
+        node.visits += 1
+        if allowed is not None:
+            observed = frozenset(allowed)
+            node.allowed = (
+                observed if node.allowed is None else node.allowed | observed
+            )
+        if final is not None:
+            node.final = bool(final) if node.final is None else node.final or final
+
+    @staticmethod
+    def from_corpus(corpus: TraceCorpus) -> "PrefixTreeAcceptor":
+        pta = PrefixTreeAcceptor(corpus.alphabet)
+        for sample in sorted(corpus.samples, key=lambda s: (len(s.word), s.word)):
+            path = pta._extend(sample.word)
+            if sample.evidence:
+                for node_id, entry in zip(path, sample.evidence):
+                    pta._observe(node_id, entry.allowed, entry.final)
+            else:
+                # Bare words: the only certainty is that a completed
+                # word's end node accepts.
+                if sample.completed:
+                    pta._observe(path[-1], None, True)
+        return pta
+
+    def accepting_ids(self) -> tuple[int, ...]:
+        return tuple(
+            node_id
+            for node_id, node in enumerate(self.nodes)
+            if node.final
+        )

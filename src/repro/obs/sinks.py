@@ -207,6 +207,56 @@ def prometheus_text(payload: dict[str, Any], prefix: str = "repro") -> str:
                 for kind in ("hits", "misses", "puts", "errors", "degraded")
             ],
         )
+    mine = payload.get("mine")
+    if mine:
+        emit(
+            "mine_classes",
+            "gauge",
+            "Classes mined from monitored runs.",
+            [("", mine.get("classes", 0))],
+        )
+        emit(
+            "mine_corpus_total",
+            "counter",
+            "Corpus volume of the mining run, by kind.",
+            [
+                (f'{{kind="{_escape_label(kind)}"}}', mine.get(kind, 0))
+                for kind in ("corpus_samples", "corpus_events")
+            ],
+        )
+        emit(
+            "mine_states",
+            "gauge",
+            "Automaton sizes across the mining run, by stage.",
+            [
+                (f'{{stage="{_escape_label(stage)}"}}', mine.get(key, 0))
+                for stage, key in (
+                    ("pta", "pta_states"),
+                    ("mined", "mined_states"),
+                )
+            ],
+        )
+        emit(
+            "mine_merges_total",
+            "counter",
+            "Evidence-gated state merges the learner accepted.",
+            [("", mine.get("merges_accepted", 0))],
+        )
+        emit(
+            "mine_findings_total",
+            "counter",
+            "Mining findings by kind (divergent includes unsound).",
+            [
+                (f'{{kind="{_escape_label(kind)}"}}', mine.get(kind, 0))
+                for kind in ("divergent", "unsound", "notes")
+            ],
+        )
+        emit(
+            "mine_wall_seconds",
+            "gauge",
+            "Wall time of the collect/learn/diff phases in seconds.",
+            [("", mine.get("wall_seconds", 0.0))],
+        )
     supervisor = payload.get("supervisor", {})
     emit(
         "supervisor_events_total",

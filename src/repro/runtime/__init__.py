@@ -11,21 +11,30 @@ from repro.runtime.monitor import (
     MonitorError,
     OrderViolationError,
     SpecMismatchError,
+    allowed_now,
+    call_operation,
     finalize,
     history_of,
+    is_finalizable,
     lifecycle,
     monitored,
+    set_recorder,
 )
-from repro.runtime.trace import TraceRecorder
+from repro.runtime.trace import ScopedRecorder, TraceRecorder
 
 __all__ = [
     "IncompleteLifecycleError",
     "MonitorError",
     "OrderViolationError",
+    "ScopedRecorder",
     "SpecMismatchError",
     "TraceRecorder",
+    "allowed_now",
+    "call_operation",
     "finalize",
     "history_of",
+    "is_finalizable",
     "lifecycle",
     "monitored",
+    "set_recorder",
 ]

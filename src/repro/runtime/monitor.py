@@ -53,6 +53,7 @@ class _InstanceState:
 
 
 _STATE_ATTR = "__shelley_monitor_state__"
+_RECORDER_ATTR = "__shelley_recorder__"
 
 
 def _spec_from_class(cls: type) -> ClassSpec:
@@ -110,6 +111,19 @@ def monitored(cls: type, spec: ClassSpec | None = None, recorder: TraceRecorder 
     """
     if spec is None:
         spec = _spec_from_class(cls)
+    existing: ClassSpec | None = cls.__dict__.get("__shelley_spec__")
+    if existing is not None:
+        # Already wrapped.  Wrapping again would stack the interceptors:
+        # every call would be checked twice and recorded twice, so a
+        # second ``monitored()`` with the same spec is a no-op and a
+        # conflicting one is an error.
+        if existing == spec:
+            if recorder is not None:
+                set_recorder(cls, recorder)
+            return cls
+        raise MonitorError(
+            f"{cls.__name__} is already monitored with a different specification"
+        )
     operation_names = set(spec.operation_names())
 
     for name in operation_names:
@@ -119,13 +133,25 @@ def monitored(cls: type, spec: ClassSpec | None = None, recorder: TraceRecorder 
                 f"specification of {cls.__name__} names operation {name!r} "
                 "but the class has no such method"
             )
-        setattr(cls, name, _wrap_operation(original, name, spec, recorder))
+        setattr(cls, name, _wrap_operation(original, name, spec))
 
     setattr(cls, "__shelley_spec__", spec)
+    setattr(cls, _RECORDER_ATTR, recorder)
     return cls
 
 
-def _wrap_operation(original, name: str, spec: ClassSpec, recorder: TraceRecorder | None):
+def set_recorder(cls: type, recorder: TraceRecorder | None) -> None:
+    """Rebind (or detach, with ``None``) a monitored class's recorder.
+
+    The interceptors look the recorder up at call time, so a corpus
+    collector can attach a fresh recorder per run without re-wrapping.
+    """
+    if getattr(cls, "__shelley_spec__", None) is None:
+        raise MonitorError(f"{cls.__name__} is not monitored")
+    setattr(cls, _RECORDER_ATTR, recorder)
+
+
+def _wrap_operation(original, name: str, spec: ClassSpec):
     @functools.wraps(original)
     def wrapper(self, *args, **kwargs):
         state = _instance_state(self)
@@ -155,11 +181,53 @@ def _wrap_operation(original, name: str, spec: ClassSpec, recorder: TraceRecorde
             )
         state.states = matching_exits
         state.history.append(name)
+        recorder = getattr(type(self), _RECORDER_ATTR, None)
         if recorder is not None:
             recorder.record(name)
         return result
 
     return wrapper
+
+
+def _accepting_states(spec: ClassSpec) -> frozenset:
+    """Monitor states from which finalization is legal."""
+    return frozenset({START_STATE}) | frozenset(
+        exit_state(operation.name, point.exit_id)
+        for operation in spec.final_operations()
+        for point in operation.returns
+    )
+
+
+def _spec_of(instance: Any) -> ClassSpec:
+    spec: ClassSpec | None = getattr(type(instance), "__shelley_spec__", None)
+    if spec is None:
+        raise MonitorError(f"{type(instance).__name__} is not monitored")
+    return spec
+
+
+def allowed_now(instance: Any) -> frozenset[str]:
+    """Operations the monitor would currently allow on ``instance``.
+
+    This is the *dynamic* view: the monitor has narrowed the state set
+    to the exit points actually taken, so the result can be a strict
+    subset of what the static specification allows after the same call
+    history.  Model miners read it as per-prefix negative evidence —
+    every operation outside the set is a forbidden continuation.
+    """
+    spec = _spec_of(instance)
+    state = _instance_state(instance)
+    if state.finalized:
+        return frozenset()
+    return spec.allowed_after(state.states)
+
+
+def is_finalizable(instance: Any) -> bool:
+    """Would :func:`finalize` succeed right now?  (No side effects.)"""
+    spec = _spec_of(instance)
+    state = _instance_state(instance)
+    if state.finalized:
+        return False
+    return bool(set(state.states) & _accepting_states(spec))
 
 
 def finalize(instance: Any) -> None:
@@ -169,21 +237,28 @@ def finalize(instance: Any) -> None:
     when the last operation invoked was final; raises
     :class:`IncompleteLifecycleError` otherwise.
     """
-    spec: ClassSpec | None = getattr(type(instance), "__shelley_spec__", None)
-    if spec is None:
-        raise MonitorError(f"{type(instance).__name__} is not monitored")
+    spec = _spec_of(instance)
     state = _instance_state(instance)
-    accepting = {START_STATE} | {
-        exit_state(operation.name, point.exit_id)
-        for operation in spec.final_operations()
-        for point in operation.returns
-    }
-    if not (set(state.states) & accepting):
+    if not (set(state.states) & _accepting_states(spec)):
         history = ", ".join(state.history) or "(no call)"
         raise IncompleteLifecycleError(
             f"{spec.name} instance finalized mid-lifecycle; history: {history}"
         )
     state.finalized = True
+
+
+def call_operation(instance: Any, name: str, *args: Any, **kwargs: Any) -> Any:
+    """Invoke operation ``name`` on ``instance``, resolved through its class.
+
+    Drivers must not use ``getattr(instance, name)()``: the paper's own
+    ``Valve`` assigns ``self.clean = Pin(28, OUT)`` in ``__init__``,
+    shadowing the ``clean`` operation in the instance dict.  Class-side
+    lookup always reaches the (monitored) method.
+    """
+    spec = _spec_of(instance)
+    if spec.operation(name) is None:
+        raise MonitorError(f"{spec.name} declares no operation {name!r}")
+    return getattr(type(instance), name)(instance, *args, **kwargs)
 
 
 def history_of(instance: Any) -> tuple[str, ...]:

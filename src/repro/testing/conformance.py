@@ -33,6 +33,7 @@ from repro.runtime.monitor import (
     IncompleteLifecycleError,
     OrderViolationError,
     SpecMismatchError,
+    call_operation,
     finalize,
     monitored,
 )
@@ -110,7 +111,9 @@ def run_sequence(
     performed: list[str] = []
     try:
         for name in sequence:
-            getattr(instance, name)()
+            # Class-side lookup: instance attributes may shadow
+            # operations (the paper's Valve stores a Pin in self.clean).
+            call_operation(instance, name)
             performed.append(name)
         finalize(instance)
     except OrderViolationError as error:

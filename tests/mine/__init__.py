@@ -1,0 +1,1 @@
+"""Tests of the passive model-mining pipeline (repro.mine)."""

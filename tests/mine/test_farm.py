@@ -1,0 +1,67 @@
+"""The seeded differential mining farm."""
+
+import pytest
+
+from repro.mine.corpus import TraceCorpus
+from repro.mine.farm import FarmConfig, run_farm
+
+
+class TestFarm:
+    def test_small_farm_is_clean(self):
+        result = run_farm(FarmConfig(projects=6, seed=3, random_runs=8))
+        assert result.ok, result.format()
+        assert len(result.records) == 6
+        assert result.min_coverage == 1.0
+        # Soundness + exact recovery: every project mined the same
+        # minimized machine the static extractor produced.
+        for record in result.records:
+            assert record.mined_states == record.static_states
+            assert record.corpus_events > 0
+
+    def test_farm_is_deterministic(self):
+        config = FarmConfig(projects=4, seed=9, random_runs=8)
+
+        def scrub(payload):
+            # Wall times are the one legitimately non-deterministic field.
+            for row in payload["projects"]:
+                row.pop("seconds")
+            return payload
+
+        first = scrub(run_farm(config).to_payload())
+        second = scrub(run_farm(config).to_payload())
+        assert first == second
+
+    def test_unreachable_coverage_floor_fails_with_repro_corpus(self):
+        result = run_farm(
+            FarmConfig(projects=2, seed=1, random_runs=4, coverage_floor=1.01)
+        )
+        assert not result.ok
+        assert result.failures
+        assert all(f.kind == "coverage" for f in result.failures)
+        assert not result.unsound()
+        # Every failure carries a replayable corpus.
+        for failure in result.failures:
+            corpus = TraceCorpus.from_payload(failure.corpus)
+            assert len(corpus) > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FarmConfig(projects=0)
+
+    def test_payload_shape(self):
+        result = run_farm(FarmConfig(projects=2, seed=5, random_runs=4))
+        payload = result.to_payload()
+        assert payload["ok"] is True
+        assert payload["config"]["projects"] == 2
+        assert len(payload["projects"]) == 2
+        for row in payload["projects"]:
+            assert set(row) == {
+                "project",
+                "shape",
+                "classes",
+                "corpus_events",
+                "mined_states",
+                "static_states",
+                "min_coverage",
+                "seconds",
+            }

@@ -1,0 +1,126 @@
+"""Trace corpora and prefix-tree acceptors."""
+
+import pytest
+
+from repro.mine.corpus import (
+    CORPUS_SCHEMA,
+    KIND_RANDOM,
+    StepEvidence,
+    TraceCorpus,
+    TraceSample,
+)
+from repro.mine.pta import PrefixTreeAcceptor
+
+
+def sample(word, completed=True, allowed_map=None, kind="cover"):
+    """A sample with synthetic evidence: allowed_map[i] after word[:i]."""
+    if allowed_map is None:
+        return TraceSample(word=tuple(word), completed=completed, kind=kind)
+    evidence = tuple(
+        StepEvidence.of(allowed_map[i], i == len(word) and completed)
+        for i in range(len(word) + 1)
+    )
+    return TraceSample(
+        word=tuple(word), completed=completed, evidence=evidence, kind=kind
+    )
+
+
+class TestCorpus:
+    def test_evidence_length_validated(self):
+        with pytest.raises(ValueError):
+            TraceSample(
+                word=("a", "b"),
+                completed=True,
+                evidence=(StepEvidence.of(["a"], False),),
+            )
+
+    def test_round_trip_serialization(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("b", "a"))
+        corpus.add(sample(("a", "b"), allowed_map={0: ["a"], 1: ["b"], 2: []}))
+        corpus.add(sample(("a",), completed=False, kind=KIND_RANDOM))
+        corpus.notes.append("anomaly")
+        payload = corpus.to_payload()
+        assert payload["schema"] == CORPUS_SCHEMA
+        # Alphabet is normalized to sorted order on construction.
+        assert payload["alphabet"] == ["a", "b"]
+        restored = TraceCorpus.from_payload(payload)
+        assert restored.to_payload() == payload
+        assert restored.samples == corpus.samples
+        assert restored.notes == ["anomaly"]
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCorpus.from_payload({"schema": 99, "class": "C", "alphabet": [], "samples": []})
+
+    def test_positive_words_include_finalizable_prefixes(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("a", "b"))
+        # "a" is finalizable mid-run even though the sample went on to "ab".
+        evidence = (
+            StepEvidence.of(["a"], False),
+            StepEvidence.of(["b"], True),
+            StepEvidence.of([], True),
+        )
+        corpus.add(
+            TraceSample(word=("a", "b"), completed=True, evidence=evidence)
+        )
+        assert corpus.positive_words() == [("a",), ("a", "b")]
+
+    def test_stats(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("a",))
+        corpus.add(sample(("a",)))
+        stats = corpus.stats()
+        assert stats == {
+            "samples": 1,
+            "events": 1,
+            "positive_words": 1,
+            "alphabet": 1,
+        }
+
+
+class TestPrefixTree:
+    def test_node_ids_deterministic(self):
+        """Insertion order of samples must not affect the tree."""
+        words = [("a", "b"), ("a",), ("b", "a", "a")]
+        trees = []
+        for ordering in (words, list(reversed(words))):
+            corpus = TraceCorpus(class_name="C", alphabet=("a", "b"))
+            for word in ordering:
+                corpus.add(sample(word))
+            pta = PrefixTreeAcceptor.from_corpus(corpus)
+            trees.append(
+                [(node.children, node.final) for node in pta.nodes]
+            )
+        assert trees[0] == trees[1]
+
+    def test_shared_prefixes_share_nodes(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("a", "b"))
+        corpus.add(sample(("a", "a")))
+        corpus.add(sample(("a", "b")))
+        pta = PrefixTreeAcceptor.from_corpus(corpus)
+        # root, a, aa, ab — the "a" prefix is one node.
+        assert len(pta) == 4
+
+    def test_evidence_aggregates_across_runs(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("a", "b"))
+        corpus.add(sample(("a",), allowed_map={0: ["a"], 1: []}))
+        corpus.add(sample(("a",), allowed_map={0: ["a", "b"], 1: []}))
+        pta = PrefixTreeAcceptor.from_corpus(corpus)
+        # Root evidence is the union of both observations.
+        assert pta.nodes[0].allowed == frozenset({"a", "b"})
+        assert pta.nodes[0].visits == 2
+
+    def test_bare_words_mark_only_end_nodes(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("a", "b"))
+        corpus.add(sample(("a", "b")))
+        pta = PrefixTreeAcceptor.from_corpus(corpus)
+        end = pta.nodes[pta.nodes[pta.nodes[0].children["a"]].children["b"]]
+        assert end.final is True
+        assert pta.nodes[0].final is None
+        assert pta.nodes[0].allowed is None
+        assert pta.accepting_ids() == (len(pta) - 1,)
+
+    def test_incomplete_bare_word_adds_no_labels(self):
+        corpus = TraceCorpus(class_name="C", alphabet=("a",))
+        corpus.add(sample(("a",), completed=False))
+        pta = PrefixTreeAcceptor.from_corpus(corpus)
+        assert pta.accepting_ids() == ()

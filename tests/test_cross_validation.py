@@ -18,7 +18,9 @@ from repro.frontend.parse import parse_module
 from repro.runtime.monitor import (
     IncompleteLifecycleError,
     OrderViolationError,
+    call_operation,
     finalize,
+    history_of,
     monitored,
 )
 
@@ -160,3 +162,107 @@ class TestStaticCounterexampleTripsMonitor:
             getattr(instance, event)()
         with pytest.raises(IncompleteLifecycleError):
             finalize(instance)
+
+
+class TestEveryStaticCounterexampleTripsMonitor:
+    """Every ``invalid-subsystem-usage`` counterexample of the paper
+    listings, projected onto the failing field, must trip the runtime
+    monitor at the exact event index the static DFA walk predicts —
+    either an :class:`OrderViolationError` at the first missing
+    transition, or an :class:`IncompleteLifecycleError` at finalize when
+    the word runs through but ends in a non-accepting state."""
+
+    @staticmethod
+    def scripted_class(spec, word):
+        """A fresh implementation steered along ``word``.
+
+        Each operation returns the first declared exit point whose
+        next-method set contains the next scripted symbol (falling back
+        to the first exit point), so the monitor's dynamic narrowing
+        follows exactly the path the static walk took.
+        """
+
+        def make_method(name):
+            def method(self):
+                index = self._cursor
+                self._cursor = index + 1
+                upcoming = word[index + 1] if index + 1 < len(word) else None
+                points = spec.exit_points(name)
+                for point in points:
+                    if upcoming is not None and upcoming in point.next_methods:
+                        return list(point.next_methods)
+                return list(points[0].next_methods)
+
+            return method
+
+        def __init__(self):
+            self._cursor = 0
+
+        namespace = {"__init__": __init__}
+        for operation in spec.operation_names():
+            namespace[operation] = make_method(operation)
+        return type(f"Scripted{spec.name}", (), namespace)
+
+    @staticmethod
+    def static_verdict(spec, word):
+        """The static prediction: ``("order", i)`` when the DFA has no
+        move on ``word[i]``; ``("incomplete", len(word))`` when the walk
+        completes in a non-accepting state; ``None`` when accepted."""
+        dfa = spec.dfa()
+        state = dfa.initial_state
+        for index, symbol in enumerate(word):
+            state = dfa.successor(state, symbol)
+            if state is None:
+                return ("order", index)
+        if state not in dfa.accepting_states:
+            return ("incomplete", len(word))
+        return None
+
+    @pytest.mark.parametrize(
+        "module_name", ["SECTION_2_MODULE", "SECTOR_MODULE", "GOOD_MODULE"]
+    )
+    def test_counterexamples_replay_at_the_same_index(self, module_name):
+        import repro.paper as listings
+
+        source = getattr(listings, module_name)
+        result = check_source(source)
+        module, _ = parse_module(source)
+        replayed = 0
+        for diagnostic in result.by_code("invalid-subsystem-usage"):
+            assert diagnostic.counterexample is not None
+            for sub in diagnostic.subsystem_errors:
+                prefix = sub.field_name + "."
+                word = tuple(
+                    event[len(prefix):]
+                    for event in diagnostic.counterexample
+                    if event.startswith(prefix)
+                )
+                spec = ClassSpec.of(module.get_class(sub.class_name))
+                verdict = self.static_verdict(spec, word)
+                assert verdict is not None, (
+                    "a failing field's projection must be spec-rejected"
+                )
+                kind, index = verdict
+                cls = monitored(self.scripted_class(spec, word), spec=spec)
+                instance = cls()
+                if kind == "order":
+                    # The monitor must allow exactly the prefix the
+                    # static walk allowed, then refuse the same event.
+                    for event in word[:index]:
+                        call_operation(instance, event)
+                    with pytest.raises(OrderViolationError):
+                        call_operation(instance, word[index])
+                    assert history_of(instance) == word[:index]
+                else:
+                    for event in word:
+                        call_operation(instance, event)
+                    assert history_of(instance) == word
+                    with pytest.raises(IncompleteLifecycleError):
+                        finalize(instance)
+                replayed += 1
+        if module_name == "SECTION_2_MODULE":
+            # §2.2's BadSector counterexample (open_a, a.test, a.open).
+            assert replayed >= 1
+        else:
+            # The repaired listings verify: nothing to replay.
+            assert replayed == 0
